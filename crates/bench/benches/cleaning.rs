@@ -1,0 +1,49 @@
+//! P6 — Criterion bench: cleaning pipeline throughput per noise level.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_rfid::noise::NoiseModel;
+use sase_rfid::sim::RfidSimulator;
+use sase_stream::config::CleaningConfig;
+use sase_stream::event_gen::{register_reading_schemas, StaticOns};
+use sase_stream::pipeline::CleaningPipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p6_cleaning");
+    g.sample_size(10);
+    for (name, noise) in [
+        ("perfect", NoiseModel::perfect()),
+        ("realistic", NoiseModel::realistic()),
+        ("harsh", NoiseModel::harsh()),
+    ] {
+        // Pre-generate 500 ticks of raw readings.
+        let cfg = CleaningConfig::retail_demo();
+        let mut sim = RfidSimulator::retail_demo(noise, 606);
+        for t in 1..=40u64 {
+            sim.place_tag(cfg.make_tag(t), (t % 4 + 1) as i64);
+        }
+        let ticks: Vec<_> = (0..500u64).map(|_| sim.tick()).collect();
+        g.bench_with_input(BenchmarkId::new("pipeline", name), &name, |b, _| {
+            b.iter(|| {
+                let registry = sase_core::event::SchemaRegistry::new();
+                register_reading_schemas(&registry).unwrap();
+                let mut ons = StaticOns::new();
+                for t in 1..=40u64 {
+                    ons.insert(cfg.make_tag(t), "p", "misc", 100);
+                }
+                let mut pipeline =
+                    CleaningPipeline::new(cfg.clone(), registry, Arc::new(ons));
+                let mut events = 0usize;
+                for (tick, readings) in ticks.iter().enumerate() {
+                    events += pipeline.process_tick(tick as u64, readings).unwrap().len();
+                }
+                events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

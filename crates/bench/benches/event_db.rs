@@ -1,0 +1,51 @@
+//! P7 — Criterion bench: event-database archive ingest and track-and-trace
+//! queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_db::{Database, TrackAndTrace};
+
+fn populate(items: usize) -> (TrackAndTrace, Vec<i64>) {
+    let trace = sase_rfid::warehouse::generate(707, items, 8);
+    let tnt = TrackAndTrace::open(Database::new()).unwrap();
+    for m in &trace.movements {
+        tnt.locations()
+            .update_location(m.item, m.area, m.ts as i64)
+            .unwrap();
+    }
+    for c in &trace.containments {
+        if c.added {
+            tnt.containments()
+                .add_to_container(c.item, c.container, c.ts as i64)
+                .unwrap();
+        } else {
+            tnt.containments()
+                .remove_from_container(c.item, c.ts as i64)
+                .unwrap();
+        }
+    }
+    (tnt, trace.items)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p7_event_db");
+    g.sample_size(10);
+    for items in [100usize, 400] {
+        g.bench_with_input(BenchmarkId::new("ingest", items), &items, |b, &n| {
+            b.iter(|| populate(n))
+        });
+        let (tnt, ids) = populate(items);
+        g.bench_with_input(BenchmarkId::new("trace", items), &items, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &item in &ids {
+                    total += tnt.movement_history(item).unwrap().len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! P8 — Criterion bench: parser + planner throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sase_bench::{language_throughput, query_corpus, retail_stream};
+
+fn bench(c: &mut Criterion) {
+    let corpus = query_corpus(200);
+    let (registry, _) = retail_stream(1, 10, 2);
+    let mut g = c.benchmark_group("p8_language");
+    g.sample_size(10);
+    g.bench_function("parse_and_plan_200", |b| {
+        b.iter(|| language_throughput(&corpus, &registry))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! P4 — Criterion bench: negation cost and counterexample indexing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sase_bench::{q1_query, q1_without_negation, retail_stream, run_query};
+use sase_core::plan::PlannerOptions;
+
+fn bench(c: &mut Criterion) {
+    let (registry, stream) = retail_stream(404, 8_000, 100);
+    let mut g = c.benchmark_group("p4_negation");
+    g.sample_size(10);
+    g.bench_function("no_negation", |b| {
+        b.iter(|| {
+            run_query(
+                &registry,
+                &stream,
+                &q1_without_negation(300),
+                PlannerOptions::default(),
+            )
+        })
+    });
+    g.bench_function("negation_indexed", |b| {
+        b.iter(|| run_query(&registry, &stream, &q1_query(300), PlannerOptions::default()))
+    });
+    g.bench_function("negation_scan", |b| {
+        b.iter(|| {
+            run_query(
+                &registry,
+                &stream,
+                &q1_query(300),
+                PlannerOptions {
+                    indexed_negation: false,
+                    ..PlannerOptions::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! P2 — Criterion bench: PAIS vs flat AIS across partition counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_bench::{q1_query, retail_stream, run_query};
+use sase_core::plan::PlannerOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2_partition_scaling");
+    g.sample_size(10);
+    for partitions in [1usize, 10, 100] {
+        let (registry, stream) = retail_stream(202, 6_000, partitions);
+        let q = q1_query(150);
+        g.bench_with_input(BenchmarkId::new("pais", partitions), &partitions, |b, _| {
+            b.iter(|| run_query(&registry, &stream, &q, PlannerOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("flat", partitions), &partitions, |b, _| {
+            b.iter(|| {
+                run_query(
+                    &registry,
+                    &stream,
+                    &q,
+                    PlannerOptions {
+                        pushdown_partition: false,
+                        ..PlannerOptions::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! P3 — Criterion bench: single-event predicate pushdown vs late
+//! evaluation, across predicate selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_bench::{run_query, stream_for};
+use sase_core::plan::PlannerOptions;
+use sase_rfid::generator::SyntheticConfig;
+
+const Q: &str = "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                 WHERE x.TagId = z.TagId AND x.AreaId = 1 AND z.AreaId = 1 WITHIN 400";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p3_pushdown");
+    g.sample_size(10);
+    for areas in [2i64, 8] {
+        let mut cfg = SyntheticConfig::retail(303, 8_000, 100);
+        cfg.areas = areas;
+        let (registry, stream) = stream_for(&cfg);
+        g.bench_with_input(BenchmarkId::new("pushed", areas), &areas, |b, _| {
+            b.iter(|| run_query(&registry, &stream, Q, PlannerOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("late", areas), &areas, |b, _| {
+            b.iter(|| {
+                run_query(
+                    &registry,
+                    &stream,
+                    Q,
+                    PlannerOptions {
+                        pushdown_single_event_predicates: false,
+                        ..PlannerOptions::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! P5 — Criterion bench: SSC vs naive NFA simulation as the sequence
+//! pattern grows from 2 to 4 components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_bench::{run_query, seq_n_query, seq_n_stream, stream_for};
+use sase_core::plan::PlannerOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p5_seq_length");
+    g.sample_size(10);
+    for len in [2usize, 3, 4] {
+        let cfg = seq_n_stream(len, 505, 5_000, 200);
+        let (registry, stream) = stream_for(&cfg);
+        let q = seq_n_query(len, 200);
+        g.bench_with_input(BenchmarkId::new("ssc", len), &len, |b, _| {
+            b.iter(|| run_query(&registry, &stream, &q, PlannerOptions::default()))
+        });
+        // The naive baseline collapses with pattern length (that is the
+        // point); benchmark it only where an iteration stays affordable.
+        if len <= 3 {
+            g.bench_with_input(BenchmarkId::new("naive", len), &len, |b, _| {
+                b.iter(|| run_query(&registry, &stream, &q, PlannerOptions::naive()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! P1 — Criterion bench: sequence scan throughput vs window size, with and
+//! without window pushdown into the sequence operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_bench::{retail_stream, run_query, seq2_query};
+use sase_core::plan::PlannerOptions;
+
+fn bench(c: &mut Criterion) {
+    let (registry, stream) = retail_stream(101, 8_000, 50);
+    let mut g = c.benchmark_group("p1_window_scaling");
+    g.sample_size(10);
+    for w in [100u64, 800, 3200] {
+        let q = seq2_query(w);
+        g.bench_with_input(BenchmarkId::new("pushdown", w), &w, |b, _| {
+            b.iter(|| run_query(&registry, &stream, &q, PlannerOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("post_filter", w), &w, |b, _| {
+            b.iter(|| {
+                run_query(
+                    &registry,
+                    &stream,
+                    &q,
+                    PlannerOptions {
+                        pushdown_window: false,
+                        ..PlannerOptions::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! Shared harness code for the SASE benchmark suite.
+//!
+//! The `experiments` binary regenerates every experiment table (P1–P9 in
+//! DESIGN.md / EXPERIMENTS.md); the Criterion benches under `benches/`
+//! measure the same configurations with statistical rigor on smaller
+//! sizes. Both build on the helpers here so workloads and query shapes are
+//! identical.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use sase_core::engine::Engine;
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::functions::FunctionRegistry;
+use sase_core::lang::parse_query;
+use sase_core::plan::{Planner, PlannerOptions, SequenceStrategy};
+use sase_core::runtime::{QueryRuntime, RuntimeStats};
+use sase_rfid::generator::{generate, registry_for, SyntheticConfig};
+
+/// Result of running one query over one stream.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Input events per second.
+    pub events_per_sec: f64,
+    /// Composite events emitted.
+    pub matches: u64,
+    /// Runtime counters.
+    pub stats: RuntimeStats,
+}
+
+/// Compile `query_src` with `options` and push the whole stream through it.
+pub fn run_query(
+    registry: &SchemaRegistry,
+    events: &[Event],
+    query_src: &str,
+    options: PlannerOptions,
+) -> RunResult {
+    let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
+    let q = parse_query(query_src).expect("benchmark query parses");
+    let plan = planner.plan_with(&q, options).expect("benchmark query plans");
+    let mut rt = QueryRuntime::new("bench", plan);
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for e in events {
+        rt.process(e, &mut out).expect("benchmark stream processes");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    RunResult {
+        seconds,
+        events_per_sec: events.len() as f64 / seconds.max(1e-12),
+        matches: out.len() as u64,
+        stats: rt.stats().clone(),
+    }
+}
+
+/// Named planner configurations used across experiments.
+pub fn config_matrix() -> Vec<(&'static str, PlannerOptions)> {
+    vec![
+        ("optimized (PAIS+pushdown)", PlannerOptions::default()),
+        (
+            "no window pushdown",
+            PlannerOptions {
+                pushdown_window: false,
+                ..PlannerOptions::default()
+            },
+        ),
+        (
+            "no partitioning (flat AIS)",
+            PlannerOptions {
+                pushdown_partition: false,
+                ..PlannerOptions::default()
+            },
+        ),
+        ("naive NFA baseline", PlannerOptions::naive()),
+    ]
+}
+
+/// The two-component sequence query (Q2 shape without the inequality).
+pub fn seq2_query(window: u64) -> String {
+    format!(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+         WHERE x.TagId = z.TagId WITHIN {window}"
+    )
+}
+
+/// The Q1-shaped query (with negation) over a given window.
+pub fn q1_query(window: u64) -> String {
+    format!(
+        "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+         WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN {window} \
+         RETURN x.TagId, z.AreaId"
+    )
+}
+
+/// Q1 without the negated component, for the negation-cost comparison.
+pub fn q1_without_negation(window: u64) -> String {
+    format!(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+         WHERE x.TagId = z.TagId WITHIN {window} \
+         RETURN x.TagId, z.AreaId"
+    )
+}
+
+/// A sequence query of `len` components over types `T0..T{len-1}` with a
+/// tag equivalence predicate.
+pub fn seq_n_query(len: usize, window: u64) -> String {
+    let comps: Vec<String> = (0..len).map(|i| format!("T{i} v{i}")).collect();
+    format!(
+        "EVENT SEQ({}) WHERE [TagId] WITHIN {window}",
+        comps.join(", ")
+    )
+}
+
+/// Synthetic config whose type mix is the `len` types of [`seq_n_query`].
+pub fn seq_n_stream(len: usize, seed: u64, events: usize, partitions: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        seed,
+        events,
+        partitions,
+        type_mix: (0..len).map(|i| (format!("T{i}"), 1)).collect(),
+        max_ts_step: 1,
+        areas: 4,
+    }
+}
+
+/// Generate a retail stream and its registry.
+pub fn retail_stream(seed: u64, events: usize, partitions: usize) -> (SchemaRegistry, Vec<Event>) {
+    let cfg = SyntheticConfig::retail(seed, events, partitions);
+    let registry = registry_for(&cfg);
+    let events = generate(&registry, &cfg);
+    (registry, events)
+}
+
+/// Generate a stream from an explicit config with its registry.
+pub fn stream_for(cfg: &SyntheticConfig) -> (SchemaRegistry, Vec<Event>) {
+    let registry = registry_for(cfg);
+    let events = generate(&registry, cfg);
+    (registry, events)
+}
+
+/// Queries-per-second of parse+plan over a generated corpus (experiment P8).
+pub fn language_throughput(corpus: &[String], registry: &SchemaRegistry) -> f64 {
+    let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
+    let start = Instant::now();
+    let mut planned = 0u64;
+    for src in corpus {
+        let q = parse_query(src).expect("corpus query parses");
+        let _ = planner.plan(&q).expect("corpus query plans");
+        planned += 1;
+    }
+    planned as f64 / start.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// A deterministic corpus of syntactically diverse queries (P8).
+pub fn query_corpus(n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let w = 100 + (i % 7) * 50;
+        let q = match i % 5 {
+            0 => seq2_query(w as u64),
+            1 => q1_query(w as u64),
+            2 => format!(
+                "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) \
+                 WHERE [TagId] AND a.AreaId = {} WITHIN {w} \
+                 RETURN a.TagId, count(*), avg(AreaId) AS x{i}",
+                i % 4 + 1
+            ),
+            3 => format!(
+                "FROM s{i} EVENT ANY(SHELF_READING, COUNTER_READING) v \
+                 WHERE v.AreaId > {} RETURN v.TagId AS t INTO out{i}",
+                i % 3
+            ),
+            _ => format!(
+                "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+                 WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN {w} \
+                 RETURN y.TagId, y.AreaId, y.Timestamp"
+            ),
+        };
+        out.push(q);
+    }
+    out
+}
+
+/// Build an engine with `n` standing copies of a query, for multi-query
+/// engine measurements.
+pub fn engine_with_copies(registry: &SchemaRegistry, src: &str, n: usize) -> Engine {
+    let mut engine = Engine::new(registry.clone());
+    for i in 0..n {
+        engine.register(&format!("q{i}"), src).expect("registers");
+    }
+    engine
+}
+
+/// Format a throughput as `123.4k ev/s`.
+pub fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// True when running under `--quick` (smaller sizes for CI / tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Assert a plan option matrix produces identical match sets on a stream —
+/// used by the harness self-test before timing anything.
+pub fn assert_configs_agree(registry: &SchemaRegistry, events: &[Event], query: &str) {
+    let mut reference: Option<Vec<(u64, u64)>> = None;
+    for (name, opt) in config_matrix() {
+        let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(query).unwrap();
+        let plan = planner.plan_with(&q, opt).unwrap();
+        let mut rt = QueryRuntime::new("check", plan);
+        let out = rt.process_all(events).unwrap();
+        let mut canon: Vec<(u64, u64)> = out
+            .iter()
+            .map(|ce| {
+                (
+                    ce.events.first().map(|e| e.timestamp()).unwrap_or(0),
+                    ce.detected_at,
+                )
+            })
+            .collect();
+        canon.sort_unstable();
+        match &reference {
+            None => reference = Some(canon),
+            Some(r) => assert_eq!(r, &canon, "config `{name}` disagrees"),
+        }
+    }
+    let _ = SequenceStrategy::Ssc; // re-export sanity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_self_test() {
+        let (registry, events) = retail_stream(3, 2000, 20);
+        assert_configs_agree(&registry, &events, &q1_query(100));
+        let r = run_query(&registry, &events, &seq2_query(100), PlannerOptions::default());
+        assert!(r.matches > 0);
+        assert!(r.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn corpus_parses_and_plans() {
+        let corpus = query_corpus(50);
+        let (registry, _) = retail_stream(1, 10, 2);
+        let qps = language_throughput(&corpus, &registry);
+        assert!(qps > 0.0);
+    }
+
+    #[test]
+    fn seq_n_shapes() {
+        let cfg = seq_n_stream(4, 1, 500, 10);
+        let (registry, events) = stream_for(&cfg);
+        let r = run_query(
+            &registry,
+            &events,
+            &seq_n_query(4, 50),
+            PlannerOptions::default(),
+        );
+        assert!(r.stats.events_processed == 500);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(1_500_000.0), "1.50M");
+        assert_eq!(fmt_rate(12_300.0), "12.3k");
+        assert_eq!(fmt_rate(42.0), "42");
+    }
+}

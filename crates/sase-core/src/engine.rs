@@ -1,0 +1,449 @@
+//! The complex event processor engine.
+//!
+//! §3: "The complex event processor supports continuous long-running
+//! queries written in the SASE language over event streams. ... The event
+//! processor immediately starts executing the query over the RFID stream
+//! and returns a result to the user every time the query is satisfied.
+//! Such processing continues until the query is deleted by the user."
+//!
+//! An [`Engine`] owns the schema registry, the built-in function registry,
+//! and every registered continuous query. Events are pushed with
+//! [`Engine::process`]; emitted composite events are returned to the caller
+//! and also delivered to any registered sinks.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::{Result, SaseError};
+use crate::event::{Event, SchemaRegistry};
+use crate::functions::FunctionRegistry;
+use crate::lang::parse_query;
+use crate::output::ComplexEvent;
+use crate::plan::{Planner, PlannerOptions, QueryPlan};
+use crate::runtime::{QueryRuntime, RuntimeStats};
+use crate::time::TimeScale;
+
+/// A per-query output callback.
+pub type Sink = Box<dyn FnMut(&ComplexEvent) + Send>;
+
+struct Registered {
+    runtime: QueryRuntime,
+    /// Input stream this query listens on (`FROM`); `None` = default input.
+    from: Option<String>,
+    sinks: Vec<Sink>,
+}
+
+/// The continuous-query engine.
+pub struct Engine {
+    registry: SchemaRegistry,
+    functions: FunctionRegistry,
+    time_scale: TimeScale,
+    queries: Vec<Registered>,
+    by_name: HashMap<String, usize>,
+    /// Lazily-registered event types of derived (`INTO`) output streams.
+    derived_types: HashMap<String, crate::event::EventTypeId>,
+}
+
+/// Maximum chain of query-to-query derivations one input event may cause;
+/// exceeding it means the INTO graph is cyclic.
+const MAX_DERIVATION_DEPTH: usize = 16;
+
+impl Engine {
+    /// Create an engine over a schema registry, with the standard pure
+    /// built-in functions pre-registered.
+    pub fn new(registry: SchemaRegistry) -> Self {
+        Self::with_functions(registry, FunctionRegistry::with_stdlib())
+    }
+
+    /// Create an engine with an explicit function registry.
+    pub fn with_functions(registry: SchemaRegistry, functions: FunctionRegistry) -> Self {
+        Engine {
+            registry,
+            functions,
+            time_scale: TimeScale::default(),
+            queries: Vec::new(),
+            by_name: HashMap::new(),
+            derived_types: HashMap::new(),
+        }
+    }
+
+    /// Set the logical time scale used for WITHIN conversion in queries
+    /// registered afterwards.
+    pub fn set_time_scale(&mut self, scale: TimeScale) {
+        self.time_scale = scale;
+    }
+
+    /// The schema registry (shared handle).
+    pub fn schemas(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    /// The function registry (shared handle); register host functions here
+    /// before registering queries that call them.
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.functions
+    }
+
+    /// Register a continuous query from source text with default options.
+    pub fn register(&mut self, name: &str, src: &str) -> Result<()> {
+        self.register_with(name, src, PlannerOptions::default())
+    }
+
+    /// Register a continuous query with explicit planner options.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        options: PlannerOptions,
+    ) -> Result<()> {
+        if self.by_name.contains_key(name) {
+            return Err(SaseError::engine(format!(
+                "a query named `{name}` is already registered"
+            )));
+        }
+        let query = parse_query(src)?;
+        let planner =
+            Planner::new(self.registry.clone(), self.functions.clone())
+                .with_time_scale(self.time_scale);
+        let plan = planner.plan_with(&query, options)?;
+        self.install(name, plan)
+    }
+
+    /// Register a pre-compiled plan under a name.
+    pub fn install(&mut self, name: &str, plan: QueryPlan) -> Result<()> {
+        if self.by_name.contains_key(name) {
+            return Err(SaseError::engine(format!(
+                "a query named `{name}` is already registered"
+            )));
+        }
+        let from = plan.query.from.clone();
+        let runtime = QueryRuntime::new(name, plan);
+        self.by_name.insert(name.to_string(), self.queries.len());
+        self.queries.push(Registered {
+            runtime,
+            from,
+            sinks: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Delete a query. Returns true if it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let Some(idx) = self.by_name.remove(name) else {
+            return false;
+        };
+        self.queries.remove(idx);
+        // Reindex the queries after the removed one.
+        for v in self.by_name.values_mut() {
+            if *v > idx {
+                *v -= 1;
+            }
+        }
+        true
+    }
+
+    /// Attach an output sink to a query.
+    pub fn add_sink(&mut self, name: &str, sink: Sink) -> Result<()> {
+        let idx = self.index_of(name)?;
+        self.queries[idx].sinks.push(sink);
+        Ok(())
+    }
+
+    /// Names of registered queries, in registration order.
+    pub fn query_names(&self) -> Vec<String> {
+        let mut names: Vec<(usize, &String)> =
+            self.by_name.iter().map(|(n, i)| (*i, n)).collect();
+        names.sort_unstable_by_key(|(i, _)| *i);
+        names.into_iter().map(|(_, n)| n.clone()).collect()
+    }
+
+    /// Runtime counters of a query.
+    pub fn stats(&self, name: &str) -> Result<RuntimeStats> {
+        Ok(self.queries[self.index_of(name)?].runtime.stats().clone())
+    }
+
+    /// EXPLAIN output of a query's plan.
+    pub fn explain(&self, name: &str) -> Result<String> {
+        Ok(self.queries[self.index_of(name)?].runtime.plan().explain())
+    }
+
+    /// The source text (canonical form) of a query, for the "Present
+    /// Queries" UI window.
+    pub fn query_text(&self, name: &str) -> Result<String> {
+        Ok(self.queries[self.index_of(name)?]
+            .runtime
+            .plan()
+            .query
+            .to_string())
+    }
+
+    /// Process one event on the default input stream.
+    pub fn process(&mut self, event: &Event) -> Result<Vec<ComplexEvent>> {
+        self.process_on(None, event)
+    }
+
+    /// Process one event on a named stream. Queries receive it when their
+    /// FROM clause matches (absent FROM = the default stream).
+    ///
+    /// Composite events whose query declared `RETURN ... INTO s` are
+    /// re-ingested as first-class events on stream `s` (§2.1.1: the RETURN
+    /// clause "can also name the output stream and the type of events in
+    /// the output"), so queries compose. The derived event type is the
+    /// stream name; if it is not already registered, a schema is derived
+    /// from the first emission's column types. Cyclic INTO graphs are cut
+    /// off after [`MAX_DERIVATION_DEPTH`] hops with an error.
+    pub fn process_on(
+        &mut self,
+        stream: Option<&str>,
+        event: &Event,
+    ) -> Result<Vec<ComplexEvent>> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<(Option<String>, Event, usize)> = VecDeque::new();
+        queue.push_back((stream.map(str::to_string), event.clone(), 0));
+        while let Some((stream, event, depth)) = queue.pop_front() {
+            if depth > MAX_DERIVATION_DEPTH {
+                return Err(SaseError::engine(format!(
+                    "derived-stream depth exceeded {MAX_DERIVATION_DEPTH} hops; \
+                     the INTO graph is probably cyclic"
+                )));
+            }
+            let round_start = out.len();
+            for q in &mut self.queries {
+                let matches_stream = match (&q.from, stream.as_deref()) {
+                    (None, None) => true,
+                    (Some(f), Some(s)) => f == s,
+                    _ => false,
+                };
+                if !matches_stream {
+                    continue;
+                }
+                let start = out.len();
+                q.runtime.process(&event, &mut out)?;
+                for ce in &out[start..] {
+                    for sink in &mut q.sinks {
+                        sink(ce);
+                    }
+                }
+            }
+            // Re-ingest this round's INTO outputs. Collect first: deriving
+            // needs `&mut self` while `out` is still being extended.
+            let derived: Vec<ComplexEvent> = out[round_start..]
+                .iter()
+                .filter(|ce| ce.into.is_some())
+                .cloned()
+                .collect();
+            for ce in &derived {
+                let (derived_stream, derived_event) = self.derive_event(ce)?;
+                queue.push_back((Some(derived_stream), derived_event, depth + 1));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Turn an `INTO` composite event into a first-class event on its
+    /// output stream, registering the stream's event type on first use.
+    fn derive_event(&mut self, ce: &ComplexEvent) -> Result<(String, Event)> {
+        let stream = ce.into.as_ref().expect("caller checked").to_string();
+        let key = stream.to_ascii_lowercase();
+        let type_id = match self.derived_types.get(&key) {
+            Some(id) => *id,
+            None => {
+                let id = match self.registry.type_id(&stream) {
+                    // The user pre-registered the output type: use it.
+                    Some(id) => id,
+                    // Derive the schema from this first emission.
+                    None => {
+                        let attrs: Vec<(&str, crate::value::ValueType)> = ce
+                            .values
+                            .iter()
+                            .map(|(n, v)| (n.as_ref(), v.value_type()))
+                            .collect();
+                        self.registry.register(&stream, &attrs)?
+                    }
+                };
+                self.derived_types.insert(key, id);
+                id
+            }
+        };
+        let event = self.registry.build_event_by_id(
+            type_id,
+            ce.detected_at,
+            ce.values.iter().map(|(_, v)| v.clone()).collect(),
+        )?;
+        Ok((stream, event))
+    }
+
+    /// Process a batch of events on the default stream.
+    pub fn process_all(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        let mut out = Vec::new();
+        for e in events {
+            out.extend(self.process(e)?);
+        }
+        Ok(out)
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("queries", &self.query_names())
+            .field("schemas", &self.registry.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::retail_registry;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn ev(engine: &Engine, ty: &str, ts: u64, tag: i64, area: i64) -> Event {
+        engine
+            .schemas()
+            .build_event(
+                ty,
+                ts,
+                vec![Value::Int(tag), Value::str("soap"), Value::Int(area)],
+            )
+            .unwrap()
+    }
+
+    const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+                      WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 1000 \
+                      RETURN x.TagId, z.AreaId";
+
+    #[test]
+    fn register_process_unregister() {
+        let mut engine = Engine::new(retail_registry());
+        engine.register("shoplifting", Q1).unwrap();
+        assert_eq!(engine.query_names(), vec!["shoplifting"]);
+        assert!(engine.register("shoplifting", Q1).is_err());
+
+        let events = vec![
+            ev(&engine, "SHELF_READING", 1, 7, 1),
+            ev(&engine, "EXIT_READING", 5, 7, 4),
+        ];
+        let out = engine.process_all(&events).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query.as_ref(), "shoplifting");
+
+        assert!(engine.unregister("shoplifting"));
+        assert!(!engine.unregister("shoplifting"));
+        let out = engine
+            .process(&ev(&engine, "EXIT_READING", 6, 7, 4))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sinks_receive_outputs() {
+        let mut engine = Engine::new(retail_registry());
+        engine.register("q", Q1).unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        engine
+            .add_sink(
+                "q",
+                Box::new(move |_ce| {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        let events = vec![
+            ev(&engine, "SHELF_READING", 1, 7, 1),
+            ev(&engine, "EXIT_READING", 5, 7, 4),
+        ];
+        engine.process_all(&events).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stream_routing() {
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .register("on_named", "FROM retail EVENT SHELF_READING x RETURN x.TagId")
+            .unwrap();
+        engine
+            .register("on_default", "EVENT SHELF_READING x RETURN x.TagId")
+            .unwrap();
+        let e = ev(&engine, "SHELF_READING", 1, 7, 1);
+        let out = engine.process_on(Some("retail"), &e).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query.as_ref(), "on_named");
+        let out = engine.process(&e).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query.as_ref(), "on_default");
+        let out = engine.process_on(Some("warehouse"), &e).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_queries_share_stream() {
+        let mut engine = Engine::new(retail_registry());
+        engine.register("q1", Q1).unwrap();
+        engine
+            .register("all_exits", "EVENT EXIT_READING z RETURN z.TagId")
+            .unwrap();
+        let events = vec![
+            ev(&engine, "SHELF_READING", 1, 7, 1),
+            ev(&engine, "EXIT_READING", 5, 7, 4),
+        ];
+        let out = engine.process_all(&events).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stats_and_explain_and_text() {
+        let mut engine = Engine::new(retail_registry());
+        engine.register("q", Q1).unwrap();
+        engine
+            .process(&ev(&engine, "SHELF_READING", 1, 7, 1))
+            .unwrap();
+        let stats = engine.stats("q").unwrap();
+        assert_eq!(stats.events_processed, 1);
+        assert!(engine.explain("q").unwrap().contains("PAIS"));
+        assert!(engine.query_text("q").unwrap().contains("SEQ("));
+        assert!(engine.stats("missing").is_err());
+    }
+
+    #[test]
+    fn unregister_reindexes() {
+        let mut engine = Engine::new(retail_registry());
+        engine.register("a", "EVENT SHELF_READING x").unwrap();
+        engine.register("b", "EVENT EXIT_READING x").unwrap();
+        engine.register("c", "EVENT COUNTER_READING x").unwrap();
+        engine.unregister("a");
+        assert_eq!(engine.query_names(), vec!["b", "c"]);
+        // "c" must still be reachable after reindexing.
+        assert!(engine.stats("c").is_ok());
+        let e = ev(&engine, "COUNTER_READING", 1, 7, 3);
+        let out = engine.process(&e).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn host_function_callable_from_return() {
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .functions()
+            .register_fn("_describe", Some(1), |args| {
+                Ok(Value::str(format!("area-{}", args[0])))
+            });
+        engine
+            .register("q", "EVENT EXIT_READING z RETURN _describe(z.AreaId) AS d")
+            .unwrap();
+        let out = engine
+            .process(&ev(&engine, "EXIT_READING", 1, 7, 4))
+            .unwrap();
+        assert_eq!(out[0].value("d"), Some(&Value::str("area-4")));
+    }
+}

@@ -1,0 +1,151 @@
+//! Error types for the SASE core crate.
+//!
+//! All fallible public APIs in this crate return [`SaseError`]. The variants
+//! are grouped by pipeline stage: lexing/parsing, semantic analysis and
+//! planning, and runtime evaluation.
+
+use std::fmt;
+
+/// Position of a token in query source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl SourcePos {
+    /// Create a source position.
+    pub fn new(line: u32, column: u32) -> Self {
+        SourcePos { line, column }
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The error type shared by every fallible operation in `sase-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaseError {
+    /// The lexer encountered a character or literal it cannot tokenize.
+    Lex {
+        /// Where the problem starts.
+        pos: SourcePos,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parser encountered an unexpected token.
+    Parse {
+        /// Where the problem starts.
+        pos: SourcePos,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query is syntactically valid but semantically ill-formed
+    /// (unknown variable, head/tail negation, type mismatch in a predicate,
+    /// unknown event type, ...).
+    Semantic(String),
+    /// A plan could not be produced for the query.
+    Plan(String),
+    /// A runtime evaluation failure (type error discovered at run time,
+    /// missing attribute, built-in function failure, ...).
+    Eval(String),
+    /// An event did not conform to its declared schema.
+    Schema(String),
+    /// A built-in (`_`-prefixed) function reported an error.
+    Function {
+        /// The function name, including the leading underscore.
+        name: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// An engine-level failure (duplicate query name, unknown query id, ...).
+    Engine(String),
+}
+
+impl SaseError {
+    /// Shorthand constructor for semantic errors.
+    pub fn semantic(msg: impl Into<String>) -> Self {
+        SaseError::Semantic(msg.into())
+    }
+
+    /// Shorthand constructor for evaluation errors.
+    pub fn eval(msg: impl Into<String>) -> Self {
+        SaseError::Eval(msg.into())
+    }
+
+    /// Shorthand constructor for schema errors.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        SaseError::Schema(msg.into())
+    }
+
+    /// Shorthand constructor for plan errors.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        SaseError::Plan(msg.into())
+    }
+
+    /// Shorthand constructor for engine errors.
+    pub fn engine(msg: impl Into<String>) -> Self {
+        SaseError::Engine(msg.into())
+    }
+}
+
+impl fmt::Display for SaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaseError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            SaseError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            SaseError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SaseError::Plan(m) => write!(f, "plan error: {m}"),
+            SaseError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SaseError::Schema(m) => write!(f, "schema error: {m}"),
+            SaseError::Function { name, message } => {
+                write!(f, "built-in function {name} failed: {message}")
+            }
+            SaseError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SaseError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SaseError::Parse {
+            pos: SourcePos::new(3, 14),
+            message: "expected EVENT".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:14: expected EVENT");
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(SaseError::semantic("x").to_string().contains("semantic"));
+        assert!(SaseError::eval("x").to_string().contains("evaluation"));
+        assert!(SaseError::schema("x").to_string().contains("schema"));
+        assert!(SaseError::plan("x").to_string().contains("plan"));
+        assert!(SaseError::engine("x").to_string().contains("engine"));
+        let f = SaseError::Function {
+            name: "_retrieveLocation".into(),
+            message: "no such area".into(),
+        };
+        assert!(f.to_string().contains("_retrieveLocation"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SaseError::semantic("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

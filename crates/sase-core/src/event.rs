@@ -1,0 +1,441 @@
+//! Event model: event types, schemas, and events.
+//!
+//! The Event Generation Layer (§3, component 5) "generates events according
+//! to a pre-defined schema". A [`SchemaRegistry`] holds those pre-defined
+//! schemas; every [`Event`] is an instance of exactly one registered type
+//! with a timestamp in logical time and a vector of typed attributes.
+//!
+//! Attribute names are matched case-insensitively (the paper itself writes
+//! `TagId` in Q1 and `id` / `area_id` in Q2), and every event exposes the
+//! pseudo-attribute `timestamp` (also reachable as `ts`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, SaseError};
+use crate::time::Timestamp;
+use crate::value::{Value, ValueType};
+
+/// Interned identifier of an event type within a [`SchemaRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventTypeId(pub u32);
+
+impl fmt::Display for EventTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}", self.0)
+    }
+}
+
+/// Schema of one event type: its name and ordered, typed attributes.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Type name as registered (e.g. `SHELF_READING`).
+    pub name: Arc<str>,
+    /// Ordered attribute declarations.
+    pub attributes: Vec<AttributeDecl>,
+    /// Lowercased attribute name -> position, for case-insensitive lookup.
+    index: HashMap<String, usize>,
+}
+
+/// A single attribute declaration inside a [`Schema`].
+#[derive(Debug, Clone)]
+pub struct AttributeDecl {
+    /// Attribute name as registered (e.g. `TagId`).
+    pub name: Arc<str>,
+    /// Declared value type.
+    pub ty: ValueType,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// Fails if two attributes collide case-insensitively or an attribute
+    /// shadows the `timestamp`/`ts` pseudo-attributes.
+    pub fn new(name: impl AsRef<str>, attrs: &[(&str, ValueType)]) -> Result<Schema> {
+        let mut index = HashMap::with_capacity(attrs.len());
+        let mut attributes = Vec::with_capacity(attrs.len());
+        for (pos, (attr, ty)) in attrs.iter().enumerate() {
+            let key = attr.to_ascii_lowercase();
+            if key == "timestamp" || key == "ts" {
+                return Err(SaseError::schema(format!(
+                    "attribute `{attr}` shadows the built-in timestamp pseudo-attribute"
+                )));
+            }
+            if index.insert(key, pos).is_some() {
+                return Err(SaseError::schema(format!(
+                    "duplicate attribute `{attr}` in schema `{}`",
+                    name.as_ref()
+                )));
+            }
+            attributes.push(AttributeDecl {
+                name: Arc::from(*attr),
+                ty: *ty,
+            });
+        }
+        Ok(Schema {
+            name: Arc::from(name.as_ref()),
+            attributes,
+            index,
+        })
+    }
+
+    /// Number of declared attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Case-insensitive position lookup.
+    pub fn attr_position(&self, attr: &str) -> Option<usize> {
+        self.index.get(&attr.to_ascii_lowercase()).copied()
+    }
+
+    /// Declared type of an attribute.
+    pub fn attr_type(&self, attr: &str) -> Option<ValueType> {
+        self.attr_position(attr).map(|i| self.attributes[i].ty)
+    }
+}
+
+/// Registry of event schemas shared by the parser, planner, engine, and the
+/// event-generation layer. Cloning is cheap (it is an `Arc` handle) and all
+/// methods take `&self`; interior mutability makes it usable concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaRegistry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    schemas: Vec<Arc<Schema>>,
+    by_name: HashMap<String, EventTypeId>,
+}
+
+impl SchemaRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new event type. Type names are case-insensitive.
+    pub fn register(&self, name: &str, attrs: &[(&str, ValueType)]) -> Result<EventTypeId> {
+        let schema = Schema::new(name, attrs)?;
+        let mut inner = self.inner.write();
+        let key = name.to_ascii_lowercase();
+        if inner.by_name.contains_key(&key) {
+            return Err(SaseError::schema(format!(
+                "event type `{name}` is already registered"
+            )));
+        }
+        let id = EventTypeId(inner.schemas.len() as u32);
+        inner.schemas.push(Arc::new(schema));
+        inner.by_name.insert(key, id);
+        Ok(id)
+    }
+
+    /// Look up a type id by name (case-insensitive).
+    pub fn type_id(&self, name: &str) -> Option<EventTypeId> {
+        self.inner
+            .read()
+            .by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+    }
+
+    /// Fetch the schema for a type id.
+    pub fn schema(&self, id: EventTypeId) -> Option<Arc<Schema>> {
+        self.inner.read().schemas.get(id.0 as usize).cloned()
+    }
+
+    /// Fetch a schema by name.
+    pub fn schema_by_name(&self, name: &str) -> Option<Arc<Schema>> {
+        let id = self.type_id(name)?;
+        self.schema(id)
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.inner.read().schemas.len()
+    }
+
+    /// True when no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of all registered types, in registration order.
+    pub fn type_names(&self) -> Vec<Arc<str>> {
+        self.inner
+            .read()
+            .schemas
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Create a validated event of the named type.
+    pub fn build_event(
+        &self,
+        type_name: &str,
+        timestamp: Timestamp,
+        attrs: Vec<Value>,
+    ) -> Result<Event> {
+        let id = self.type_id(type_name).ok_or_else(|| {
+            SaseError::schema(format!("unknown event type `{type_name}`"))
+        })?;
+        self.build_event_by_id(id, timestamp, attrs)
+    }
+
+    /// Create a validated event of the identified type.
+    pub fn build_event_by_id(
+        &self,
+        id: EventTypeId,
+        timestamp: Timestamp,
+        attrs: Vec<Value>,
+    ) -> Result<Event> {
+        let schema = self
+            .schema(id)
+            .ok_or_else(|| SaseError::schema(format!("unknown event type id {id}")))?;
+        if attrs.len() != schema.arity() {
+            return Err(SaseError::schema(format!(
+                "event of type `{}` expects {} attributes, got {}",
+                schema.name,
+                schema.arity(),
+                attrs.len()
+            )));
+        }
+        for (decl, v) in schema.attributes.iter().zip(&attrs) {
+            // Ints are accepted where floats are declared (numeric widening),
+            // mirroring the coercion in predicate evaluation.
+            let ok = v.value_type() == decl.ty
+                || (decl.ty == ValueType::Float && v.value_type() == ValueType::Int);
+            if !ok {
+                return Err(SaseError::schema(format!(
+                    "attribute `{}` of `{}` expects {}, got {}",
+                    decl.name,
+                    schema.name,
+                    decl.ty,
+                    v.value_type()
+                )));
+            }
+        }
+        Ok(Event {
+            data: Arc::new(EventData {
+                type_id: id,
+                schema,
+                timestamp,
+                attrs: attrs.into_boxed_slice(),
+            }),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct EventData {
+    type_id: EventTypeId,
+    schema: Arc<Schema>,
+    timestamp: Timestamp,
+    attrs: Box<[Value]>,
+}
+
+/// A single event instance.
+///
+/// `Event` is a cheap handle (`Arc` internally): sequence construction
+/// clones events into composite events freely without copying payloads.
+#[derive(Debug, Clone)]
+pub struct Event {
+    data: Arc<EventData>,
+}
+
+impl Event {
+    /// The event's type id.
+    pub fn type_id(&self) -> EventTypeId {
+        self.data.type_id
+    }
+
+    /// The event's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.data.schema
+    }
+
+    /// The event type name.
+    pub fn type_name(&self) -> &str {
+        &self.data.schema.name
+    }
+
+    /// The event timestamp in logical time units.
+    pub fn timestamp(&self) -> Timestamp {
+        self.data.timestamp
+    }
+
+    /// Attribute values in schema order.
+    pub fn attrs(&self) -> &[Value] {
+        &self.data.attrs
+    }
+
+    /// Attribute lookup by name (case-insensitive). `timestamp` / `ts`
+    /// resolve to the event timestamp as an integer.
+    pub fn attr(&self, name: &str) -> Option<Value> {
+        if name.eq_ignore_ascii_case("timestamp") || name.eq_ignore_ascii_case("ts") {
+            return Some(Value::Int(self.data.timestamp as i64));
+        }
+        self.data
+            .schema
+            .attr_position(name)
+            .map(|i| self.data.attrs[i].clone())
+    }
+
+    /// Attribute lookup by position (no pseudo-attributes).
+    pub fn attr_at(&self, pos: usize) -> Option<&Value> {
+        self.data.attrs.get(pos)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(", self.type_name(), self.timestamp())?;
+        for (i, (decl, v)) in self
+            .data
+            .schema
+            .attributes
+            .iter()
+            .zip(self.data.attrs.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", decl.name, v)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Registers the three reading types of the paper's retail scenario
+/// (`SHELF_READING`, `COUNTER_READING`, `EXIT_READING`) on a fresh registry.
+///
+/// Each carries `TagId` (int), `ProductName` (string), and `AreaId` (int) so
+/// Q1 and Q2 from the paper run unmodified.
+pub fn retail_registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    for ty in ["SHELF_READING", "COUNTER_READING", "EXIT_READING"] {
+        reg.register(
+            ty,
+            &[
+                ("TagId", ValueType::Int),
+                ("ProductName", ValueType::Str),
+                ("AreaId", ValueType::Int),
+            ],
+        )
+        .expect("fresh registry cannot collide");
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> SchemaRegistry {
+        retail_registry()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = reg();
+        assert_eq!(r.len(), 3);
+        assert!(r.type_id("shelf_reading").is_some());
+        assert!(r.type_id("SHELF_READING").is_some());
+        assert!(r.type_id("NOPE").is_none());
+        let s = r.schema_by_name("EXIT_READING").unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_type("tagid"), Some(ValueType::Int));
+        assert_eq!(s.attr_type("ProductName"), Some(ValueType::Str));
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let r = reg();
+        assert!(r.register("shelf_reading", &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = SchemaRegistry::new();
+        let err = r.register("T", &[("a", ValueType::Int), ("A", ValueType::Int)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn timestamp_shadowing_rejected() {
+        let r = SchemaRegistry::new();
+        assert!(r.register("T", &[("Timestamp", ValueType::Int)]).is_err());
+        assert!(r.register("T", &[("ts", ValueType::Int)]).is_err());
+    }
+
+    #[test]
+    fn event_construction_validates_arity_and_types() {
+        let r = reg();
+        assert!(r
+            .build_event("SHELF_READING", 5, vec![Value::Int(1)])
+            .is_err());
+        assert!(r
+            .build_event(
+                "SHELF_READING",
+                5,
+                vec![Value::str("x"), Value::str("y"), Value::Int(1)]
+            )
+            .is_err());
+        let e = r
+            .build_event(
+                "SHELF_READING",
+                5,
+                vec![Value::Int(7), Value::str("milk"), Value::Int(2)],
+            )
+            .unwrap();
+        assert_eq!(e.timestamp(), 5);
+        assert_eq!(e.attr("TagId").unwrap(), Value::Int(7));
+        assert_eq!(e.attr("tagid").unwrap(), Value::Int(7));
+        assert_eq!(e.attr("Timestamp").unwrap(), Value::Int(5));
+        assert!(e.attr("nope").is_none());
+    }
+
+    #[test]
+    fn int_widens_to_declared_float() {
+        let r = SchemaRegistry::new();
+        r.register("P", &[("price", ValueType::Float)]).unwrap();
+        let e = r.build_event("P", 1, vec![Value::Int(3)]).unwrap();
+        assert_eq!(e.attr("price").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = reg();
+        let e = r
+            .build_event(
+                "EXIT_READING",
+                9,
+                vec![Value::Int(1), Value::str("soap"), Value::Int(4)],
+            )
+            .unwrap();
+        let s = e.to_string();
+        assert!(s.starts_with("EXIT_READING@9("));
+        assert!(s.contains("TagId=1"));
+        assert!(s.contains("ProductName='soap'"));
+    }
+
+    #[test]
+    fn events_are_cheap_handles() {
+        let r = reg();
+        let e = r
+            .build_event(
+                "EXIT_READING",
+                9,
+                vec![Value::Int(1), Value::str("soap"), Value::Int(4)],
+            )
+            .unwrap();
+        let e2 = e.clone();
+        assert!(Arc::ptr_eq(&e.data, &e2.data));
+    }
+}

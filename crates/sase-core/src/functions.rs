@@ -1,0 +1,268 @@
+//! Built-in (`_`-prefixed) functions.
+//!
+//! §2.1.1: "our language provides a set of built-in functions (all starting
+//! with `_`) for common database operations and can be extended to
+//! accommodate other user functions." The event processor itself is
+//! database-agnostic: functions are host callbacks registered on a
+//! [`FunctionRegistry`]. The `sase-system` crate registers the paper's
+//! `_retrieveLocation` / `_updateLocation` / `_updateContainment` against
+//! the event database; tests register pure closures.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, SaseError};
+use crate::value::Value;
+
+/// A host function callable from WHERE/RETURN clauses.
+///
+/// Implementations may have side effects (the paper's `_updateLocation`
+/// performs a database update); the engine invokes RETURN-clause functions
+/// exactly once per emitted composite event.
+pub trait BuiltinFunction: Send + Sync {
+    /// The function name, including the leading underscore.
+    fn name(&self) -> &str;
+    /// Invoke the function.
+    fn call(&self, args: &[Value]) -> Result<Value>;
+    /// Expected argument count, if fixed (used for compile-time checking).
+    fn arity(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`BuiltinFunction`] built from a closure.
+pub struct FnBuiltin<F> {
+    name: String,
+    arity: Option<usize>,
+    f: F,
+}
+
+impl<F> BuiltinFunction for FnBuiltin<F>
+where
+    F: Fn(&[Value]) -> Result<Value> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        (self.f)(args)
+    }
+
+    fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+}
+
+/// Registry mapping function names to implementations.
+///
+/// Cloning is cheap (`Arc` handle); the engine and all compiled plans share
+/// one registry, so functions registered after a query is compiled are still
+/// visible to later compilations but not to already-compiled plans (plans
+/// resolve functions at compile time).
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    inner: Arc<RwLock<HashMap<String, Arc<dyn BuiltinFunction>>>>,
+}
+
+impl FunctionRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a function object. Replaces any previous function with the
+    /// same name and returns the previous one, mirroring map semantics.
+    pub fn register(&self, f: Arc<dyn BuiltinFunction>) -> Option<Arc<dyn BuiltinFunction>> {
+        self.inner.write().insert(f.name().to_string(), f)
+    }
+
+    /// Register a closure under a name. `arity` of `None` means variadic.
+    pub fn register_fn<F>(&self, name: &str, arity: Option<usize>, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnBuiltin {
+            name: name.to_string(),
+            arity,
+            f,
+        }));
+    }
+
+    /// Resolve a function by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn BuiltinFunction>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Resolve a function, producing a semantic error naming it on failure.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn BuiltinFunction>> {
+        self.get(name).ok_or_else(|| {
+            SaseError::semantic(format!("unknown built-in function `{name}`"))
+        })
+    }
+
+    /// Names of all registered functions, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Create a registry pre-loaded with side-effect-free utility functions:
+    /// `_abs`, `_min`, `_max`, `_concat`, `_len`.
+    pub fn with_stdlib() -> Self {
+        let reg = Self::new();
+        reg.register_fn("_abs", Some(1), |args| match &args[0] {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Float(x) => Ok(Value::Float(x.abs())),
+            other => Err(SaseError::Function {
+                name: "_abs".into(),
+                message: format!("expects a number, got {}", other.value_type()),
+            }),
+        });
+        reg.register_fn("_min", None, |args| {
+            fold_extremum("_min", args, |o| o == std::cmp::Ordering::Less)
+        });
+        reg.register_fn("_max", None, |args| {
+            fold_extremum("_max", args, |o| o == std::cmp::Ordering::Greater)
+        });
+        reg.register_fn("_concat", None, |args| {
+            let mut s = String::new();
+            for a in args {
+                match a {
+                    Value::Str(t) => s.push_str(t),
+                    other => s.push_str(&other.to_string()),
+                }
+            }
+            Ok(Value::str(s))
+        });
+        reg.register_fn("_len", Some(1), |args| match &args[0] {
+            Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+            other => Err(SaseError::Function {
+                name: "_len".into(),
+                message: format!("expects a string, got {}", other.value_type()),
+            }),
+        });
+        reg
+    }
+}
+
+fn fold_extremum(
+    name: &str,
+    args: &[Value],
+    keep: impl Fn(std::cmp::Ordering) -> bool,
+) -> Result<Value> {
+    let mut iter = args.iter();
+    let mut best = iter
+        .next()
+        .ok_or_else(|| SaseError::Function {
+            name: name.into(),
+            message: "expects at least one argument".into(),
+        })?
+        .clone();
+    for v in iter {
+        match v.sase_cmp(&best) {
+            Some(o) if keep(o) => best = v.clone(),
+            Some(_) => {}
+            None => {
+                return Err(SaseError::Function {
+                    name: name.into(),
+                    message: format!(
+                        "cannot compare {} with {}",
+                        v.value_type(),
+                        best.value_type()
+                    ),
+                })
+            }
+        }
+    }
+    Ok(best)
+}
+
+impl fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let reg = FunctionRegistry::new();
+        reg.register_fn("_double", Some(1), |args| {
+            args[0].mul(&Value::Int(2))
+        });
+        let f = reg.resolve("_double").unwrap();
+        assert_eq!(f.call(&[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert_eq!(f.arity(), Some(1));
+        assert!(reg.resolve("_missing").is_err());
+    }
+
+    #[test]
+    fn replacement_returns_previous() {
+        let reg = FunctionRegistry::new();
+        reg.register_fn("_f", None, |_| Ok(Value::Int(1)));
+        let prev = reg.inner.read().get("_f").cloned();
+        assert!(prev.is_some());
+        reg.register_fn("_f", None, |_| Ok(Value::Int(2)));
+        assert_eq!(reg.get("_f").unwrap().call(&[]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn stdlib_functions() {
+        let reg = FunctionRegistry::with_stdlib();
+        assert_eq!(
+            reg.resolve("_abs").unwrap().call(&[Value::Int(-4)]).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            reg.resolve("_min")
+                .unwrap()
+                .call(&[Value::Int(3), Value::Float(1.5), Value::Int(2)])
+                .unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            reg.resolve("_max")
+                .unwrap()
+                .call(&[Value::Int(3), Value::Int(9)])
+                .unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            reg.resolve("_concat")
+                .unwrap()
+                .call(&[Value::str("a"), Value::Int(1)])
+                .unwrap(),
+            Value::str("a1")
+        );
+        assert_eq!(
+            reg.resolve("_len").unwrap().call(&[Value::str("abc")]).unwrap(),
+            Value::Int(3)
+        );
+        assert!(reg.resolve("_min").unwrap().call(&[]).is_err());
+        assert!(reg
+            .resolve("_min")
+            .unwrap()
+            .call(&[Value::Int(1), Value::str("x")])
+            .is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let reg = FunctionRegistry::with_stdlib();
+        let names = reg.names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.contains(&"_abs".to_string()));
+    }
+}

@@ -1,0 +1,611 @@
+//! Abstract syntax tree for SASE queries, with a canonical pretty-printer.
+//!
+//! `Display` on [`Query`] produces a canonical form that re-parses to an
+//! equal AST (round-trip property-tested in the parser module).
+
+use std::fmt;
+
+use crate::time::WindowSpec;
+use crate::value::Value;
+
+/// A complete SASE query:
+/// `[FROM s] EVENT p [WHERE e] [WITHIN w] [RETURN items [INTO name]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Optional input stream name (`FROM`); `None` means the default input.
+    pub from: Option<String>,
+    /// The event pattern (`EVENT`).
+    pub pattern: Pattern,
+    /// Optional qualification (`WHERE`).
+    pub where_clause: Option<Expr>,
+    /// Optional sliding window (`WITHIN`).
+    pub within: Option<WindowSpec>,
+    /// Optional output transformation (`RETURN`).
+    pub return_clause: Option<ReturnClause>,
+}
+
+/// An event pattern. A bare `TYPE var` is a one-element sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// The ordered components of the `SEQ(...)` construct.
+    pub elements: Vec<PatternElem>,
+}
+
+impl Pattern {
+    /// Variables of the positive (non-negated) components, in order.
+    pub fn positive_vars(&self) -> impl Iterator<Item = &str> {
+        self.elements
+            .iter()
+            .filter(|e| !e.negated)
+            .map(|e| e.variable.as_str())
+    }
+
+    /// Number of positive components.
+    pub fn positive_len(&self) -> usize {
+        self.elements.iter().filter(|e| !e.negated).count()
+    }
+
+    /// Number of negated components.
+    pub fn negated_len(&self) -> usize {
+        self.elements.iter().filter(|e| e.negated).count()
+    }
+
+    /// Find the element binding `var`.
+    pub fn element_for(&self, var: &str) -> Option<&PatternElem> {
+        self.elements.iter().find(|e| e.variable == var)
+    }
+}
+
+/// One component of a `SEQ` pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternElem {
+    /// True for `!(TYPE var)` — the non-occurrence of the event.
+    pub negated: bool,
+    /// Candidate event types. A plain component has one; `ANY(T1, T2) v`
+    /// has several.
+    pub event_types: Vec<String>,
+    /// The variable bound to the event for use in WHERE/RETURN.
+    pub variable: String,
+}
+
+impl PatternElem {
+    /// A plain positive component.
+    pub fn positive(ty: impl Into<String>, var: impl Into<String>) -> Self {
+        PatternElem {
+            negated: false,
+            event_types: vec![ty.into()],
+            variable: var.into(),
+        }
+    }
+
+    /// A negated component.
+    pub fn negated(ty: impl Into<String>, var: impl Into<String>) -> Self {
+        PatternElem {
+            negated: true,
+            event_types: vec![ty.into()],
+            variable: var.into(),
+        }
+    }
+}
+
+/// Binary operators in WHERE/RETURN expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical conjunction (`AND`, `∧`).
+    And,
+    /// Logical disjunction (`OR`, `∨`).
+    Or,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// Canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+
+    /// True for comparison operators (result is boolean).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Binding power for the pretty-printer / parser (higher binds tighter).
+    pub fn precedence(&self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical negation (`NOT`, `¬`).
+    Not,
+    /// Arithmetic negation (`-`).
+    Neg,
+}
+
+/// A reference to `var.attr`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrRef {
+    /// The pattern variable.
+    pub var: String,
+    /// The attribute name.
+    pub attr: String,
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.attr)
+    }
+}
+
+/// Expressions in WHERE and RETURN clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// `var.attr`
+    Attr(AttrRef),
+    /// `[attr]` — the equivalence shorthand: all positive pattern events
+    /// agree on `attr`. This is what drives PAIS partitioning.
+    Equivalence(String),
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Built-in function call `_name(args...)`.
+    Call {
+        /// Function name including the leading underscore.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor for `var.attr`.
+    pub fn attr(var: impl Into<String>, attr: impl Into<String>) -> Expr {
+        Expr::Attr(AttrRef {
+            var: var.into(),
+            attr: attr.into(),
+        })
+    }
+
+    /// Collect every variable referenced by this expression.
+    pub fn referenced_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) | Expr::Equivalence(_) => {}
+            Expr::Attr(a) => {
+                if !out.iter().any(|v| v == &a.var) {
+                    out.push(a.var.clone());
+                }
+            }
+            Expr::Unary { expr, .. } => expr.referenced_vars(out),
+            Expr::Binary { left, right, .. } => {
+                left.referenced_vars(out);
+                right.referenced_vars(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.referenced_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Split a conjunctive expression into its conjuncts
+    /// (`a AND (b AND c)` -> `[a, b, c]`). Non-AND nodes yield themselves.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary {
+                    op: BinOp::And,
+                    left,
+                    right,
+                } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Aggregate functions usable in RETURN items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of events in the composite event.
+    Count,
+    /// Sum of an attribute over the bound events.
+    Sum,
+    /// Average of an attribute over the bound events.
+    Avg,
+    /// Minimum of an attribute over the bound events.
+    Min,
+    /// Maximum of an attribute over the bound events.
+    Max,
+}
+
+impl AggFunc {
+    /// Recognize an aggregate function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// Argument of an aggregate: `*`, an attribute over all positive events, or
+/// a `var.attr` (which is a degenerate single-event aggregate, allowed for
+/// orthogonality).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    /// `count(*)`
+    Star,
+    /// `sum(price)` — over every positive event that has the attribute.
+    Attr(String),
+    /// `sum(x.price)` — over the one event bound to `x`.
+    VarAttr(AttrRef),
+}
+
+/// One item of the RETURN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    /// A scalar expression (attribute projection, literal, arithmetic,
+    /// or built-in function call).
+    Scalar {
+        /// The expression.
+        expr: Expr,
+        /// Optional `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate over the composite event.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregate argument.
+        arg: AggArg,
+        /// Optional `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+impl ReturnItem {
+    /// The alias, if any.
+    pub fn alias(&self) -> Option<&str> {
+        match self {
+            ReturnItem::Scalar { alias, .. } | ReturnItem::Aggregate { alias, .. } => {
+                alias.as_deref()
+            }
+        }
+    }
+}
+
+/// The RETURN clause: items plus an optional output stream name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnClause {
+    /// The projected items, in order.
+    pub items: Vec<ReturnItem>,
+    /// Optional `INTO stream` naming the output stream ("It can also name
+    /// the output stream and the type of events in the output", §2.1.1).
+    pub into: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Canonical printing
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(from) = &self.from {
+            writeln!(f, "FROM {from}")?;
+        }
+        write!(f, "EVENT {}", self.pattern)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, "\nWHERE {w}")?;
+        }
+        if let Some(win) = &self.within {
+            write!(f, "\nWITHIN {win}")?;
+        }
+        if let Some(r) = &self.return_clause {
+            write!(f, "\nRETURN {r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SEQ(")?;
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for PatternElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "!(")?;
+        }
+        if self.event_types.len() == 1 {
+            write!(f, "{}", self.event_types[0])?;
+        } else {
+            write!(f, "ANY(")?;
+            for (i, t) in self.event_types.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " {}", self.variable)?;
+        if self.negated {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Equivalence(attr) => write!(f, "[{attr}]"),
+            Expr::Unary { op, expr } => {
+                match op {
+                    UnaryOp::Not => write!(f, "NOT ")?,
+                    UnaryOp::Neg => write!(f, "-")?,
+                }
+                // Unary binds tighter than any binary operator.
+                expr.fmt_prec(f, 6)
+            }
+            Expr::Binary { op, left, right } => {
+                let prec = op.precedence();
+                let need_parens = prec < parent;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                left.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.as_str())?;
+                // Right side gets prec+1 so chains print left-associatively.
+                right.fmt_prec(f, prec + 1)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl fmt::Display for ReturnClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(into) = &self.into {
+            write!(f, " INTO {into}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ReturnItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnItem::Scalar { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            ReturnItem::Aggregate { func, arg, alias } => {
+                write!(f, "{}(", func.as_str())?;
+                match arg {
+                    AggArg::Star => write!(f, "*")?,
+                    AggArg::Attr(a) => write!(f, "{a}")?,
+                    AggArg::VarAttr(r) => write!(f, "{r}")?,
+                }
+                write!(f, ")")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::Eq, Expr::attr("x", "a"), Expr::attr("y", "a")),
+            Expr::binary(
+                BinOp::And,
+                Expr::Equivalence("id".into()),
+                Expr::binary(BinOp::Gt, Expr::attr("x", "p"), Expr::Literal(Value::Int(3))),
+            ),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+        // An OR node is a single conjunct.
+        let o = Expr::binary(BinOp::Or, Expr::attr("x", "a"), Expr::attr("y", "a"));
+        assert_eq!(o.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn referenced_vars_dedup() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::Eq, Expr::attr("x", "a"), Expr::attr("y", "a")),
+            Expr::binary(BinOp::Eq, Expr::attr("x", "b"), Expr::attr("z", "b")),
+        );
+        let mut vars = Vec::new();
+        e.referenced_vars(&mut vars);
+        assert_eq!(vars, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn printing_parenthesizes_or_under_and() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::Or, Expr::attr("x", "a"), Expr::attr("y", "a")),
+            Expr::attr("z", "b"),
+        );
+        assert_eq!(e.to_string(), "(x.a OR y.a) AND z.b");
+    }
+
+    #[test]
+    fn pattern_display_matches_paper_style() {
+        let p = Pattern {
+            elements: vec![
+                PatternElem::positive("SHELF_READING", "x"),
+                PatternElem::negated("COUNTER_READING", "y"),
+                PatternElem::positive("EXIT_READING", "z"),
+            ],
+        };
+        assert_eq!(
+            p.to_string(),
+            "SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)"
+        );
+        assert_eq!(p.positive_len(), 2);
+        assert_eq!(p.negated_len(), 1);
+        assert_eq!(
+            p.positive_vars().collect::<Vec<_>>(),
+            vec!["x", "z"]
+        );
+    }
+
+    #[test]
+    fn any_pattern_display() {
+        let e = PatternElem {
+            negated: false,
+            event_types: vec!["A".into(), "B".into()],
+            variable: "v".into(),
+        };
+        assert_eq!(e.to_string(), "ANY(A, B) v");
+    }
+
+    #[test]
+    fn agg_parse() {
+        assert_eq!(AggFunc::parse("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("Avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

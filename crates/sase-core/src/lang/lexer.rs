@@ -1,0 +1,440 @@
+//! Lexer for the SASE query language.
+//!
+//! Beyond the ASCII syntax, the lexer accepts the logical connectives the
+//! paper typesets: `∧` for AND, `∨` for OR, and `¬` for NOT, so Q1 can be
+//! pasted verbatim from the paper:
+//!
+//! ```text
+//! EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
+//! WHERE x.TagId = y.TagId ∧ x.TagId = z.TagId
+//! WITHIN 12 hours
+//! RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)
+//! ```
+
+use crate::error::{Result, SaseError, SourcePos};
+
+use super::token::{Keyword, Token, TokenKind};
+
+/// Tokenize a full query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn here(&self) -> SourcePos {
+        SourcePos::new(self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SaseError {
+        SaseError::Lex {
+            pos: self.here(),
+            message: msg.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            let pos = self.here();
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                '[' => self.single(TokenKind::LBracket),
+                ']' => self.single(TokenKind::RBracket),
+                ',' => self.single(TokenKind::Comma),
+                '.' => self.single(TokenKind::Dot),
+                '+' => self.single(TokenKind::Plus),
+                '-' => self.single(TokenKind::Minus),
+                '*' => self.single(TokenKind::Star),
+                '/' => self.single(TokenKind::Slash),
+                '%' => self.single(TokenKind::Percent),
+                '∧' => {
+                    self.bump();
+                    TokenKind::Keyword(Keyword::And)
+                }
+                '∨' => {
+                    self.bump();
+                    TokenKind::Keyword(Keyword::Or)
+                }
+                '¬' => {
+                    self.bump();
+                    TokenKind::Keyword(Keyword::Not)
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                    }
+                    TokenKind::Eq
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        Some('>') => {
+                            self.bump();
+                            TokenKind::Ne
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '\'' | '"' => self.string_literal()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c == '_' || c.is_alphabetic() => self.word(),
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                // `--` starts a line comment, as in SQL.
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind> {
+        let quote = self.bump().expect("caller saw a quote");
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(c) if c == quote => {
+                    // Doubled quote is an escaped quote, as in SQL.
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        s.push(quote);
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some(c) if c == quote => s.push(c),
+                    Some(c) => return Err(self.error(format!("unknown escape `\\{c}`"))),
+                    None => return Err(self.error("unterminated string literal")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A dot starts a fraction only when followed by a digit; `12.TagId`
+        // must lex as `12` `.` `TagId`.
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `12 events`); rewind.
+                self.pos = save;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.error(format!("bad float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.error(format!("bad integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        let leading_underscore = self.peek() == Some('_');
+        while matches!(self.peek(), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if leading_underscore {
+            TokenKind::FunctionName(text)
+        } else if let Some(kw) = Keyword::parse(&text) {
+            TokenKind::Keyword(kw)
+        } else {
+            TokenKind::Ident(text)
+        }
+    }
+}
+
+// `src` is retained for future use in error snippets; silence the lint
+// explicitly rather than removing a field the diagnostics work will need.
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lexer")
+            .field("pos", &self.pos)
+            .field("src_len", &self.src.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn q1_lexes_verbatim_with_unicode_and() {
+        let toks = kinds(
+            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)\n\
+             WHERE x.TagId = y.TagId ∧ x.TagId = z.TagId\n\
+             WITHIN 12 hours\n\
+             RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)",
+        );
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::Seq)));
+        assert!(toks.contains(&TokenKind::Bang));
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::And)));
+        assert!(toks.contains(&TokenKind::Int(12)));
+        assert!(toks.contains(&TokenKind::FunctionName("_retrieveLocation".into())));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= == != <> < <= > >= + - * / %"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 3.5 1e3 2E-2"),
+            vec![
+                TokenKind::Int(12),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.02),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_attribute_after_number_window() {
+        // `WITHIN 12 hours` then `x.TagId`: the 12 must not eat the dot.
+        assert_eq!(
+            kinds("12.TagId"),
+            vec![
+                TokenKind::Int(12),
+                TokenKind::Dot,
+                TokenKind::Ident("TagId".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_unit_word_with_e() {
+        // `1 events` — `e` must not be treated as a dangling exponent.
+        assert_eq!(
+            kinds("1 events"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Ident("events".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#"'abc' "d e" 'it''s' 'a\nb'"#),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("d e".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("EVENT -- the pattern\n SEQ"),
+            vec![
+                TokenKind::Keyword(Keyword::Event),
+                TokenKind::Keyword(Keyword::Seq),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_alone_is_minus() {
+        assert_eq!(
+            kinds("a - b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("EVENT\n  #").unwrap_err();
+        match err {
+            SaseError::Lex { pos, .. } => {
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.column, 3);
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_connectives() {
+        assert_eq!(
+            kinds("a ∧ b ∨ ¬ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Keyword(Keyword::And),
+                TokenKind::Ident("b".into()),
+                TokenKind::Keyword(Keyword::Or),
+                TokenKind::Keyword(Keyword::Not),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The SASE complex event language: lexer, AST, and parser.
+//!
+//! The overall structure mirrors §2.1.1 of the paper:
+//!
+//! ```text
+//! [FROM  <stream name>]
+//! EVENT  <event pattern>
+//! [WHERE <qualification>]
+//! [WITHIN <window>]
+//! [RETURN <return event pattern>]
+//! ```
+//!
+//! Use [`parse_query`] to turn query text into a [`Query`] AST, then hand it
+//! to [`crate::plan::Planner`] to compile an executable plan.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggArg, AggFunc, AttrRef, BinOp, Expr, Pattern, PatternElem, Query, ReturnClause,
+    ReturnItem, UnaryOp,
+};
+pub use lexer::tokenize;
+pub use parser::{parse_expr, parse_query};

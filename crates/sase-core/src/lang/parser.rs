@@ -1,0 +1,625 @@
+//! Recursive-descent parser for the SASE query language.
+//!
+//! Grammar (see DESIGN.md §3):
+//!
+//! ```text
+//! query    := [FROM ident] EVENT pattern [WHERE expr] [WITHIN window] [RETURN items]
+//! pattern  := SEQ '(' elem (',' elem)* ')' | elem
+//! elem     := typespec ident | '!' '(' typespec ident ')'
+//! typespec := ident | ANY '(' ident (',' ident)* ')'
+//! window   := INT [unit-word]
+//! items    := item (',' item)* [INTO ident]
+//! item     := (aggregate | expr) [AS ident]
+//! ```
+
+use crate::error::{Result, SaseError, SourcePos};
+use crate::time::{TimeUnit, WindowSpec};
+use crate::value::Value;
+
+use super::ast::{
+    AggArg, AggFunc, AttrRef, BinOp, Expr, Pattern, PatternElem, Query, ReturnClause,
+    ReturnItem, UnaryOp,
+};
+use super::lexer::tokenize;
+use super::token::{Keyword, Token, TokenKind};
+
+/// Parse a query string into an AST.
+pub fn parse_query(src: &str) -> Result<Query> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, idx: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone expression (used by tests and the REPL).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, idx: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.tokens[self.idx].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SaseError {
+        SaseError::Parse {
+            pos: self.pos(),
+            message: msg.into(),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(&TokenKind::Keyword(kw))
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found `{other}`"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input `{}`", self.peek())))
+        }
+    }
+
+    // -- query --------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        let from = if self.eat_keyword(Keyword::From) {
+            Some(self.expect_ident("a stream name after FROM")?)
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::Event)?;
+        let pattern = self.pattern()?;
+        let where_clause = if self.eat_keyword(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let within = if self.eat_keyword(Keyword::Within) {
+            Some(self.window()?)
+        } else {
+            None
+        };
+        let return_clause = if self.eat_keyword(Keyword::Return) {
+            Some(self.return_clause()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            from,
+            pattern,
+            where_clause,
+            within,
+            return_clause,
+        })
+    }
+
+    // -- pattern ------------------------------------------------------------
+
+    fn pattern(&mut self) -> Result<Pattern> {
+        if self.eat_keyword(Keyword::Seq) {
+            self.expect(&TokenKind::LParen)?;
+            let mut elements = vec![self.pattern_elem()?];
+            while self.peek() == &TokenKind::Comma {
+                self.bump();
+                elements.push(self.pattern_elem()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            Ok(Pattern { elements })
+        } else {
+            // A bare `TYPE var` is a one-element sequence.
+            let elem = self.pattern_elem()?;
+            if elem.negated {
+                return Err(self.err("a pattern cannot be a single negated component"));
+            }
+            Ok(Pattern {
+                elements: vec![elem],
+            })
+        }
+    }
+
+    fn pattern_elem(&mut self) -> Result<PatternElem> {
+        if self.peek() == &TokenKind::Bang {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let (event_types, variable) = self.typed_binding()?;
+            self.expect(&TokenKind::RParen)?;
+            Ok(PatternElem {
+                negated: true,
+                event_types,
+                variable,
+            })
+        } else {
+            let (event_types, variable) = self.typed_binding()?;
+            Ok(PatternElem {
+                negated: false,
+                event_types,
+                variable,
+            })
+        }
+    }
+
+    fn typed_binding(&mut self) -> Result<(Vec<String>, String)> {
+        let event_types = if self.eat_keyword(Keyword::Any) {
+            self.expect(&TokenKind::LParen)?;
+            let mut types = vec![self.expect_ident("an event type inside ANY(...)")?];
+            while self.peek() == &TokenKind::Comma {
+                self.bump();
+                types.push(self.expect_ident("an event type inside ANY(...)")?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            types
+        } else {
+            vec![self.expect_ident("an event type")?]
+        };
+        let variable = self.expect_ident("a variable name after the event type")?;
+        Ok((event_types, variable))
+    }
+
+    // -- window -------------------------------------------------------------
+
+    fn window(&mut self) -> Result<WindowSpec> {
+        let amount = match self.bump() {
+            TokenKind::Int(i) if i >= 0 => i as u64,
+            other => {
+                return Err(self.err(format!(
+                    "expected a non-negative window size after WITHIN, found `{other}`"
+                )))
+            }
+        };
+        // Optional unit word; a bare number means logical time units.
+        if let TokenKind::Ident(word) = self.peek().clone() {
+            if let Some(unit) = TimeUnit::parse(&word) {
+                self.bump();
+                return Ok(WindowSpec::new(amount, unit));
+            }
+        }
+        Ok(WindowSpec::new(amount, TimeUnit::Units))
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Keyword(Keyword::Or) => BinOp::Or,
+                TokenKind::Keyword(Keyword::And) => BinOp::And,
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // Left-associative: the right side must bind strictly tighter.
+            let right = self.binary_expr(prec + 1)?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Not) => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let attr = self.expect_ident("an attribute name inside [...]")?;
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::Equivalence(attr))
+            }
+            TokenKind::FunctionName(name) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let args = self.call_args()?;
+                Ok(Expr::Call { name, args })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if self.peek() == &TokenKind::Dot {
+                    self.bump();
+                    let attr = self.expect_ident("an attribute name after `.`")?;
+                    return Ok(Expr::Attr(AttrRef { var: name, attr }));
+                }
+                Err(self.err(format!(
+                    "bare identifier `{name}`: expected `{name}.attribute`, a literal, \
+                     or `[attribute]`"
+                )))
+            }
+            other => Err(self.err(format!("expected an expression, found `{other}`"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            match self.bump() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => return Ok(args),
+                other => {
+                    return Err(self.err(format!(
+                        "expected `,` or `)` in argument list, found `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    // -- RETURN ---------------------------------------------------------------
+
+    fn return_clause(&mut self) -> Result<ReturnClause> {
+        let mut items = vec![self.return_item()?];
+        while self.peek() == &TokenKind::Comma {
+            self.bump();
+            items.push(self.return_item()?);
+        }
+        let into = if self.eat_keyword(Keyword::Into) {
+            Some(self.expect_ident("an output stream name after INTO")?)
+        } else {
+            None
+        };
+        Ok(ReturnClause { items, into })
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem> {
+        // Aggregate? Only when an identifier names an aggregate function and
+        // is immediately followed by `(`.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if let Some(func) = AggFunc::parse(&name) {
+                if self.tokens.get(self.idx + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                    self.bump(); // name
+                    self.bump(); // (
+                    let arg = self.agg_arg(func)?;
+                    self.expect(&TokenKind::RParen)?;
+                    let alias = self.maybe_alias()?;
+                    return Ok(ReturnItem::Aggregate { func, arg, alias });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.maybe_alias()?;
+        Ok(ReturnItem::Scalar { expr, alias })
+    }
+
+    fn agg_arg(&mut self, func: AggFunc) -> Result<AggArg> {
+        match self.peek().clone() {
+            TokenKind::Star => {
+                self.bump();
+                if func != AggFunc::Count {
+                    return Err(self.err(format!("{}(*) is only valid for count", func.as_str())));
+                }
+                Ok(AggArg::Star)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::Dot {
+                    self.bump();
+                    let attr = self.expect_ident("an attribute name after `.`")?;
+                    Ok(AggArg::VarAttr(AttrRef { var: name, attr }))
+                } else {
+                    Ok(AggArg::Attr(name))
+                }
+            }
+            other => Err(self.err(format!(
+                "expected `*`, an attribute, or `var.attr` in aggregate, found `{other}`"
+            ))),
+        }
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword(Keyword::As) {
+            Ok(Some(self.expect_ident("an alias after AS")?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::ast::{BinOp, Expr, ReturnItem};
+
+    /// Q1 from the paper, verbatim (with the unicode conjunction).
+    pub const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)\n\
+                          WHERE x.TagId = y.TagId ∧ x.TagId = z.TagId\n\
+                          WITHIN 12 hours\n\
+                          RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)";
+
+    /// Q2 from the paper, verbatim.
+    pub const Q2: &str = "EVENT SEQ(SHELF_READING x, SHELF_READING y)\n\
+                          WHERE x.id = y.id ∧ x.area_id != y.area_id\n\
+                          WITHIN 1 hour\n\
+                          RETURN _updateLocation(y.TagId, y.AreaId, y.Timestamp)";
+
+    #[test]
+    fn q1_parses() {
+        let q = parse_query(Q1).unwrap();
+        assert!(q.from.is_none());
+        assert_eq!(q.pattern.elements.len(), 3);
+        assert!(q.pattern.elements[1].negated);
+        assert_eq!(q.pattern.elements[1].event_types, vec!["COUNTER_READING"]);
+        assert_eq!(q.pattern.elements[1].variable, "y");
+        let w = q.where_clause.as_ref().unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+        let win = q.within.unwrap();
+        assert_eq!(win.amount, 12);
+        assert_eq!(win.unit, crate::time::TimeUnit::Hours);
+        let r = q.return_clause.unwrap();
+        assert_eq!(r.items.len(), 4);
+        match &r.items[3] {
+            ReturnItem::Scalar {
+                expr: Expr::Call { name, args },
+                ..
+            } => {
+                assert_eq!(name, "_retrieveLocation");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected call item, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q2_parses() {
+        let q = parse_query(Q2).unwrap();
+        assert_eq!(q.pattern.elements.len(), 2);
+        assert!(!q.pattern.elements.iter().any(|e| e.negated));
+        let r = q.return_clause.unwrap();
+        assert_eq!(r.items.len(), 1);
+    }
+
+    #[test]
+    fn from_clause_and_into() {
+        let q = parse_query(
+            "FROM retail EVENT SHELF_READING x RETURN x.TagId AS tag INTO shelf_stream",
+        )
+        .unwrap();
+        assert_eq!(q.from.as_deref(), Some("retail"));
+        assert_eq!(q.pattern.elements.len(), 1);
+        let r = q.return_clause.unwrap();
+        assert_eq!(r.into.as_deref(), Some("shelf_stream"));
+        assert_eq!(r.items[0].alias(), Some("tag"));
+    }
+
+    #[test]
+    fn equivalence_shorthand() {
+        let q = parse_query(
+            "EVENT SEQ(A x, B y) WHERE [TagId] AND x.price > 5 WITHIN 100",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let cs = w.conjuncts().len();
+        assert_eq!(cs, 2);
+        assert!(matches!(w.conjuncts()[0], Expr::Equivalence(a) if a == "TagId"));
+        assert_eq!(q.within.unwrap().unit, crate::time::TimeUnit::Units);
+    }
+
+    #[test]
+    fn any_type_spec() {
+        let q = parse_query("EVENT SEQ(ANY(A, B, C) v, D w) WITHIN 10").unwrap();
+        assert_eq!(q.pattern.elements[0].event_types, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("x.a = 1 OR x.b = 2 AND x.c = 3").unwrap();
+        // AND binds tighter: OR(=, AND(=, =))
+        match e {
+            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+        let a = parse_expr("x.a + 2 * x.b").unwrap();
+        match a {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected + at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse_expr("x.a - x.b - x.c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Sub, left, .. } => {
+                assert!(matches!(*left, Expr::Binary { op: BinOp::Sub, .. }));
+            }
+            other => panic!("expected left-assoc subtraction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_and_negative_literals() {
+        let e = parse_expr("NOT x.flag AND x.v > -3").unwrap();
+        assert_eq!(e.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn aggregates_in_return() {
+        let q = parse_query(
+            "EVENT SEQ(A x, B y) WITHIN 5 RETURN count(*), sum(price), avg(x.price) AS ap",
+        )
+        .unwrap();
+        let items = q.return_clause.unwrap().items;
+        assert!(matches!(
+            items[0],
+            ReturnItem::Aggregate { func: AggFunc::Count, arg: AggArg::Star, .. }
+        ));
+        assert!(matches!(
+            &items[1],
+            ReturnItem::Aggregate { func: AggFunc::Sum, arg: AggArg::Attr(a), .. } if a == "price"
+        ));
+        assert!(matches!(
+            &items[2],
+            ReturnItem::Aggregate { func: AggFunc::Avg, arg: AggArg::VarAttr(r), alias: Some(al) }
+                if r.var == "x" && al == "ap"
+        ));
+    }
+
+    #[test]
+    fn sum_star_rejected() {
+        assert!(parse_query("EVENT A x RETURN sum(*)").is_err());
+    }
+
+    #[test]
+    fn single_negated_pattern_rejected() {
+        assert!(parse_query("EVENT !(A x) WITHIN 5").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("EVENT A x WITHIN 5 bananas extra").is_err());
+    }
+
+    #[test]
+    fn missing_event_clause_rejected() {
+        assert!(parse_query("WHERE x.a = 1").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_query("EVENT SEQ(A x,, B y)").unwrap_err();
+        match err {
+            SaseError::Parse { pos, .. } => assert_eq!(pos.line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_print_reparses_q1() {
+        let q = parse_query(Q1).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn canonical_print_reparses_misc() {
+        for src in [
+            "EVENT SEQ(A x, B y, C z) WHERE [id] AND (x.p > 1 OR y.p < 2) WITHIN 3 hours \
+             RETURN x.p AS a, count(*), _f(x.p, 1 + 2) INTO out",
+            "FROM s EVENT A x",
+            "EVENT SEQ(ANY(A, B) v, !(C n), D w) WITHIN 100 RETURN v.id",
+        ] {
+            let q = parse_query(src).unwrap();
+            let q2 = parse_query(&q.to_string()).unwrap();
+            assert_eq!(q, q2, "round-trip failed for {src}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Tokens produced by the SASE query lexer.
+
+use std::fmt;
+
+use crate::error::SourcePos;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts in the query text.
+    pub pos: SourcePos,
+}
+
+/// Keywords of the SASE language.
+///
+/// Keywords are recognized case-insensitively, as in SQL; `seq` and `SEQ`
+/// both introduce a sequence pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `FROM`
+    From,
+    /// `EVENT`
+    Event,
+    /// `WHERE`
+    Where,
+    /// `WITHIN`
+    Within,
+    /// `RETURN`
+    Return,
+    /// `SEQ`
+    Seq,
+    /// `ANY`
+    Any,
+    /// `AND` (also `∧`)
+    And,
+    /// `OR` (also `∨`)
+    Or,
+    /// `NOT` (also `¬`)
+    Not,
+    /// `AS`
+    As,
+    /// `INTO`
+    Into,
+}
+
+impl Keyword {
+    /// Recognize a keyword, case-insensitively.
+    pub fn parse(word: &str) -> Option<Keyword> {
+        match word.to_ascii_uppercase().as_str() {
+            "FROM" => Some(Keyword::From),
+            "EVENT" => Some(Keyword::Event),
+            "WHERE" => Some(Keyword::Where),
+            "WITHIN" => Some(Keyword::Within),
+            "RETURN" => Some(Keyword::Return),
+            "SEQ" => Some(Keyword::Seq),
+            "ANY" => Some(Keyword::Any),
+            "AND" => Some(Keyword::And),
+            "OR" => Some(Keyword::Or),
+            "NOT" => Some(Keyword::Not),
+            "AS" => Some(Keyword::As),
+            "INTO" => Some(Keyword::Into),
+            _ => None,
+        }
+    }
+
+    /// Canonical (upper-case) spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::From => "FROM",
+            Keyword::Event => "EVENT",
+            Keyword::Where => "WHERE",
+            Keyword::Within => "WITHIN",
+            Keyword::Return => "RETURN",
+            Keyword::Seq => "SEQ",
+            Keyword::Any => "ANY",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::As => "AS",
+            Keyword::Into => "INTO",
+        }
+    }
+}
+
+/// The kinds of token the lexer can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An identifier: event type, variable, attribute, or unit word.
+    Ident(String),
+    /// A built-in function name starting with `_` (e.g. `_retrieveLocation`).
+    FunctionName(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single- or double-quoted in source).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `!` as the pattern negation marker.
+    Bang,
+    /// `=` (equality; SASE uses single `=`, `==` is accepted too).
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::FunctionName(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_case_insensitive() {
+        assert_eq!(Keyword::parse("event"), Some(Keyword::Event));
+        assert_eq!(Keyword::parse("Event"), Some(Keyword::Event));
+        assert_eq!(Keyword::parse("SEQ"), Some(Keyword::Seq));
+        assert_eq!(Keyword::parse("shelf"), None);
+    }
+
+    #[test]
+    fn display_spellings() {
+        assert_eq!(TokenKind::Ne.to_string(), "!=");
+        assert_eq!(TokenKind::Keyword(Keyword::Within).to_string(), "WITHIN");
+        assert_eq!(TokenKind::Str("a b".into()).to_string(), "'a b'");
+    }
+}

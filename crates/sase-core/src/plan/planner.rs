@@ -1,0 +1,313 @@
+//! The query planner: AST → [`QueryPlan`].
+
+use std::sync::Arc;
+
+use crate::error::{Result, SaseError};
+use crate::event::SchemaRegistry;
+use crate::expr::CompiledExpr;
+use crate::functions::FunctionRegistry;
+use crate::lang::ast::{AggArg, Query, ReturnItem};
+use crate::nfa::Nfa;
+use crate::pattern::CompiledPattern;
+use crate::time::TimeScale;
+
+use super::analysis::{analyze_where, negation_partition_attrs};
+use super::{
+    CompiledAggArg, CompiledReturnItem, NegationPlan, PlannerOptions, QueryPlan, ReturnPlan,
+    SequenceStrategy,
+};
+
+/// Compiles parsed queries into executable plans.
+///
+/// A planner borrows the schema registry and function registry the engine
+/// owns; it is cheap to construct per compilation.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    registry: SchemaRegistry,
+    functions: FunctionRegistry,
+    time_scale: TimeScale,
+}
+
+impl Planner {
+    /// Create a planner over the given registries.
+    pub fn new(registry: SchemaRegistry, functions: FunctionRegistry) -> Self {
+        Planner {
+            registry,
+            functions,
+            time_scale: TimeScale::default(),
+        }
+    }
+
+    /// Use a non-default logical time scale for WITHIN conversion.
+    pub fn with_time_scale(mut self, scale: TimeScale) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Plan a query with default (fully optimized) options.
+    pub fn plan(&self, query: &Query) -> Result<QueryPlan> {
+        self.plan_with(query, PlannerOptions::default())
+    }
+
+    /// Plan a query with explicit options.
+    pub fn plan_with(&self, query: &Query, options: PlannerOptions) -> Result<QueryPlan> {
+        let pattern = Arc::new(CompiledPattern::compile(&query.pattern, &self.registry)?);
+        let nfa = Arc::new(Nfa::from_pattern(&pattern));
+
+        // The naive strategy deliberately ignores partitioning: it is the
+        // "no optimizations" baseline.
+        let use_partition =
+            options.pushdown_partition && options.strategy == SequenceStrategy::Ssc;
+
+        let analysis = analyze_where(
+            query.where_clause.as_ref(),
+            &pattern,
+            &self.registry,
+            &self.functions,
+            use_partition,
+            options.pushdown_single_event_predicates,
+        )?;
+
+        let window = query.within.map(|w| w.to_logical(self.time_scale));
+        if let Some(0) = window {
+            return Err(SaseError::plan(
+                "WITHIN window of zero logical units can never match a multi-event \
+                 sequence; check the time scale",
+            ));
+        }
+
+        // Assemble negation plans in pattern order.
+        let mut negations: Vec<NegationPlan> = pattern
+            .negations
+            .iter()
+            .enumerate()
+            .map(|(ni, scope)| {
+                let elem = &pattern.elements[scope.slot];
+                NegationPlan {
+                    scope: *scope,
+                    type_ids: elem.type_ids.clone(),
+                    filters: analysis.element_filters[scope.slot].clone(),
+                    checks: analysis.negation_checks[ni].clone(),
+                    partition_attrs: None,
+                }
+            })
+            .collect();
+        negation_partition_attrs(&pattern, analysis.partition.as_ref(), &mut negations);
+
+        let return_plan = self.compile_return(query, &pattern)?;
+
+        Ok(QueryPlan {
+            query: query.clone(),
+            pattern,
+            nfa,
+            window,
+            partition: analysis.partition,
+            element_filters: analysis.element_filters,
+            construction_filters: analysis.construction_filters,
+            negations,
+            return_plan,
+            options,
+        })
+    }
+
+    fn compile_return(
+        &self,
+        query: &Query,
+        pattern: &CompiledPattern,
+    ) -> Result<ReturnPlan> {
+        let Some(rc) = &query.return_clause else {
+            return Ok(ReturnPlan::default());
+        };
+        let slots = pattern.slot_table();
+        let mut items = Vec::with_capacity(rc.items.len());
+        for (i, item) in rc.items.iter().enumerate() {
+            let default_name = |text: String| -> Arc<str> {
+                Arc::from(text.as_str())
+            };
+            match item {
+                ReturnItem::Scalar { expr, alias } => {
+                    // RETURN may reference only positive components: a
+                    // negated component has no bound event in a match.
+                    let mut vars = Vec::new();
+                    expr.referenced_vars(&mut vars);
+                    for v in &vars {
+                        if let Some(e) = pattern.elem_for_var(v) {
+                            if e.negated {
+                                return Err(SaseError::semantic(format!(
+                                    "RETURN references `{v}`, which is bound by a negated \
+                                     component and has no event in a match"
+                                )));
+                            }
+                        }
+                    }
+                    let compiled = CompiledExpr::compile(expr, &slots[..], &self.functions)?;
+                    let name = alias
+                        .as_deref()
+                        .map(Arc::from)
+                        .unwrap_or_else(|| default_name(expr.to_string()));
+                    items.push(CompiledReturnItem::Scalar {
+                        name,
+                        expr: compiled,
+                    });
+                }
+                ReturnItem::Aggregate { func, arg, alias } => {
+                    let compiled_arg = match arg {
+                        AggArg::Star => CompiledAggArg::Star,
+                        AggArg::Attr(a) => CompiledAggArg::AttrAll(Arc::from(a.as_str())),
+                        AggArg::VarAttr(r) => {
+                            let elem = pattern.elem_for_var(&r.var).ok_or_else(|| {
+                                SaseError::semantic(format!(
+                                    "unknown pattern variable `{}` in aggregate",
+                                    r.var
+                                ))
+                            })?;
+                            if elem.negated {
+                                return Err(SaseError::semantic(format!(
+                                    "aggregate references negated component `{}`",
+                                    r.var
+                                )));
+                            }
+                            CompiledAggArg::Slot {
+                                slot: elem.slot,
+                                attr: Arc::from(r.attr.as_str()),
+                            }
+                        }
+                    };
+                    let name = alias
+                        .as_deref()
+                        .map(Arc::from)
+                        .unwrap_or_else(|| default_name(format!("{}#{i}", func.as_str())));
+                    items.push(CompiledReturnItem::Aggregate {
+                        name,
+                        func: *func,
+                        arg: compiled_arg,
+                    });
+                }
+            }
+        }
+        // An INTO stream makes the output re-ingestable as first-class
+        // events ("It can also name the output stream and the type of
+        // events in the output", §2.1.1). Downstream queries address the
+        // columns as attributes, so every column name must be a plain
+        // identifier — aliases make that so.
+        if rc.into.is_some() {
+            for item in &items {
+                let name = item.name();
+                let valid = !name.is_empty()
+                    && !name.starts_with(|c: char| c.is_ascii_digit())
+                    && name.chars().all(|c| c == '_' || c.is_alphanumeric());
+                if !valid {
+                    return Err(SaseError::semantic(format!(
+                        "RETURN ... INTO requires identifier column names; \
+                         `{name}` is not one — add `AS <name>`"
+                    )));
+                }
+            }
+        }
+        Ok(ReturnPlan {
+            items,
+            into: rc.into.as_deref().map(Arc::from),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::retail_registry;
+    use crate::lang::parse_query;
+
+    fn planner() -> Planner {
+        Planner::new(retail_registry(), FunctionRegistry::with_stdlib())
+    }
+
+    const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)\n\
+                      WHERE x.TagId = y.TagId AND x.TagId = z.TagId\n\
+                      WITHIN 12 hours\n\
+                      RETURN x.TagId, x.ProductName, z.AreaId";
+
+    #[test]
+    fn q1_plans_with_partition_and_negation() {
+        let q = parse_query(Q1).unwrap();
+        let plan = planner().plan(&q).unwrap();
+        assert_eq!(plan.window, Some(43_200));
+        assert!(plan.partition.is_some());
+        assert_eq!(plan.negations.len(), 1);
+        // Negation store can be indexed: the partition covers slot 1.
+        assert!(plan.negations[0].partition_attrs.is_some());
+        assert_eq!(plan.return_plan.items.len(), 3);
+        let explain = plan.explain();
+        assert!(explain.contains("PAIS"));
+        assert!(explain.contains("pushed into sequence scan"));
+    }
+
+    #[test]
+    fn naive_strategy_disables_partition() {
+        let q = parse_query(Q1).unwrap();
+        let plan = planner()
+            .plan_with(
+                &q,
+                PlannerOptions {
+                    strategy: SequenceStrategy::Naive,
+                    ..PlannerOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(plan.partition.is_none());
+        // Equality predicates remain explicit.
+        assert_eq!(plan.construction_filters.len(), 1);
+    }
+
+    #[test]
+    fn time_scale_changes_window() {
+        let q = parse_query(Q1).unwrap();
+        let plan = planner()
+            .with_time_scale(TimeScale::new(10))
+            .plan(&q)
+            .unwrap();
+        assert_eq!(plan.window, Some(432_000));
+    }
+
+    #[test]
+    fn return_on_negated_component_rejected() {
+        let q = parse_query(
+            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+             WITHIN 5 RETURN y.TagId",
+        )
+        .unwrap();
+        let err = planner().plan(&q).unwrap_err();
+        assert!(err.to_string().contains("negated"));
+    }
+
+    #[test]
+    fn aggregate_compilation() {
+        let q = parse_query(
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 10 \
+             RETURN count(*), sum(TagId), avg(x.AreaId) AS a",
+        )
+        .unwrap();
+        let plan = planner().plan(&q).unwrap();
+        assert_eq!(plan.return_plan.items.len(), 3);
+        assert_eq!(plan.return_plan.items[2].name().as_ref(), "a");
+    }
+
+    #[test]
+    fn default_column_names_use_expression_text() {
+        let q = parse_query("EVENT SHELF_READING x RETURN x.TagId, x.AreaId + 1").unwrap();
+        let plan = planner().plan(&q).unwrap();
+        assert_eq!(plan.return_plan.items[0].name().as_ref(), "x.TagId");
+        assert_eq!(plan.return_plan.items[1].name().as_ref(), "x.AreaId + 1");
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let q = parse_query("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 0").unwrap();
+        assert!(planner().plan(&q).is_err());
+    }
+
+    #[test]
+    fn unknown_return_function_rejected() {
+        let q = parse_query("EVENT SHELF_READING x RETURN _nope(x.TagId)").unwrap();
+        assert!(planner().plan(&q).is_err());
+    }
+}

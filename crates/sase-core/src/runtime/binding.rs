@@ -1,0 +1,91 @@
+//! Runtime bindings: assignments of events to pattern slots.
+
+use crate::event::Event;
+use crate::expr::Binding;
+use crate::pattern::CompiledPattern;
+
+/// A complete match of the positive components: one event per positive
+/// component, in pattern order, with strictly increasing timestamps.
+pub type PositiveMatch = Vec<Event>;
+
+/// A [`Binding`] view over a positive match, optionally extended with a
+/// candidate event for one negated slot (used by negation checks).
+pub struct MatchBinding<'a> {
+    pattern: &'a CompiledPattern,
+    positives: &'a [Event],
+    extra: Option<(usize, &'a Event)>,
+}
+
+impl<'a> MatchBinding<'a> {
+    /// View over the positive events of a match.
+    pub fn new(pattern: &'a CompiledPattern, positives: &'a [Event]) -> Self {
+        debug_assert_eq!(positives.len(), pattern.positive_len());
+        MatchBinding {
+            pattern,
+            positives,
+            extra: None,
+        }
+    }
+
+    /// Extend with a candidate event bound to a negated slot.
+    pub fn with_negated(
+        pattern: &'a CompiledPattern,
+        positives: &'a [Event],
+        neg_slot: usize,
+        candidate: &'a Event,
+    ) -> Self {
+        MatchBinding {
+            pattern,
+            positives,
+            extra: Some((neg_slot, candidate)),
+        }
+    }
+}
+
+impl Binding for MatchBinding<'_> {
+    fn event_at(&self, slot: usize) -> Option<&Event> {
+        if let Some((neg_slot, e)) = self.extra {
+            if slot == neg_slot {
+                return Some(e);
+            }
+        }
+        let elem = self.pattern.elements.get(slot)?;
+        if elem.negated {
+            return None;
+        }
+        self.positives.get(elem.positive_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::retail_registry;
+    use crate::expr::Binding;
+    use crate::lang::parse_query;
+    use crate::value::Value;
+
+    #[test]
+    fn binding_maps_slots_through_negation() {
+        let reg = retail_registry();
+        let q = parse_query(
+            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10",
+        )
+        .unwrap();
+        let p = CompiledPattern::compile(&q.pattern, &reg).unwrap();
+        let mk = |ty: &str, ts: u64| {
+            reg.build_event(ty, ts, vec![Value::Int(1), Value::str("p"), Value::Int(1)])
+                .unwrap()
+        };
+        let positives = vec![mk("SHELF_READING", 1), mk("EXIT_READING", 5)];
+        let b = MatchBinding::new(&p, &positives);
+        assert_eq!(b.event_at(0).unwrap().type_name(), "SHELF_READING");
+        assert!(b.event_at(1).is_none()); // negated slot unbound
+        assert_eq!(b.event_at(2).unwrap().type_name(), "EXIT_READING");
+        assert!(b.event_at(3).is_none());
+
+        let counter = mk("COUNTER_READING", 3);
+        let nb = MatchBinding::with_negated(&p, &positives, 1, &counter);
+        assert_eq!(nb.event_at(1).unwrap().type_name(), "COUNTER_READING");
+    }
+}

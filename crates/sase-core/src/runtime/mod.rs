@@ -1,0 +1,344 @@
+//! The runtime: pipelined operators executing a [`QueryPlan`].
+//!
+//! A [`QueryRuntime`] is one running continuous query. Per arriving event it
+//! drives the dataflow of §2.1.2: the native sequence operator at the bottom
+//! (SSC over Active Instance Stacks, or the naive NFA baseline), pipelining
+//! constructed sequences through negation, window (when not pushed down),
+//! and transformation.
+
+pub mod ais;
+pub mod binding;
+pub mod naive;
+pub mod negation;
+pub mod ssc;
+pub mod transform;
+
+pub use binding::{MatchBinding, PositiveMatch};
+
+use std::sync::Arc;
+
+use crate::error::{Result, SaseError};
+use crate::event::Event;
+use crate::output::ComplexEvent;
+use crate::plan::{QueryPlan, SequenceStrategy};
+use crate::time::Timestamp;
+
+use naive::NaiveRunner;
+use negation::NegationOperator;
+use ssc::SscOperator;
+
+/// Counters exposed by a running query; these power the experiment tables
+/// (intermediate result sizes, pruning effectiveness, negation work).
+#[derive(Debug, Default, Clone)]
+pub struct RuntimeStats {
+    /// Events offered to the query.
+    pub events_processed: u64,
+    /// Instances appended to Active Instance Stacks.
+    pub instances_appended: u64,
+    /// Instances dropped by window pruning.
+    pub instances_pruned: u64,
+    /// Sequences produced by the sequence operator (before negation and
+    /// post-filters).
+    pub sequences_constructed: u64,
+    /// Construction-filter rejections during sequence construction.
+    pub construction_filter_rejects: u64,
+    /// Matches dropped by the post-construction window filter (only when
+    /// window pushdown is disabled, or in the naive runner).
+    pub dropped_by_window: u64,
+    /// Matches killed by a negation counterexample.
+    pub dropped_by_negation: u64,
+    /// Counterexample candidates buffered by the negation operator.
+    pub negation_candidates_buffered: u64,
+    /// Composite events emitted.
+    pub matches_emitted: u64,
+    /// Peak number of live partial runs (naive runner only).
+    pub partial_runs_peak: u64,
+    /// Current number of PAIS partitions.
+    pub partitions: u64,
+}
+
+#[derive(Debug)]
+enum SeqRunner {
+    Ssc(SscOperator),
+    Naive(NaiveRunner),
+}
+
+/// One running continuous query.
+#[derive(Debug)]
+pub struct QueryRuntime {
+    name: Arc<str>,
+    plan: Arc<QueryPlan>,
+    seq: SeqRunner,
+    negation: NegationOperator,
+    stats: RuntimeStats,
+    last_ts: Option<Timestamp>,
+    scratch: Vec<PositiveMatch>,
+}
+
+impl QueryRuntime {
+    /// Instantiate a plan as a running query.
+    pub fn new(name: impl AsRef<str>, plan: QueryPlan) -> Self {
+        let plan = Arc::new(plan);
+        let seq = match plan.options.strategy {
+            SequenceStrategy::Ssc => SeqRunner::Ssc(SscOperator::new(plan.clone())),
+            SequenceStrategy::Naive => SeqRunner::Naive(NaiveRunner::new(plan.clone())),
+        };
+        let negation = NegationOperator::new(plan.clone());
+        QueryRuntime {
+            name: Arc::from(name.as_ref()),
+            plan,
+            seq,
+            negation,
+            stats: RuntimeStats::default(),
+            last_ts: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The query name.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &Arc<QueryPlan> {
+        &self.plan
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Process one event, appending emitted composite events to `out`.
+    ///
+    /// Events must arrive in non-decreasing timestamp order (the Time
+    /// Conversion Layer guarantees this); regressions are rejected because
+    /// stack and buffer pruning assume temporal order.
+    pub fn process(&mut self, event: &Event, out: &mut Vec<ComplexEvent>) -> Result<()> {
+        if let Some(last) = self.last_ts {
+            if event.timestamp() < last {
+                return Err(SaseError::engine(format!(
+                    "out-of-order event: timestamp {} after {} (query `{}`)",
+                    event.timestamp(),
+                    last,
+                    self.name
+                )));
+            }
+        }
+        self.last_ts = Some(event.timestamp());
+        self.stats.events_processed += 1;
+
+        // Buffer negation counterexamples first; the open-interval scope
+        // makes the relative order with sequence processing immaterial for
+        // the current event.
+        self.negation.observe(event, &mut self.stats)?;
+        if let Some(w) = self.plan.window {
+            self.negation
+                .prune_before(event.timestamp().saturating_sub(w));
+        }
+
+        self.scratch.clear();
+        let mut candidates = std::mem::take(&mut self.scratch);
+        match &mut self.seq {
+            SeqRunner::Ssc(op) => op.on_event(event, &mut self.stats, &mut candidates)?,
+            SeqRunner::Naive(op) => op.on_event(event, &mut self.stats, &mut candidates)?,
+        }
+
+        for m in candidates.drain(..) {
+            // Post-construction window filter (SSC with pushdown disabled;
+            // the naive runner enforces it at accept already).
+            if !self.plan.options.pushdown_window {
+                if let Some(w) = self.plan.window {
+                    let span = m.last().expect("nonempty").timestamp()
+                        - m.first().expect("nonempty").timestamp();
+                    if span > w {
+                        self.stats.dropped_by_window += 1;
+                        continue;
+                    }
+                }
+            }
+            if !self.negation.allows(&m)? {
+                self.stats.dropped_by_negation += 1;
+                continue;
+            }
+            let ce = transform::transform(&self.plan, &self.name, m)?;
+            self.stats.matches_emitted += 1;
+            out.push(ce);
+        }
+        self.scratch = candidates;
+        Ok(())
+    }
+
+    /// Process a batch of events, collecting all outputs.
+    pub fn process_all(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        let mut out = Vec::new();
+        for e in events {
+            self.process(e, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Memory footprint indicators: retained stack instances (SSC) or live
+    /// partial runs (naive), plus buffered negation candidates.
+    pub fn retained_state(&self) -> (usize, usize) {
+        let seq = match &self.seq {
+            SeqRunner::Ssc(op) => op.retained_instances(),
+            SeqRunner::Naive(op) => op.live_runs(),
+        };
+        (seq, self.negation.buffered())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{retail_registry, SchemaRegistry};
+    use crate::functions::FunctionRegistry;
+    use crate::lang::parse_query;
+    use crate::plan::{Planner, PlannerOptions};
+    use crate::value::Value;
+
+    fn runtime(src: &str, options: PlannerOptions) -> (QueryRuntime, SchemaRegistry) {
+        let reg = retail_registry();
+        let planner = Planner::new(reg.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(src).unwrap();
+        let plan = planner.plan_with(&q, options).unwrap();
+        (QueryRuntime::new("test", plan), reg)
+    }
+
+    fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64, area: i64) -> Event {
+        reg.build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("soap"), Value::Int(area)],
+        )
+        .unwrap()
+    }
+
+    const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+                      WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 1000 \
+                      RETURN x.TagId, x.ProductName, z.AreaId";
+
+    #[test]
+    fn q1_shoplifting_detection() {
+        let (mut rt, reg) = runtime(Q1, PlannerOptions::default());
+        // Tag 7 is shoplifted; tag 8 checks out properly.
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 8, 1),
+            ev(&reg, "COUNTER_READING", 3, 8, 3),
+            ev(&reg, "EXIT_READING", 4, 8, 4),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
+        let out = rt.process_all(&events).unwrap();
+        assert_eq!(out.len(), 1);
+        let ce = &out[0];
+        assert_eq!(ce.value("x.TagId"), Some(&Value::Int(7)));
+        assert_eq!(ce.value("z.AreaId"), Some(&Value::Int(4)));
+        assert_eq!(rt.stats().dropped_by_negation, 1);
+        assert_eq!(rt.stats().matches_emitted, 1);
+    }
+
+    #[test]
+    fn q1_all_strategies_agree() {
+        let reg = retail_registry();
+        let mut events = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for k in 0..300u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let ty = match state % 4 {
+                0 => "SHELF_READING",
+                1 => "COUNTER_READING",
+                2 => "EXIT_READING",
+                _ => "SHELF_READING",
+            };
+            let tag = ((state >> 16) % 6) as i64;
+            events.push(ev(&reg, ty, k + 1, tag, ((state >> 24) % 4) as i64));
+        }
+        let configs = [
+            PlannerOptions::default(),
+            PlannerOptions::naive(),
+            PlannerOptions {
+                pushdown_partition: false,
+                ..PlannerOptions::default()
+            },
+            PlannerOptions {
+                pushdown_window: false,
+                ..PlannerOptions::default()
+            },
+            PlannerOptions {
+                indexed_negation: false,
+                ..PlannerOptions::default()
+            },
+            PlannerOptions {
+                pushdown_single_event_predicates: false,
+                ..PlannerOptions::default()
+            },
+        ];
+        let mut results: Vec<Vec<Vec<u64>>> = Vec::new();
+        for opt in configs {
+            let (mut rt, _) = runtime(Q1, opt);
+            let out = rt.process_all(&events).unwrap();
+            let mut canon: Vec<Vec<u64>> = out
+                .iter()
+                .map(|ce| ce.events.iter().map(|e| e.timestamp()).collect())
+                .collect();
+            canon.sort();
+            results.push(canon);
+        }
+        for r in &results[1..] {
+            assert_eq!(&results[0], r);
+        }
+        assert!(
+            !results[0].is_empty(),
+            "workload should produce at least one match"
+        );
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let (mut rt, reg) = runtime(Q1, PlannerOptions::default());
+        let mut out = Vec::new();
+        rt.process(&ev(&reg, "SHELF_READING", 10, 1, 1), &mut out)
+            .unwrap();
+        let err = rt.process(&ev(&reg, "SHELF_READING", 5, 1, 1), &mut out);
+        assert!(err.is_err());
+        // Equal timestamps are accepted.
+        rt.process(&ev(&reg, "SHELF_READING", 10, 2, 1), &mut out)
+            .unwrap();
+    }
+
+    #[test]
+    fn retained_state_reports() {
+        let (mut rt, reg) = runtime(Q1, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "COUNTER_READING", 2, 7, 3),
+        ];
+        rt.process_all(&events).unwrap();
+        let (instances, neg) = rt.retained_state();
+        assert_eq!(instances, 1);
+        assert_eq!(neg, 1);
+    }
+
+    #[test]
+    fn q2_location_change() {
+        let q2 = "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+                  WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 3600 \
+                  RETURN y.TagId, y.AreaId, y.Timestamp";
+        let (mut rt, reg) = runtime(q2, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 10, 7, 1),
+            ev(&reg, "SHELF_READING", 20, 7, 1), // same area: no event
+            ev(&reg, "SHELF_READING", 30, 7, 2), // moved
+        ];
+        let out = rt.process_all(&events).unwrap();
+        // Both earlier readings pair with the area-2 reading.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value("y.AreaId"), Some(&Value::Int(2)));
+        assert_eq!(out[0].value("y.Timestamp"), Some(&Value::Int(30)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Naive sequence detection: direct NFA simulation.
+//!
+//! The unoptimized baseline for the benchmark ablations. Every partial run
+//! of the sequence NFA is kept as an explicit vector of bound events; an
+//! arriving event extends every run it can (and always also leaves the
+//! original run alive — the NFA self-loop). Predicates are evaluated only
+//! when a run reaches the accepting state, so intermediate result sets grow
+//! combinatorially — exactly the effect the paper's Active Instance Stacks
+//! and pushed predicates exist to avoid.
+//!
+//! The only concession to liveness is window-based pruning of runs (a run
+//! whose first event has expired can never complete); without it no finite
+//! benchmark would terminate. The paper's baseline implicitly does the
+//! same.
+
+use crate::error::Result;
+use crate::event::Event;
+use crate::expr::SlotProbe;
+use crate::plan::QueryPlan;
+
+use super::binding::PositiveMatch;
+use super::RuntimeStats;
+
+/// A partial run of the NFA: events bound to positive components `0..k`.
+#[derive(Debug, Clone)]
+struct Run {
+    bound: Vec<Event>,
+}
+
+/// The naive sequence runner.
+#[derive(Debug)]
+pub struct NaiveRunner {
+    plan: std::sync::Arc<QueryPlan>,
+    runs: Vec<Run>,
+}
+
+impl NaiveRunner {
+    /// Build the runner for a plan.
+    pub fn new(plan: std::sync::Arc<QueryPlan>) -> Self {
+        NaiveRunner {
+            plan,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Number of live partial runs (the "intermediate result set" size).
+    pub fn live_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Process one event; pushes completed positive matches to `out`.
+    pub fn on_event(
+        &mut self,
+        event: &Event,
+        stats: &mut RuntimeStats,
+        out: &mut Vec<PositiveMatch>,
+    ) -> Result<()> {
+        let n = self.plan.pattern.positive_len();
+        let ts = event.timestamp();
+
+        // Prune runs that can no longer complete within the window.
+        if let Some(w) = self.plan.window {
+            self.runs.retain(|r| {
+                r.bound
+                    .first()
+                    .map(|e| ts.saturating_sub(e.timestamp()) <= w)
+                    .unwrap_or(true)
+            });
+        }
+
+        let mut extended: Vec<Run> = Vec::new();
+        // Try to start a new run.
+        if self.admits(0, event)? {
+            let run = Run {
+                bound: vec![event.clone()],
+            };
+            if n == 1 {
+                self.try_accept(&run, stats, out)?;
+            } else {
+                extended.push(run);
+            }
+        }
+        // Try to extend every live run (the original run stays alive).
+        for run in &self.runs {
+            let k = run.bound.len();
+            debug_assert!(k < n);
+            let last_ts = run.bound[k - 1].timestamp();
+            if ts <= last_ts {
+                continue;
+            }
+            if !self.admits(k, event)? {
+                continue;
+            }
+            let mut bound = run.bound.clone();
+            bound.push(event.clone());
+            let next = Run { bound };
+            if k + 1 == n {
+                self.try_accept(&next, stats, out)?;
+            } else {
+                extended.push(next);
+            }
+        }
+        self.runs.extend(extended);
+        stats.partial_runs_peak = stats.partial_runs_peak.max(self.runs.len() as u64);
+        Ok(())
+    }
+
+    /// Type test + pushed single-variable predicates for positive index `k`.
+    fn admits(&self, k: usize, event: &Event) -> Result<bool> {
+        let elem = self.plan.pattern.positive_elem(k);
+        if !elem.matches_type(event.type_id()) {
+            return Ok(false);
+        }
+        let probe = SlotProbe {
+            slot: elem.slot,
+            event,
+        };
+        for f in &self.plan.element_filters[elem.slot] {
+            if !f.eval_bool(&probe)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// A run reached the accepting state: evaluate everything deferred.
+    fn try_accept(
+        &self,
+        run: &Run,
+        stats: &mut RuntimeStats,
+        out: &mut Vec<PositiveMatch>,
+    ) -> Result<()> {
+        // Window (always enforced at accept; pruning above is only a bound).
+        if let Some(w) = self.plan.window {
+            let span = run.bound.last().expect("complete").timestamp()
+                - run.bound.first().expect("complete").timestamp();
+            if span > w {
+                stats.dropped_by_window += 1;
+                return Ok(());
+            }
+        }
+        // All construction filters over the complete binding.
+        let mut binding: Vec<Option<Event>> =
+            vec![None; self.plan.pattern.slot_count()];
+        for (i, e) in run.bound.iter().enumerate() {
+            binding[self.plan.pattern.positive_slots[i]] = Some(e.clone());
+        }
+        for f in &self.plan.construction_filters {
+            if !f.expr.eval_bool(&binding[..])? {
+                stats.construction_filter_rejects += 1;
+                return Ok(());
+            }
+        }
+        stats.sequences_constructed += 1;
+        out.push(run.bound.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{retail_registry, SchemaRegistry};
+    use crate::functions::FunctionRegistry;
+    use crate::lang::parse_query;
+    use crate::plan::{Planner, PlannerOptions};
+    use crate::runtime::ssc::SscOperator;
+    use crate::value::Value;
+
+    fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64, area: i64) -> Event {
+        reg.build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("p"), Value::Int(area)],
+        )
+        .unwrap()
+    }
+
+    fn naive(src: &str) -> (NaiveRunner, SchemaRegistry) {
+        let reg = retail_registry();
+        let planner = Planner::new(reg.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(src).unwrap();
+        let plan = planner.plan_with(&q, PlannerOptions::naive()).unwrap();
+        (NaiveRunner::new(std::sync::Arc::new(plan)), reg)
+    }
+
+    #[test]
+    fn naive_finds_basic_sequence() {
+        let (mut runner, reg) = naive(
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+             WHERE x.TagId = z.TagId WITHIN 100",
+        );
+        let mut out = Vec::new();
+        let mut stats = RuntimeStats::default();
+        for e in [
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 8, 1),
+            ev(&reg, "EXIT_READING", 3, 7, 4),
+        ] {
+            runner.on_event(&e, &mut stats, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0].attr("TagId").unwrap(), Value::Int(7));
+        // Both shelf readings became partial runs (no pushdown).
+        assert_eq!(stats.partial_runs_peak, 2);
+    }
+
+    /// Differential test: naive and SSC agree on match sets.
+    #[test]
+    fn naive_agrees_with_ssc() {
+        let reg = retail_registry();
+        let src = "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) \
+                   WHERE a.TagId = b.TagId AND a.TagId = c.TagId WITHIN 50";
+        let planner = Planner::new(reg.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(src).unwrap();
+        let ssc_plan = planner.plan(&q).unwrap();
+        let naive_plan = planner.plan_with(&q, PlannerOptions::naive()).unwrap();
+        let mut ssc = SscOperator::new(std::sync::Arc::new(ssc_plan));
+        let mut nv = NaiveRunner::new(std::sync::Arc::new(naive_plan));
+
+        // Deterministic pseudo-random interleaving.
+        let mut events = Vec::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for k in 0..200u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let ty = match state % 3 {
+                0 => "SHELF_READING",
+                1 => "COUNTER_READING",
+                _ => "EXIT_READING",
+            };
+            let tag = ((state >> 8) % 4) as i64;
+            events.push(ev(&reg, ty, k + 1, tag, 1));
+        }
+
+        let mut out_ssc = Vec::new();
+        let mut out_nv = Vec::new();
+        let mut s1 = RuntimeStats::default();
+        let mut s2 = RuntimeStats::default();
+        for e in &events {
+            ssc.on_event(e, &mut s1, &mut out_ssc).unwrap();
+            nv.on_event(e, &mut s2, &mut out_nv).unwrap();
+        }
+        let canon = |ms: &Vec<PositiveMatch>| {
+            let mut v: Vec<Vec<u64>> = ms
+                .iter()
+                .map(|m| m.iter().map(|e| e.timestamp()).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&out_ssc), canon(&out_nv));
+        assert!(!out_ssc.is_empty(), "workload should produce matches");
+    }
+
+    #[test]
+    fn window_pruning_bounds_runs() {
+        let (mut runner, reg) = naive(
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 10",
+        );
+        let mut out = Vec::new();
+        let mut stats = RuntimeStats::default();
+        for k in 0..100u64 {
+            let e = ev(&reg, "SHELF_READING", k * 5, 1, 1);
+            runner.on_event(&e, &mut stats, &mut out).unwrap();
+        }
+        // Window 10 with events every 5 ticks: at most ~3 runs live.
+        assert!(runner.live_runs() <= 3, "live runs: {}", runner.live_runs());
+    }
+}

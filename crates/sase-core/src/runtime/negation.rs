@@ -1,0 +1,292 @@
+//! The negation operator: non-occurrence checks.
+//!
+//! Q1's `!(COUNTER_READING y)` demands that *no* counter reading of the
+//! same tag occurs between the shelf reading and the exit reading. The
+//! operator buffers candidate counterexamples (events of the negated types
+//! that pass their single-variable predicates) in temporal order and, for
+//! each constructed sequence, probes for a counterexample strictly between
+//! the flanking positive events that satisfies the relational checks.
+//!
+//! With `indexed_negation` (and a partition that covers the negated slot)
+//! candidates are additionally bucketed by partition key — the "indexing
+//! relevant events ... across value-based partitions" of §2.1.2 — so a
+//! probe touches only same-key candidates.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::Result;
+use crate::event::Event;
+use crate::expr::SlotProbe;
+use crate::plan::QueryPlan;
+use crate::time::Timestamp;
+use crate::value::ValueKey;
+
+use super::binding::{MatchBinding, PositiveMatch};
+use super::RuntimeStats;
+
+#[derive(Debug)]
+struct NegBuffer {
+    /// Bucketed by composite partition key when indexing is active.
+    buckets: HashMap<Vec<ValueKey>, VecDeque<Event>>,
+    /// Flat temporal buffer when not indexed.
+    all: VecDeque<Event>,
+    indexed: bool,
+}
+
+/// Runtime state of all negated components of one query.
+#[derive(Debug)]
+pub struct NegationOperator {
+    plan: std::sync::Arc<QueryPlan>,
+    buffers: Vec<NegBuffer>,
+}
+
+impl NegationOperator {
+    /// Build the operator for a plan.
+    pub fn new(plan: std::sync::Arc<QueryPlan>) -> Self {
+        let buffers = plan
+            .negations
+            .iter()
+            .map(|n| NegBuffer {
+                buckets: HashMap::new(),
+                all: VecDeque::new(),
+                indexed: plan.options.indexed_negation && n.partition_attrs.is_some(),
+            })
+            .collect();
+        NegationOperator { plan, buffers }
+    }
+
+    /// True when the query has no negated components.
+    pub fn is_trivial(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Total buffered candidates.
+    pub fn buffered(&self) -> usize {
+        self.buffers
+            .iter()
+            .map(|b| {
+                if b.indexed {
+                    b.buckets.values().map(|q| q.len()).sum()
+                } else {
+                    b.all.len()
+                }
+            })
+            .sum()
+    }
+
+    /// Observe an arriving event, buffering it wherever it is a candidate
+    /// counterexample.
+    pub fn observe(&mut self, event: &Event, stats: &mut RuntimeStats) -> Result<()> {
+        for (ni, neg) in self.plan.negations.iter().enumerate() {
+            if !neg.type_ids.contains(&event.type_id()) {
+                continue;
+            }
+            let probe = SlotProbe {
+                slot: neg.scope.slot,
+                event,
+            };
+            let mut pass = true;
+            for f in &neg.filters {
+                if !f.eval_bool(&probe)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if !pass {
+                continue;
+            }
+            let buf = &mut self.buffers[ni];
+            if buf.indexed {
+                let attrs = neg
+                    .partition_attrs
+                    .as_ref()
+                    .expect("indexed implies attrs");
+                let mut key = Vec::with_capacity(attrs.len());
+                let mut complete = true;
+                for a in attrs {
+                    match event.attr(a) {
+                        Some(v) => key.push(ValueKey::from_value(&v)),
+                        // Missing key attribute: cannot satisfy the
+                        // equivalence predicate, so never a counterexample.
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if complete {
+                    buf.buckets.entry(key).or_default().push_back(event.clone());
+                    stats.negation_candidates_buffered += 1;
+                }
+            } else {
+                buf.all.push_back(event.clone());
+                stats.negation_candidates_buffered += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the match survive every non-occurrence requirement?
+    pub fn allows(&self, m: &PositiveMatch) -> Result<bool> {
+        for (ni, neg) in self.plan.negations.iter().enumerate() {
+            let t_after = m[neg.scope.after_positive].timestamp();
+            let t_before = m[neg.scope.before_positive].timestamp();
+            let buf = &self.buffers[ni];
+            let candidates: Option<&VecDeque<Event>> = if buf.indexed {
+                let spec = self.plan.partition.as_ref().expect("indexed");
+                // The match lives in one partition; derive its key from the
+                // first positive event.
+                let slot0 = self.plan.pattern.positive_slots[0];
+                match spec.key_for_slot(slot0, &m[0]) {
+                    Some(key) => buf.buckets.get(&key),
+                    None => None,
+                }
+            } else {
+                Some(&buf.all)
+            };
+            let Some(candidates) = candidates else {
+                continue;
+            };
+            // Buffered in arrival (= timestamp) order; probe the open
+            // interval (t_after, t_before).
+            let start = candidates.partition_point(|e| e.timestamp() <= t_after);
+            for e in candidates.iter().skip(start) {
+                if e.timestamp() >= t_before {
+                    break;
+                }
+                if neg.checks.is_empty() {
+                    return Ok(false);
+                }
+                let binding =
+                    MatchBinding::with_negated(&self.plan.pattern, m, neg.scope.slot, e);
+                let mut all_pass = true;
+                for c in &neg.checks {
+                    if !c.eval_bool(&binding)? {
+                        all_pass = false;
+                        break;
+                    }
+                }
+                if all_pass {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Drop candidates older than `min_ts` (window expiry).
+    pub fn prune_before(&mut self, min_ts: Timestamp) {
+        for buf in &mut self.buffers {
+            if buf.indexed {
+                buf.buckets.retain(|_, q| {
+                    while q.front().map(|e| e.timestamp() < min_ts).unwrap_or(false) {
+                        q.pop_front();
+                    }
+                    !q.is_empty()
+                });
+            } else {
+                while buf
+                    .all
+                    .front()
+                    .map(|e| e.timestamp() < min_ts)
+                    .unwrap_or(false)
+                {
+                    buf.all.pop_front();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{retail_registry, SchemaRegistry};
+    use crate::functions::FunctionRegistry;
+    use crate::lang::parse_query;
+    use crate::plan::{Planner, PlannerOptions};
+    use crate::value::Value;
+
+    const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+                      WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 1000";
+
+    fn setup(indexed: bool) -> (NegationOperator, SchemaRegistry) {
+        let reg = retail_registry();
+        let planner = Planner::new(reg.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(Q1).unwrap();
+        let plan = planner
+            .plan_with(
+                &q,
+                PlannerOptions {
+                    indexed_negation: indexed,
+                    ..PlannerOptions::default()
+                },
+            )
+            .unwrap();
+        (NegationOperator::new(std::sync::Arc::new(plan)), reg)
+    }
+
+    fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64) -> Event {
+        reg.build_event(ty, ts, vec![Value::Int(tag), Value::str("p"), Value::Int(1)])
+            .unwrap()
+    }
+
+    fn check(indexed: bool) {
+        let (mut op, reg) = setup(indexed);
+        assert!(!op.is_trivial());
+        let mut stats = RuntimeStats::default();
+        // Counter reading for tag 7 at ts 5 — kills tag-7 matches spanning it.
+        op.observe(&ev(&reg, "COUNTER_READING", 5, 7), &mut stats)
+            .unwrap();
+        // Counter for tag 8 — irrelevant to tag 7.
+        op.observe(&ev(&reg, "COUNTER_READING", 6, 8), &mut stats)
+            .unwrap();
+        assert_eq!(stats.negation_candidates_buffered, 2);
+
+        let spanning = vec![ev(&reg, "SHELF_READING", 1, 7), ev(&reg, "EXIT_READING", 9, 7)];
+        assert!(!op.allows(&spanning).unwrap(), "counter at 5 must kill it");
+
+        let before = vec![ev(&reg, "SHELF_READING", 6, 7), ev(&reg, "EXIT_READING", 9, 7)];
+        assert!(op.allows(&before).unwrap(), "counter at 5 is before the shelf");
+
+        let other_tag = vec![ev(&reg, "SHELF_READING", 1, 9), ev(&reg, "EXIT_READING", 9, 9)];
+        assert!(op.allows(&other_tag).unwrap(), "different tag unaffected");
+
+        // Boundary: counter exactly at the shelf/exit timestamps does not
+        // count (open interval).
+        let at_left = vec![ev(&reg, "SHELF_READING", 5, 7), ev(&reg, "EXIT_READING", 9, 7)];
+        assert!(op.allows(&at_left).unwrap());
+        let at_right = vec![ev(&reg, "SHELF_READING", 1, 7), ev(&reg, "EXIT_READING", 5, 7)];
+        assert!(op.allows(&at_right).unwrap());
+    }
+
+    #[test]
+    fn indexed_and_scan_agree() {
+        check(true);
+        check(false);
+    }
+
+    #[test]
+    fn pruning_drops_expired_candidates() {
+        let (mut op, reg) = setup(true);
+        let mut stats = RuntimeStats::default();
+        for ts in [5u64, 10, 15] {
+            op.observe(&ev(&reg, "COUNTER_READING", ts, 7), &mut stats)
+                .unwrap();
+        }
+        assert_eq!(op.buffered(), 3);
+        op.prune_before(12);
+        assert_eq!(op.buffered(), 1);
+        op.prune_before(100);
+        assert_eq!(op.buffered(), 0);
+    }
+
+    #[test]
+    fn shelf_events_are_not_candidates() {
+        let (mut op, reg) = setup(true);
+        let mut stats = RuntimeStats::default();
+        op.observe(&ev(&reg, "SHELF_READING", 5, 7), &mut stats)
+            .unwrap();
+        assert_eq!(op.buffered(), 0);
+    }
+}

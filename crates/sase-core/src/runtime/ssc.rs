@@ -1,0 +1,552 @@
+//! Sequence Scan and Construction (SSC) — the native sequence operator.
+//!
+//! §2.1.2: the paper's plans are founded on "native sequence operators
+//! based on a Non-deterministic Finite Automata based model", accelerated
+//! by "novel sequence indexes" and by "indexing relevant events both in
+//! temporal order and across value-based partitions".
+//!
+//! * **Sequence Scan**: each arriving event that can bind a positive
+//!   component (and passes that component's pushed single-variable
+//!   predicates) is appended to the component's Active Instance Stack with
+//!   a RIP pointer (see [`super::ais`]). With PAIS the stacks are
+//!   partitioned by the equivalence-attribute key, so events of different
+//!   partitions never meet.
+//! * **Sequence Construction**: when an instance lands in the *last* stack,
+//!   all sequences ending at it are enumerated by walking RIP pointers
+//!   backwards, applying window bounds and multi-variable predicates as
+//!   early as their variables are bound.
+//!
+//! The operator emits every match (skip-till-any-match semantics): each
+//! combination of events, one per positive component, in strictly
+//! increasing timestamp order, within the window, satisfying the pushed
+//! predicates.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::event::Event;
+use crate::expr::SlotProbe;
+use crate::plan::{ConstructionFilter, QueryPlan};
+use crate::value::ValueKey;
+
+use super::ais::{AisGroup, Instance};
+use super::binding::PositiveMatch;
+use super::RuntimeStats;
+
+/// The SSC operator: one per running query (when the plan strategy is
+/// [`crate::plan::SequenceStrategy::Ssc`]).
+#[derive(Debug)]
+pub struct SscOperator {
+    plan: std::sync::Arc<QueryPlan>,
+    /// Partition key -> stacks. Unpartitioned plans use the empty key.
+    groups: HashMap<Vec<ValueKey>, AisGroup>,
+    /// Construction filters grouped by the positive index at which they
+    /// become evaluable during backward construction.
+    filters_by_min: Vec<Vec<ConstructionFilter>>,
+    events_since_sweep: usize,
+}
+
+/// Full-sweep period (events) for pruning partitions that have not been
+/// touched recently. Purely a memory bound; correctness never depends on it.
+const SWEEP_PERIOD: usize = 4096;
+
+impl SscOperator {
+    /// Build the operator for a plan.
+    pub fn new(plan: std::sync::Arc<QueryPlan>) -> Self {
+        let n = plan.pattern.positive_len();
+        let mut filters_by_min = vec![Vec::new(); n];
+        for f in &plan.construction_filters {
+            filters_by_min[f.min_positive.min(n - 1)].push(f.clone());
+        }
+        SscOperator {
+            plan,
+            groups: HashMap::new(),
+            filters_by_min,
+            events_since_sweep: 0,
+        }
+    }
+
+    /// Number of live partitions (1 when unpartitioned and active).
+    pub fn partition_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total retained stack instances across partitions.
+    pub fn retained_instances(&self) -> usize {
+        self.groups.values().map(|g| g.retained()).sum()
+    }
+
+    /// Process one event; pushes every completed positive match to `out`.
+    pub fn on_event(
+        &mut self,
+        event: &Event,
+        stats: &mut RuntimeStats,
+        out: &mut Vec<PositiveMatch>,
+    ) -> Result<()> {
+        let n = self.plan.pattern.positive_len();
+        let push_window = self.plan.options.pushdown_window;
+        let window = self.plan.window.filter(|_| push_window);
+
+        // Periodic global sweep bounds memory of idle partitions.
+        self.events_since_sweep += 1;
+        if self.events_since_sweep >= SWEEP_PERIOD {
+            self.events_since_sweep = 0;
+            if let Some(w) = window {
+                let min_ts = event.timestamp().saturating_sub(w);
+                let mut pruned = 0u64;
+                self.groups.retain(|_, g| {
+                    pruned += g.prune_before(min_ts) as u64;
+                    g.retained() > 0
+                });
+                stats.instances_pruned += pruned;
+            }
+        }
+
+        // Descending component order so an event binding several components
+        // cannot become its own predecessor within this arrival.
+        for i in (0..n).rev() {
+            let elem = self.plan.pattern.positive_elem(i);
+            if !elem.matches_type(event.type_id()) {
+                continue;
+            }
+            let probe = SlotProbe {
+                slot: elem.slot,
+                event,
+            };
+            let mut pass = true;
+            for f in &self.plan.element_filters[elem.slot] {
+                if !f.eval_bool(&probe)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if !pass {
+                continue;
+            }
+
+            let key = match &self.plan.partition {
+                Some(spec) => match spec.key_for_slot(elem.slot, event) {
+                    Some(k) => k,
+                    // Missing key attribute: the equivalence predicate can
+                    // never hold for this event.
+                    None => continue,
+                },
+                None => Vec::new(),
+            };
+            let group = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| AisGroup::new(n));
+            if let Some(w) = window {
+                stats.instances_pruned +=
+                    group.prune_before(event.timestamp().saturating_sub(w)) as u64;
+            }
+
+            // An instance with no possible predecessor can never extend to
+            // a match: predecessors must already be in the previous stack.
+            if i > 0 && group.stack(i - 1).is_empty() {
+                continue;
+            }
+            let rip = if i == 0 {
+                0
+            } else {
+                group.stack(i - 1).total()
+            };
+            group.stack_mut(i).push(Instance {
+                event: event.clone(),
+                rip,
+            });
+            stats.instances_appended += 1;
+
+            if i == n - 1 {
+                construct(
+                    &self.plan,
+                    &self.filters_by_min,
+                    group,
+                    event,
+                    rip,
+                    stats,
+                    out,
+                )?;
+            }
+        }
+        stats.partitions = self.groups.len() as u64;
+        Ok(())
+    }
+}
+
+/// Enumerate all sequences ending at `last` by backward RIP traversal.
+fn construct(
+    plan: &QueryPlan,
+    filters_by_min: &[Vec<ConstructionFilter>],
+    group: &AisGroup,
+    last: &Event,
+    last_rip: usize,
+    stats: &mut RuntimeStats,
+    out: &mut Vec<PositiveMatch>,
+) -> Result<()> {
+    let n = plan.pattern.positive_len();
+    let mut binding: Vec<Option<Event>> = vec![None; plan.pattern.slot_count()];
+    binding[plan.pattern.positive_slots[n - 1]] = Some(last.clone());
+
+    for f in &filters_by_min[n - 1] {
+        if !f.expr.eval_bool(&binding[..])? {
+            stats.construction_filter_rejects += 1;
+            return Ok(());
+        }
+    }
+    if n == 1 {
+        stats.sequences_constructed += 1;
+        out.push(vec![last.clone()]);
+        return Ok(());
+    }
+
+    let min_ts = plan
+        .window
+        .filter(|_| plan.options.pushdown_window)
+        .map(|w| last.timestamp().saturating_sub(w));
+
+    descend(
+        plan,
+        filters_by_min,
+        group,
+        n - 2,
+        last_rip,
+        last.timestamp(),
+        min_ts,
+        &mut binding,
+        stats,
+        out,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    plan: &QueryPlan,
+    filters_by_min: &[Vec<ConstructionFilter>],
+    group: &AisGroup,
+    i: usize,
+    bound: usize,
+    prev_ts: u64,
+    min_ts: Option<u64>,
+    binding: &mut Vec<Option<Event>>,
+    stats: &mut RuntimeStats,
+    out: &mut Vec<PositiveMatch>,
+) -> Result<()> {
+    let slot = plan.pattern.positive_slots[i];
+    // `iter_below` walks newest-first: timestamps are non-increasing, so the
+    // window bound terminates the scan with `break`.
+    for (_, inst) in group.stack(i).iter_below(bound) {
+        let ts = inst.event.timestamp();
+        if ts >= prev_ts {
+            // Same-or-later timestamp: strict sequencing rejects it, but
+            // older instances further down may still qualify.
+            continue;
+        }
+        if let Some(m) = min_ts {
+            if ts < m {
+                break;
+            }
+        }
+        binding[slot] = Some(inst.event.clone());
+        let mut pass = true;
+        for f in &filters_by_min[i] {
+            if !f.expr.eval_bool(&binding[..])? {
+                pass = false;
+                stats.construction_filter_rejects += 1;
+                break;
+            }
+        }
+        if pass {
+            if i == 0 {
+                stats.sequences_constructed += 1;
+                let m: PositiveMatch = plan
+                    .pattern
+                    .positive_slots
+                    .iter()
+                    .map(|s| binding[*s].clone().expect("all positives bound"))
+                    .collect();
+                out.push(m);
+            } else {
+                descend(
+                    plan,
+                    filters_by_min,
+                    group,
+                    i - 1,
+                    inst.rip,
+                    ts,
+                    min_ts,
+                    binding,
+                    stats,
+                    out,
+                )?;
+            }
+        }
+        binding[slot] = None;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{retail_registry, SchemaRegistry};
+    use crate::functions::FunctionRegistry;
+    use crate::lang::parse_query;
+    use crate::plan::{Planner, PlannerOptions};
+    use crate::value::Value;
+
+    fn setup(src: &str, options: PlannerOptions) -> (SscOperator, SchemaRegistry) {
+        let reg = retail_registry();
+        let planner = Planner::new(reg.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(src).unwrap();
+        let plan = planner.plan_with(&q, options).unwrap();
+        (SscOperator::new(std::sync::Arc::new(plan)), reg)
+    }
+
+    fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64, area: i64) -> Event {
+        reg.build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("p"), Value::Int(area)],
+        )
+        .unwrap()
+    }
+
+    fn run(
+        op: &mut SscOperator,
+        events: &[Event],
+    ) -> (Vec<PositiveMatch>, RuntimeStats) {
+        let mut out = Vec::new();
+        let mut stats = RuntimeStats::default();
+        for e in events {
+            stats.events_processed += 1;
+            op.on_event(e, &mut stats, &mut out).unwrap();
+        }
+        (out, stats)
+    }
+
+    const SEQ2: &str = "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                        WHERE x.TagId = z.TagId WITHIN 100";
+
+    #[test]
+    fn basic_two_step_sequence() {
+        let (mut op, reg) = setup(SEQ2, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 8, 1),
+            ev(&reg, "EXIT_READING", 3, 7, 4),
+        ];
+        let (matches, stats) = run(&mut op, &events);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0][0].timestamp(), 1);
+        assert_eq!(matches[0][1].timestamp(), 3);
+        assert_eq!(stats.sequences_constructed, 1);
+        // PAIS: two partitions (tags 7, 8).
+        assert_eq!(op.partition_count(), 2);
+    }
+
+    #[test]
+    fn all_matches_semantics() {
+        // Two shelf readings of the same tag then one exit: both pair.
+        let (mut op, reg) = setup(SEQ2, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 7, 2),
+            ev(&reg, "EXIT_READING", 3, 7, 4),
+        ];
+        let (matches, _) = run(&mut op, &events);
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn window_prunes_old_matches() {
+        let (mut op, reg) = setup(SEQ2, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "EXIT_READING", 200, 7, 4), // outside WITHIN 100
+        ];
+        let (matches, _) = run(&mut op, &events);
+        assert!(matches.is_empty());
+        // Boundary: exactly W apart is inside.
+        let (mut op, _) = setup(SEQ2, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 100, 7, 1),
+            ev(&reg, "EXIT_READING", 200, 7, 4),
+        ];
+        let (matches, _) = run(&mut op, &events);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn window_post_filter_matches_pushdown_results() {
+        let reg = retail_registry();
+        let mk = |seed: u64| {
+            let mut evs = Vec::new();
+            for k in 0..60u64 {
+                let ts = k * 7 + 1;
+                let tag = ((k + seed) % 5) as i64;
+                if k % 3 == 0 {
+                    evs.push(ev(&reg, "EXIT_READING", ts, tag, 4));
+                } else {
+                    evs.push(ev(&reg, "SHELF_READING", ts, tag, 1));
+                }
+            }
+            evs
+        };
+        let events = mk(3);
+        let (mut op_push, _) = setup(SEQ2, PlannerOptions::default());
+        let (m1, _) = run(&mut op_push, &events);
+        let (mut op_post, _) = setup(
+            SEQ2,
+            PlannerOptions {
+                pushdown_window: false,
+                ..PlannerOptions::default()
+            },
+        );
+        let (m2, _) = run(&mut op_post, &events);
+        // Post-filter generates a superset; filter by window and compare.
+        let w = 100;
+        let m2f: Vec<_> = m2
+            .into_iter()
+            .filter(|m| m[1].timestamp() - m[0].timestamp() <= w)
+            .collect();
+        assert_eq!(m1.len(), m2f.len());
+    }
+
+    #[test]
+    fn strict_timestamp_ordering() {
+        let (mut op, reg) = setup(SEQ2, PlannerOptions::default());
+        // Same timestamp: not a sequence.
+        let events = vec![
+            ev(&reg, "SHELF_READING", 5, 7, 1),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
+        let (matches, _) = run(&mut op, &events);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn event_cannot_precede_itself_with_any() {
+        let (mut op, reg) = setup(
+            "EVENT SEQ(ANY(SHELF_READING, EXIT_READING) a, \
+             ANY(SHELF_READING, EXIT_READING) b) WITHIN 100",
+            PlannerOptions::default(),
+        );
+        let events = vec![ev(&reg, "SHELF_READING", 1, 7, 1)];
+        let (matches, _) = run(&mut op, &events);
+        assert!(matches.is_empty());
+        // A second event forms exactly one pair (plus none with itself).
+        let events2 = [ev(&reg, "EXIT_READING", 2, 7, 1)];
+        let mut out = Vec::new();
+        let mut stats = RuntimeStats::default();
+        op.on_event(&events2[0], &mut stats, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn partition_isolation() {
+        let (mut op, reg) = setup(SEQ2, PlannerOptions::default());
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "EXIT_READING", 2, 8, 4), // different tag: no match
+        ];
+        let (matches, _) = run(&mut op, &events);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn unpartitioned_plan_equality_still_enforced() {
+        let (mut op, reg) = setup(
+            SEQ2,
+            PlannerOptions {
+                pushdown_partition: false,
+                ..PlannerOptions::default()
+            },
+        );
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 8, 1),
+            ev(&reg, "EXIT_READING", 3, 7, 4),
+        ];
+        let (matches, _) = run(&mut op, &events);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(op.partition_count(), 1); // single flat group
+    }
+
+    #[test]
+    fn three_component_sequence_counts() {
+        let (mut op, reg) = setup(
+            "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) \
+             WHERE [TagId] WITHIN 1000",
+            PlannerOptions::default(),
+        );
+        // 2 shelf, 2 counter, 1 exit (same tag): 2*2 = 4 matches.
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 7, 1),
+            ev(&reg, "COUNTER_READING", 3, 7, 3),
+            ev(&reg, "COUNTER_READING", 4, 7, 3),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
+        let (matches, stats) = run(&mut op, &events);
+        assert_eq!(matches.len(), 4);
+        assert_eq!(stats.sequences_constructed, 4);
+        for m in &matches {
+            assert!(m[0].timestamp() < m[1].timestamp());
+            assert!(m[1].timestamp() < m[2].timestamp());
+        }
+    }
+
+    #[test]
+    fn element_filter_blocks_stack_entry() {
+        let (mut op, reg) = setup(
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+             WHERE x.AreaId = 1 AND x.TagId = z.TagId WITHIN 100",
+            PlannerOptions::default(),
+        );
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 2), // wrong area: filtered
+            ev(&reg, "EXIT_READING", 2, 7, 4),
+        ];
+        let (matches, stats) = run(&mut op, &events);
+        assert!(matches.is_empty());
+        // The shelf reading never entered a stack; the exit reading had no
+        // predecessor so it was skipped too.
+        assert_eq!(stats.instances_appended, 0);
+    }
+
+    #[test]
+    fn construction_filter_inequality() {
+        // Q2 shape: same tag, different area.
+        let (mut op, reg) = setup(
+            "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+             WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 3600",
+            PlannerOptions::default(),
+        );
+        let events = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 1),
+            ev(&reg, "SHELF_READING", 2, 7, 1), // same area: rejected
+            ev(&reg, "SHELF_READING", 3, 7, 2), // moved: two matches (ts1->3, ts2->3)
+        ];
+        let (matches, stats) = run(&mut op, &events);
+        assert_eq!(matches.len(), 2);
+        assert!(stats.construction_filter_rejects > 0);
+    }
+
+    #[test]
+    fn pruning_reduces_retained_instances() {
+        let (mut op, reg) = setup(SEQ2, PlannerOptions::default());
+        let mut events = Vec::new();
+        for k in 0..500u64 {
+            events.push(ev(&reg, "SHELF_READING", k + 1, 7, 1));
+        }
+        events.push(ev(&reg, "EXIT_READING", 1000, 7, 4));
+        let (matches, stats) = run(&mut op, &events);
+        // Window 100: only shelf readings with ts in [900, 1000] can pair,
+        // i.e. none (max shelf ts is 500).
+        assert!(matches.is_empty());
+        assert!(stats.instances_pruned > 0);
+        assert!(op.retained_instances() < 500);
+    }
+}

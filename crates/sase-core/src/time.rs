@@ -1,0 +1,171 @@
+//! Logical time.
+//!
+//! The paper's Time Conversion Layer (§3, component 3) appends "a timestamp
+//! ... based on a logical time unit that is set as a system configuration
+//! parameter". All of SASE therefore runs on a discrete logical clock: a
+//! [`Timestamp`] is a number of logical time units since stream start, and a
+//! WITHIN window is a [`LogicalDuration`] in the same units.
+//!
+//! Queries may still be written with wall-clock units (`WITHIN 12 hours`);
+//! the [`TimeScale`] configured on the engine converts them to logical units.
+
+use std::fmt;
+
+/// A point on the logical clock (number of time units since stream start).
+pub type Timestamp = u64;
+
+/// A span of logical time units (the WITHIN window width).
+pub type LogicalDuration = u64;
+
+/// Wall-clock units accepted by the `WITHIN` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeUnit {
+    /// Raw logical time units (`WITHIN 500 units`).
+    Units,
+    /// Seconds.
+    Seconds,
+    /// Minutes.
+    Minutes,
+    /// Hours.
+    Hours,
+    /// Days.
+    Days,
+}
+
+impl TimeUnit {
+    /// Number of seconds in one of this unit; `None` for raw logical units.
+    pub fn seconds(&self) -> Option<u64> {
+        match self {
+            TimeUnit::Units => None,
+            TimeUnit::Seconds => Some(1),
+            TimeUnit::Minutes => Some(60),
+            TimeUnit::Hours => Some(3600),
+            TimeUnit::Days => Some(86_400),
+        }
+    }
+
+    /// Parse a unit keyword (singular or plural, any case).
+    pub fn parse(word: &str) -> Option<TimeUnit> {
+        match word.to_ascii_lowercase().as_str() {
+            "unit" | "units" => Some(TimeUnit::Units),
+            "second" | "seconds" | "sec" | "secs" | "s" => Some(TimeUnit::Seconds),
+            "minute" | "minutes" | "min" | "mins" | "m" => Some(TimeUnit::Minutes),
+            "hour" | "hours" | "h" => Some(TimeUnit::Hours),
+            "day" | "days" | "d" => Some(TimeUnit::Days),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TimeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeUnit::Units => write!(f, "units"),
+            TimeUnit::Seconds => write!(f, "seconds"),
+            TimeUnit::Minutes => write!(f, "minutes"),
+            TimeUnit::Hours => write!(f, "hours"),
+            TimeUnit::Days => write!(f, "days"),
+        }
+    }
+}
+
+/// A window width as written in the query: a magnitude and a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    /// Magnitude as written (`12` in `WITHIN 12 hours`).
+    pub amount: u64,
+    /// Unit as written.
+    pub unit: TimeUnit,
+}
+
+impl WindowSpec {
+    /// Create a window spec.
+    pub fn new(amount: u64, unit: TimeUnit) -> Self {
+        WindowSpec { amount, unit }
+    }
+
+    /// Convert to logical time units under the given scale.
+    ///
+    /// Saturates on overflow: a window wider than `u64::MAX` logical units
+    /// is effectively unbounded, which is the right degenerate behaviour.
+    pub fn to_logical(&self, scale: TimeScale) -> LogicalDuration {
+        match self.unit.seconds() {
+            None => self.amount,
+            Some(secs) => self
+                .amount
+                .saturating_mul(secs)
+                .saturating_mul(scale.units_per_second),
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.amount, self.unit)
+    }
+}
+
+/// The system configuration parameter mapping wall-clock time to logical
+/// time units (the paper's Time Conversion Layer setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeScale {
+    /// How many logical time units elapse per wall-clock second.
+    pub units_per_second: u64,
+}
+
+impl TimeScale {
+    /// One logical unit per second.
+    pub fn per_second() -> Self {
+        TimeScale { units_per_second: 1 }
+    }
+
+    /// Custom scale.
+    pub fn new(units_per_second: u64) -> Self {
+        TimeScale { units_per_second }
+    }
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        TimeScale::per_second()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_parsing() {
+        assert_eq!(TimeUnit::parse("hours"), Some(TimeUnit::Hours));
+        assert_eq!(TimeUnit::parse("Hour"), Some(TimeUnit::Hours));
+        assert_eq!(TimeUnit::parse("units"), Some(TimeUnit::Units));
+        assert_eq!(TimeUnit::parse("sec"), Some(TimeUnit::Seconds));
+        assert_eq!(TimeUnit::parse("fortnight"), None);
+    }
+
+    #[test]
+    fn q1_window_under_default_scale() {
+        // Q1: WITHIN 12 hours, 1 unit/second -> 43200 logical units.
+        let w = WindowSpec::new(12, TimeUnit::Hours);
+        assert_eq!(w.to_logical(TimeScale::per_second()), 43_200);
+    }
+
+    #[test]
+    fn raw_units_ignore_scale() {
+        let w = WindowSpec::new(500, TimeUnit::Units);
+        assert_eq!(w.to_logical(TimeScale::new(1000)), 500);
+    }
+
+    #[test]
+    fn overflow_saturates() {
+        let w = WindowSpec::new(u64::MAX / 2, TimeUnit::Days);
+        assert_eq!(w.to_logical(TimeScale::new(1000)), u64::MAX);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WindowSpec::new(12, TimeUnit::Hours).to_string(), "12 hours");
+        assert_eq!(WindowSpec::new(1, TimeUnit::Units).to_string(), "1 units");
+    }
+}

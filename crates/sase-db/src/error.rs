@@ -1,0 +1,53 @@
+//! Error type for the event database.
+
+use std::fmt;
+
+/// Errors produced by the event database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL text could not be parsed.
+    Parse(String),
+    /// Reference to an unknown table.
+    UnknownTable(String),
+    /// Reference to an unknown column.
+    UnknownColumn(String),
+    /// A value's type does not match the column's declared type.
+    Type(String),
+    /// Schema-level problem (duplicate table, duplicate column, ...).
+    Schema(String),
+    /// Runtime evaluation failure (division by zero, bad aggregate, ...).
+    Eval(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DbError::Parse("x".into()).to_string().contains("parse"));
+        assert!(DbError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(DbError::UnknownColumn("c".into()).to_string().contains("`c`"));
+        assert!(DbError::Type("x".into()).to_string().contains("type"));
+        assert!(DbError::Schema("x".into()).to_string().contains("schema"));
+        assert!(DbError::Eval("x".into()).to_string().contains("evaluation"));
+    }
+}

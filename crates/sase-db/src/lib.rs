@@ -1,0 +1,32 @@
+//! # sase-db — the event database
+//!
+//! Replaces the paper's MySQL 5.0.22 instance (§3, "Event Database"):
+//! "SASE contains a persistence storage component to support querying over
+//! historical data and to allow query results from the stream processor to
+//! be joined with stored data."
+//!
+//! * [`table`] / [`database`] — an in-memory relational store with typed
+//!   tables, secondary indexes, and a SQL subset for ad-hoc queries
+//! * [`location`] — the Location Update rule's `TimeIn`/`TimeOut` storage
+//! * [`containment`] — the Containment Update rule's storage
+//! * [`trace`] — the §4 track-and-trace queries (current location,
+//!   movement history)
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod containment;
+pub mod database;
+pub mod error;
+pub mod location;
+pub mod sql;
+pub mod table;
+pub mod trace;
+
+pub use containment::{ContainmentStore, Membership};
+pub use database::{Database, ResultSet, StatementResult};
+pub use error::{DbError, Result};
+pub use location::{LocationStore, Stay, OPEN};
+pub use sql::{parse_sql, Statement};
+pub use table::{Column, Row, Table, TableSchema};
+pub use trace::{TraceEntry, TrackAndTrace};

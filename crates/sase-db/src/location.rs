@@ -1,0 +1,185 @@
+//! Location history — the Location Update archiving rule's storage.
+//!
+//! §2.1.1 (Q2) / §3: "Internally, the event database stores the location of
+//! an item using TimeIn and TimeOut attributes, representing the duration
+//! of its stay. The `_updateLocation` function first sets the TimeOut
+//! attribute of the current location using the y.Timestamp value, and then
+//! creates a tuple for the new location with the TimeIn attribute also set
+//! to the value of y.Timestamp."
+//!
+//! An open (current) stay has `time_out = -1`.
+
+use sase_core::value::{Value, ValueType};
+
+use crate::database::Database;
+use crate::error::Result;
+
+/// Sentinel `time_out` for the current (open) stay.
+pub const OPEN: i64 = -1;
+
+/// Name of the backing table.
+pub const TABLE: &str = "item_location";
+
+/// One stay of an item in an area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stay {
+    /// The area.
+    pub area: i64,
+    /// Arrival time.
+    pub time_in: i64,
+    /// Departure time; [`OPEN`] while current.
+    pub time_out: i64,
+}
+
+/// Typed access to the `item_location` table.
+#[derive(Debug, Clone)]
+pub struct LocationStore {
+    db: Database,
+}
+
+impl LocationStore {
+    /// Open (creating if needed) the location table on a database.
+    pub fn open(db: Database) -> Result<LocationStore> {
+        if !db.table_names().contains(&TABLE.to_string()) {
+            db.create_table(
+                TABLE,
+                &[
+                    ("item", ValueType::Int),
+                    ("area", ValueType::Int),
+                    ("time_in", ValueType::Int),
+                    ("time_out", ValueType::Int),
+                ],
+            )?;
+            db.create_index(TABLE, "item")?;
+        }
+        Ok(LocationStore { db })
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The paper's `_updateLocation` semantics: close the current stay at
+    /// `ts` and open a new one in `area` at `ts`. Re-observing the current
+    /// area is a no-op (no location change happened).
+    pub fn update_location(&self, item: i64, area: i64, ts: i64) -> Result<bool> {
+        if let Some(current) = self.current_location(item)? {
+            if current.area == area {
+                return Ok(false);
+            }
+        }
+        self.db.execute(&format!(
+            "UPDATE {TABLE} SET time_out = {ts} WHERE item = {item} AND time_out = {OPEN}"
+        ))?;
+        self.db.execute(&format!(
+            "INSERT INTO {TABLE} VALUES ({item}, {area}, {ts}, {OPEN})"
+        ))?;
+        Ok(true)
+    }
+
+    /// The item's current stay, if it is anywhere.
+    pub fn current_location(&self, item: i64) -> Result<Option<Stay>> {
+        let rs = self.db.query(&format!(
+            "SELECT area, time_in, time_out FROM {TABLE} \
+             WHERE item = {item} AND time_out = {OPEN}"
+        ))?;
+        Ok(rs.rows.first().map(|r| row_to_stay(r)))
+    }
+
+    /// All stays of an item, chronological.
+    pub fn history(&self, item: i64) -> Result<Vec<Stay>> {
+        let rs = self.db.query(&format!(
+            "SELECT area, time_in, time_out FROM {TABLE} \
+             WHERE item = {item} ORDER BY time_in"
+        ))?;
+        Ok(rs.rows.iter().map(|r| row_to_stay(r)).collect())
+    }
+
+    /// Items currently in an area.
+    pub fn items_in_area(&self, area: i64) -> Result<Vec<i64>> {
+        let rs = self.db.query(&format!(
+            "SELECT item FROM {TABLE} WHERE area = {area} AND time_out = {OPEN} ORDER BY item"
+        ))?;
+        Ok(rs
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().expect("item is int"))
+            .collect())
+    }
+}
+
+fn row_to_stay(row: &[Value]) -> Stay {
+    Stay {
+        area: row[0].as_int().expect("area is int"),
+        time_in: row[1].as_int().expect("time_in is int"),
+        time_out: row[2].as_int().expect("time_out is int"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> LocationStore {
+        LocationStore::open(Database::new()).unwrap()
+    }
+
+    #[test]
+    fn update_location_implements_paper_semantics() {
+        let s = store();
+        assert!(s.update_location(1, 1, 10).unwrap());
+        assert!(s.update_location(1, 3, 20).unwrap());
+        assert!(s.update_location(1, 4, 30).unwrap());
+        let h = s.history(1).unwrap();
+        assert_eq!(
+            h,
+            vec![
+                Stay { area: 1, time_in: 10, time_out: 20 },
+                Stay { area: 3, time_in: 20, time_out: 30 },
+                Stay { area: 4, time_in: 30, time_out: OPEN },
+            ]
+        );
+        assert_eq!(
+            s.current_location(1).unwrap(),
+            Some(Stay { area: 4, time_in: 30, time_out: OPEN })
+        );
+    }
+
+    #[test]
+    fn same_area_is_a_noop() {
+        let s = store();
+        assert!(s.update_location(1, 2, 10).unwrap());
+        assert!(!s.update_location(1, 2, 15).unwrap());
+        assert_eq!(s.history(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_item_has_no_location() {
+        let s = store();
+        assert_eq!(s.current_location(42).unwrap(), None);
+        assert!(s.history(42).unwrap().is_empty());
+    }
+
+    #[test]
+    fn items_in_area() {
+        let s = store();
+        s.update_location(1, 5, 10).unwrap();
+        s.update_location(2, 5, 11).unwrap();
+        s.update_location(3, 6, 12).unwrap();
+        s.update_location(1, 6, 20).unwrap(); // item 1 moved away
+        assert_eq!(s.items_in_area(5).unwrap(), vec![2]);
+        let mut in6 = s.items_in_area(6).unwrap();
+        in6.sort_unstable();
+        assert_eq!(in6, vec![1, 3]);
+    }
+
+    #[test]
+    fn open_reuses_existing_table() {
+        let db = Database::new();
+        let a = LocationStore::open(db.clone()).unwrap();
+        a.update_location(1, 1, 5).unwrap();
+        let b = LocationStore::open(db).unwrap();
+        assert_eq!(b.history(1).unwrap().len(), 1);
+    }
+}

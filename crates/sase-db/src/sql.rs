@@ -1,0 +1,705 @@
+//! A small SQL subset for ad-hoc queries over the event database.
+//!
+//! §3: the UI "allows the user to issue both continuous queries over the
+//! RFID stream and ad hoc queries on the event database" — the latter in
+//! SQL against MySQL in the paper, against this engine here. Supported:
+//!
+//! ```text
+//! SELECT */items FROM t [JOIN t2 ON a.x = b.y] [WHERE e] [GROUP BY col]
+//!        [ORDER BY col [DESC], ...] [LIMIT n]
+//! INSERT INTO t VALUES (v, ...)[, (v, ...) ...]
+//! UPDATE t SET col = e [, ...] [WHERE e]
+//! DELETE FROM t [WHERE e]
+//! CREATE TABLE t (col type, ...)        -- types: int, float, string, bool
+//! CREATE INDEX ON t (col)
+//! ```
+//!
+//! The tokenizer is shared with the SASE language lexer; SQL-specific
+//! keywords (`SELECT`, `VALUES`, ...) arrive as identifiers and are matched
+//! case-insensitively.
+
+use sase_core::lang::ast::{AggFunc, BinOp, UnaryOp};
+use sase_core::lang::lexer::tokenize;
+use sase_core::lang::token::{Keyword, Token, TokenKind};
+use sase_core::value::{Value, ValueType};
+
+use crate::error::{DbError, Result};
+
+/// An expression over one row: columns, literals, operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<SqlExpr>,
+    },
+    /// Binary operation (shares [`BinOp`] with the SASE language).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+    },
+}
+
+impl SqlExpr {
+    /// Top-level conjuncts of the expression.
+    pub fn conjuncts(&self) -> Vec<&SqlExpr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a SqlExpr, out: &mut Vec<&'a SqlExpr>) {
+            match e {
+                SqlExpr::Binary {
+                    op: BinOp::And,
+                    left,
+                    right,
+                } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A scalar expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate: `count(*)`, `sum(col)`, ...
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// The column; `None` for `count(*)`.
+        column: Option<String>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An inner join: `JOIN <table> ON <left.col> = <right.col>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// The joined (right) table.
+    pub table: String,
+    /// ON-condition column of the left table (may be qualified).
+    pub left_col: String,
+    /// ON-condition column of the right table (may be qualified).
+    pub right_col: String,
+}
+
+/// A parsed SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Select-list items.
+    pub items: Vec<SelectItem>,
+    /// Source table.
+    pub table: String,
+    /// Optional inner join.
+    pub join: Option<JoinSpec>,
+    /// WHERE filter.
+    pub where_clause: Option<SqlExpr>,
+    /// GROUP BY column.
+    pub group_by: Option<String>,
+    /// ORDER BY columns with ascending flag.
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT.
+    Select(SelectStmt),
+    /// INSERT INTO ... VALUES ...
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row expressions.
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    /// UPDATE ... SET ...
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, expression)` assignments.
+        sets: Vec<(String, SqlExpr)>,
+        /// WHERE filter.
+        where_clause: Option<SqlExpr>,
+    },
+    /// DELETE FROM ...
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE filter.
+        where_clause: Option<SqlExpr>,
+    },
+    /// CREATE TABLE ...
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// Column declarations.
+        columns: Vec<(String, ValueType)>,
+    },
+    /// CREATE INDEX ON t (col)
+    CreateIndex {
+        /// Target table.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+}
+
+/// Parse one SQL statement. A trailing semicolon is tolerated.
+pub fn parse_sql(src: &str) -> Result<Statement> {
+    let src = src.trim_end().trim_end_matches(';');
+    let tokens = tokenize(src).map_err(|e| DbError::Parse(e.to_string()))?;
+    let mut p = SqlParser { tokens, idx: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct SqlParser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl SqlParser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DbError {
+        DbError::Parse(format!(
+            "{} (near `{}`)",
+            msg.into(),
+            self.tokens[self.idx].kind
+        ))
+    }
+
+    /// Does the current token spell `word` (identifier or SASE keyword)?
+    fn is_word(&self, word: &str) -> bool {
+        match self.peek() {
+            TokenKind::Ident(s) => s.eq_ignore_ascii_case(word),
+            TokenKind::Keyword(k) => k.as_str().eq_ignore_ascii_case(word),
+            _ => false,
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.is_word(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found `{other}`"))),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_word("SELECT") {
+            return self.select();
+        }
+        if self.eat_word("INSERT") {
+            return self.insert();
+        }
+        if self.eat_word("UPDATE") {
+            return self.update();
+        }
+        if self.eat_word("DELETE") {
+            return self.delete();
+        }
+        if self.eat_word("CREATE") {
+            return self.create();
+        }
+        Err(self.err("expected SELECT, INSERT, UPDATE, DELETE, or CREATE"))
+    }
+
+    fn select(&mut self) -> Result<Statement> {
+        let mut items = vec![self.select_item()?];
+        while self.peek() == &TokenKind::Comma {
+            self.bump();
+            items.push(self.select_item()?);
+        }
+        self.expect_word("FROM")?;
+        let table = self.expect_ident("a table name")?;
+        let join = if self.eat_word("JOIN") {
+            let jt = self.expect_ident("a table name after JOIN")?;
+            self.expect_word("ON")?;
+            let left_col = self.qualified_column()?;
+            self.expect(&TokenKind::Eq)?;
+            let right_col = self.qualified_column()?;
+            Some(JoinSpec {
+                table: jt,
+                left_col,
+                right_col,
+            })
+        } else {
+            None
+        };
+        let where_clause = if self.eat_word("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_word("GROUP") {
+            self.expect_word("BY")?;
+            Some(self.qualified_column()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_word("ORDER") {
+            self.expect_word("BY")?;
+            loop {
+                let col = self.qualified_column()?;
+                let asc = if self.eat_word("DESC") {
+                    false
+                } else {
+                    self.eat_word("ASC");
+                    true
+                };
+                order_by.push((col, asc));
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_word("LIMIT") {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected a non-negative LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStmt {
+            items,
+            table,
+            join,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        }))
+    }
+
+    /// A possibly table-qualified column name: `col` or `table.col`.
+    fn qualified_column(&mut self) -> Result<String> {
+        let first = self.expect_ident("a column name")?;
+        if self.peek() == &TokenKind::Dot {
+            self.bump();
+            let col = self.expect_ident("a column name after `.`")?;
+            Ok(format!("{first}.{col}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.peek() == &TokenKind::Star {
+            self.bump();
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate?
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if let Some(func) = AggFunc::parse(&name) {
+                if self.tokens.get(self.idx + 1).map(|t| &t.kind)
+                    == Some(&TokenKind::LParen)
+                {
+                    self.bump();
+                    self.bump();
+                    let column = if self.peek() == &TokenKind::Star {
+                        self.bump();
+                        if func != AggFunc::Count {
+                            return Err(self.err("only count accepts `*`"));
+                        }
+                        None
+                    } else {
+                        Some(self.expect_ident("a column name in aggregate")?)
+                    };
+                    self.expect(&TokenKind::RParen)?;
+                    let alias = self.maybe_alias()?;
+                    return Ok(SelectItem::Aggregate {
+                        func,
+                        column,
+                        alias,
+                    });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.maybe_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_word("AS") {
+            Ok(Some(self.expect_ident("an alias after AS")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_word("INTO")?;
+        let table = self.expect_ident("a table name")?;
+        self.expect_word("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.peek() == &TokenKind::Comma {
+                self.bump();
+                row.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            rows.push(row);
+            if self.peek() == &TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.expect_ident("a table name")?;
+        self.expect_word("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_ident("a column name")?;
+            self.expect(&TokenKind::Eq)?;
+            let e = self.expr()?;
+            sets.push((col, e));
+            if self.peek() == &TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_word("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_word("FROM")?;
+        let table = self.expect_ident("a table name")?;
+        let where_clause = if self.eat_word("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        if self.eat_word("TABLE") {
+            let table = self.expect_ident("a table name")?;
+            self.expect(&TokenKind::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let name = self.expect_ident("a column name")?;
+                let ty_word = self.expect_ident("a column type")?;
+                let ty = match ty_word.to_ascii_lowercase().as_str() {
+                    "int" | "integer" | "bigint" => ValueType::Int,
+                    "float" | "double" | "real" => ValueType::Float,
+                    "string" | "text" | "varchar" => ValueType::Str,
+                    "bool" | "boolean" => ValueType::Bool,
+                    other => return Err(self.err(format!("unknown type `{other}`"))),
+                };
+                columns.push((name, ty));
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Statement::CreateTable { table, columns });
+        }
+        if self.eat_word("INDEX") {
+            self.expect_word("ON")?;
+            let table = self.expect_ident("a table name")?;
+            self.expect(&TokenKind::LParen)?;
+            let column = self.expect_ident("a column name")?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Statement::CreateIndex { table, column });
+        }
+        Err(self.err("expected TABLE or INDEX after CREATE"))
+    }
+
+    // -- expressions (same precedence scheme as the SASE language) --------
+
+    fn expr(&mut self) -> Result<SqlExpr> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<SqlExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Keyword(Keyword::Or) => BinOp::Or,
+                TokenKind::Keyword(Keyword::And) => BinOp::And,
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let right = self.binary_expr(prec + 1)?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Not) => {
+                self.bump();
+                Ok(SqlExpr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(SqlExpr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(SqlExpr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(SqlExpr::Literal(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(SqlExpr::Literal(Value::str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if name.eq_ignore_ascii_case("true") {
+                    Ok(SqlExpr::Literal(Value::Bool(true)))
+                } else if name.eq_ignore_ascii_case("false") {
+                    Ok(SqlExpr::Literal(Value::Bool(false)))
+                } else if self.peek() == &TokenKind::Dot {
+                    self.bump();
+                    let col = self.expect_ident("a column name after `.`")?;
+                    Ok(SqlExpr::Column(format!("{name}.{col}")))
+                } else {
+                    Ok(SqlExpr::Column(name))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_full_shape() {
+        let s = parse_sql(
+            "SELECT item, area AS a, count(*) FROM item_location \
+             WHERE item = 3 AND time_out = -1 GROUP BY area \
+             ORDER BY time_in DESC, area LIMIT 10",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!("expected select")
+        };
+        assert_eq!(sel.items.len(), 3);
+        assert_eq!(sel.table, "item_location");
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.group_by.as_deref(), Some("area"));
+        assert_eq!(
+            sel.order_by,
+            vec![("time_in".to_string(), false), ("area".to_string(), true)]
+        );
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn select_star() {
+        let s = parse_sql("SELECT * FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        let Statement::Insert { table, rows } = s else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], SqlExpr::Literal(Value::str("b")));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let s = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE id = 7").unwrap();
+        let Statement::Update { sets, where_clause, .. } = s else {
+            panic!()
+        };
+        assert_eq!(sets.len(), 2);
+        assert!(where_clause.is_some());
+
+        let s = parse_sql("DELETE FROM t").unwrap();
+        assert!(matches!(s, Statement::Delete { where_clause: None, .. }));
+    }
+
+    #[test]
+    fn create_table_and_index() {
+        let s = parse_sql(
+            "CREATE TABLE item_location (item int, area int, time_in int, time_out int)",
+        )
+        .unwrap();
+        let Statement::CreateTable { columns, .. } = s else {
+            panic!()
+        };
+        assert_eq!(columns.len(), 4);
+        assert!(columns.iter().all(|(_, t)| *t == ValueType::Int));
+
+        let s = parse_sql("CREATE INDEX ON item_location (item)").unwrap();
+        assert!(
+            matches!(s, Statement::CreateIndex { table, column } if table == "item_location" && column == "item")
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_sql("select * from t where a = 1 limit 5").is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_sql("SELECT FROM t").is_err());
+        assert!(parse_sql("DROP TABLE t").is_err());
+        assert!(parse_sql("SELECT * FROM t LIMIT 'x'").is_err());
+        assert!(parse_sql("SELECT sum(*) FROM t").is_err());
+        assert!(parse_sql("SELECT * FROM t extra").is_err());
+        assert!(parse_sql("CREATE TABLE t (a blob)").is_err());
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let s = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let w = sel.where_clause.unwrap();
+        assert!(matches!(w, SqlExpr::Binary { op: BinOp::Or, .. }));
+        assert_eq!(w.conjuncts().len(), 1);
+    }
+}

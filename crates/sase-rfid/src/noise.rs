@@ -1,0 +1,80 @@
+//! The reader noise model.
+//!
+//! §3 motivates the cleaning layer: "RFID readings are known to be
+//! inaccurate and lossy." The simulator reproduces the three error classes
+//! the cleaning stack exists to fix:
+//!
+//! * **false negatives** — a tag in range is missed (`read_prob < 1`),
+//!   repaired by temporal smoothing;
+//! * **spurious readings** — ghost codes and truncated captures
+//!   (`ghost_prob`, `truncate_prob`), removed by anomaly filtering;
+//! * **duplicates** — overlapping read ranges deliver the same tag to two
+//!   readers (`overlap_prob`), removed by deduplication.
+
+/// Probabilities of the error classes, per tag-in-range per scan cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Probability a tag in range produces a reading.
+    pub read_prob: f64,
+    /// Probability a reader emits a ghost (implausible code) reading in a
+    /// cycle.
+    pub ghost_prob: f64,
+    /// Probability a successful capture is truncated.
+    pub truncate_prob: f64,
+    /// Probability a tag is *also* captured by an adjacent reader.
+    pub overlap_prob: f64,
+}
+
+impl NoiseModel {
+    /// Ideal devices: every read succeeds, nothing spurious.
+    pub fn perfect() -> Self {
+        NoiseModel {
+            read_prob: 1.0,
+            ghost_prob: 0.0,
+            truncate_prob: 0.0,
+            overlap_prob: 0.0,
+        }
+    }
+
+    /// Moderately lossy devices, typical of the EPC Gen1 era the paper's
+    /// demo hardware belongs to.
+    pub fn realistic() -> Self {
+        NoiseModel {
+            read_prob: 0.85,
+            ghost_prob: 0.02,
+            truncate_prob: 0.03,
+            overlap_prob: 0.05,
+        }
+    }
+
+    /// Heavily degraded devices, for stress-testing the cleaning stack.
+    pub fn harsh() -> Self {
+        NoiseModel {
+            read_prob: 0.6,
+            ghost_prob: 0.10,
+            truncate_prob: 0.10,
+            overlap_prob: 0.15,
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::realistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_quality() {
+        let p = NoiseModel::perfect();
+        let r = NoiseModel::realistic();
+        let h = NoiseModel::harsh();
+        assert!(p.read_prob > r.read_prob && r.read_prob > h.read_prob);
+        assert!(p.ghost_prob < r.ghost_prob && r.ghost_prob < h.ghost_prob);
+        assert_eq!(NoiseModel::default(), r);
+    }
+}

@@ -1,0 +1,350 @@
+//! Scripted retail behaviours (§4's live demonstration, simulated).
+//!
+//! In the paper's demo, people physically walked tagged items through the
+//! booth: honest shoppers (shelf → counter → exit), shoplifters (shelf →
+//! exit, skipping the counter), and misplaced inventory (moved to the wrong
+//! shelf). Here the same behaviours are scripted as timed actions against
+//! the [`crate::sim::RfidSimulator`], with the ground truth recorded so
+//! tests can assert that the monitoring queries detect exactly the planted
+//! behaviours.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sase_stream::config::CleaningConfig;
+use sase_stream::reading::Tick;
+
+use crate::sim::RfidSimulator;
+
+/// A movement primitive applied to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Put (or move) a tag into an area.
+    Place {
+        /// The full tag code.
+        tag: u64,
+        /// Target area.
+        area: i64,
+    },
+    /// Remove a tag from reader coverage (carried around / left the store).
+    Remove {
+        /// The full tag code.
+        tag: u64,
+    },
+}
+
+/// An action scheduled for a scan cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledAction {
+    /// When to apply it.
+    pub tick: Tick,
+    /// What to do.
+    pub action: Action,
+}
+
+/// Ground truth of a generated scenario, by item id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Items that leave through the exit without visiting the counter —
+    /// the shoplifting query must flag exactly these.
+    pub shoplifted: Vec<i64>,
+    /// Items that end up on the wrong shelf — the misplaced-inventory
+    /// query must flag exactly these.
+    pub misplaced: Vec<i64>,
+    /// Items that check out properly — these must *not* be flagged.
+    pub honest: Vec<i64>,
+    /// New inventory stocked onto a shelf mid-scenario — these stay in the
+    /// store and must not be flagged by anything.
+    pub restocked: Vec<i64>,
+}
+
+/// A scripted retail scenario.
+#[derive(Debug, Clone)]
+pub struct RetailScenario {
+    schedule: Vec<ScheduledAction>,
+    /// Ground truth for assertions.
+    pub truth: GroundTruth,
+    /// Scan cycles the scenario spans.
+    pub duration: Tick,
+}
+
+/// Demo-floor constants (Figure 2): areas 1 and 2 are shelves, 3 the
+/// check-out counter, 4 the exit.
+pub const SHELF_1: i64 = 1;
+/// Second shelf area.
+pub const SHELF_2: i64 = 2;
+/// Check-out counter area.
+pub const COUNTER: i64 = 3;
+/// Exit area.
+pub const EXIT: i64 = 4;
+
+impl RetailScenario {
+    /// Build a scenario with the given cast. Item ids are assigned
+    /// sequentially from 1; every item starts on a shelf at tick 0.
+    ///
+    /// Honest shoppers: shelf → (carried) → counter → exit → gone.
+    /// Shoplifters: shelf → (carried) → exit → gone, never at the counter.
+    /// Misplacers: shelf A → shelf B, where B is not the item's home shelf.
+    pub fn build(
+        cfg: &CleaningConfig,
+        seed: u64,
+        honest: usize,
+        shoplifters: usize,
+        misplaced: usize,
+    ) -> Self {
+        Self::build_full(cfg, seed, honest, shoplifters, misplaced, 0)
+    }
+
+    /// [`RetailScenario::build`] plus `restocked` restocking events: new
+    /// items appearing on a shelf mid-scenario (staff stocking shelves),
+    /// which no monitoring query may flag.
+    pub fn build_full(
+        cfg: &CleaningConfig,
+        seed: u64,
+        honest: usize,
+        shoplifters: usize,
+        misplaced: usize,
+        restocked: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = Vec::new();
+        let mut truth = GroundTruth::default();
+        let mut item: i64 = 0;
+        let mut next_slot: Tick = 0;
+
+        // Stagger agents so their journeys interleave realistically.
+        let mut stagger = |rng: &mut StdRng| -> Tick {
+            let s = next_slot;
+            next_slot += rng.gen_range(1..4);
+            s
+        };
+
+        for _ in 0..honest {
+            item += 1;
+            let tag = cfg.make_tag(item as u64);
+            let home = if rng.gen_bool(0.5) { SHELF_1 } else { SHELF_2 };
+            let start = stagger(&mut rng);
+            let pick = start + rng.gen_range(3..8);
+            let at_counter = pick + rng.gen_range(2..6);
+            let at_exit = at_counter + rng.gen_range(4..9);
+            let gone = at_exit + rng.gen_range(3..7);
+            schedule.push(ScheduledAction {
+                tick: start,
+                action: Action::Place { tag, area: home },
+            });
+            schedule.push(ScheduledAction {
+                tick: pick,
+                action: Action::Remove { tag },
+            });
+            schedule.push(ScheduledAction {
+                tick: at_counter,
+                action: Action::Place { tag, area: COUNTER },
+            });
+            schedule.push(ScheduledAction {
+                tick: at_exit,
+                action: Action::Place { tag, area: EXIT },
+            });
+            schedule.push(ScheduledAction {
+                tick: gone,
+                action: Action::Remove { tag },
+            });
+            truth.honest.push(item);
+        }
+
+        for _ in 0..shoplifters {
+            item += 1;
+            let tag = cfg.make_tag(item as u64);
+            let home = if rng.gen_bool(0.5) { SHELF_1 } else { SHELF_2 };
+            let start = stagger(&mut rng);
+            let pick = start + rng.gen_range(3..8);
+            let at_exit = pick + rng.gen_range(2..6);
+            let gone = at_exit + rng.gen_range(3..7);
+            schedule.push(ScheduledAction {
+                tick: start,
+                action: Action::Place { tag, area: home },
+            });
+            schedule.push(ScheduledAction {
+                tick: pick,
+                action: Action::Remove { tag },
+            });
+            schedule.push(ScheduledAction {
+                tick: at_exit,
+                action: Action::Place { tag, area: EXIT },
+            });
+            schedule.push(ScheduledAction {
+                tick: gone,
+                action: Action::Remove { tag },
+            });
+            truth.shoplifted.push(item);
+        }
+
+        for _ in 0..misplaced {
+            item += 1;
+            let tag = cfg.make_tag(item as u64);
+            let (home, wrong) = if rng.gen_bool(0.5) {
+                (SHELF_1, SHELF_2)
+            } else {
+                (SHELF_2, SHELF_1)
+            };
+            let start = stagger(&mut rng);
+            let moved = start + rng.gen_range(4..10);
+            schedule.push(ScheduledAction {
+                tick: start,
+                action: Action::Place { tag, area: home },
+            });
+            schedule.push(ScheduledAction {
+                tick: moved,
+                action: Action::Place { tag, area: wrong },
+            });
+            truth.misplaced.push(item);
+        }
+
+        for _ in 0..restocked {
+            item += 1;
+            let tag = cfg.make_tag(item as u64);
+            let shelf = if rng.gen_bool(0.5) { SHELF_1 } else { SHELF_2 };
+            // Restocking happens later than the initial placements.
+            let when = stagger(&mut rng) + rng.gen_range(6..12);
+            schedule.push(ScheduledAction {
+                tick: when,
+                action: Action::Place { tag, area: shelf },
+            });
+            truth.restocked.push(item);
+        }
+
+        schedule.sort_by_key(|a| a.tick);
+        let duration = schedule.last().map(|a| a.tick + 5).unwrap_or(0);
+        RetailScenario {
+            schedule,
+            truth,
+            duration,
+        }
+    }
+
+    /// The full schedule, tick-sorted.
+    pub fn schedule(&self) -> &[ScheduledAction] {
+        &self.schedule
+    }
+
+    /// Apply all actions due at `tick` to the simulator.
+    pub fn apply_tick(&self, sim: &mut RfidSimulator, tick: Tick) {
+        for a in self.schedule.iter().filter(|a| a.tick == tick) {
+            match a.action {
+                Action::Place { tag, area } => sim.place_tag(tag, area),
+                Action::Remove { tag } => sim.remove_tag(tag),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+
+    #[test]
+    fn cast_sizes_and_truth() {
+        let cfg = CleaningConfig::retail_demo();
+        let s = RetailScenario::build(&cfg, 11, 3, 2, 1);
+        assert_eq!(s.truth.honest.len(), 3);
+        assert_eq!(s.truth.shoplifted.len(), 2);
+        assert_eq!(s.truth.misplaced.len(), 1);
+        // Item ids unique across casts.
+        let mut all: Vec<i64> = s
+            .truth
+            .honest
+            .iter()
+            .chain(&s.truth.shoplifted)
+            .chain(&s.truth.misplaced)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 6);
+        assert!(s.duration > 0);
+    }
+
+    #[test]
+    fn schedule_is_tick_sorted_and_deterministic() {
+        let cfg = CleaningConfig::retail_demo();
+        let a = RetailScenario::build(&cfg, 11, 5, 5, 5);
+        let b = RetailScenario::build(&cfg, 11, 5, 5, 5);
+        assert_eq!(a.schedule(), b.schedule());
+        assert!(a.schedule().windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn shoplifter_never_visits_counter() {
+        let cfg = CleaningConfig::retail_demo();
+        let s = RetailScenario::build(&cfg, 3, 0, 4, 0);
+        for item in &s.truth.shoplifted {
+            let tag = cfg.make_tag(*item as u64);
+            let visits_counter = s.schedule().iter().any(|a| {
+                matches!(a.action, Action::Place { tag: t, area } if t == tag && area == COUNTER)
+            });
+            assert!(!visits_counter);
+            let visits_exit = s.schedule().iter().any(|a| {
+                matches!(a.action, Action::Place { tag: t, area } if t == tag && area == EXIT)
+            });
+            assert!(visits_exit);
+        }
+    }
+
+    #[test]
+    fn playback_moves_tags_through_simulator() {
+        let cfg = CleaningConfig::retail_demo();
+        let s = RetailScenario::build(&cfg, 5, 1, 1, 0);
+        let mut sim = RfidSimulator::retail_demo(NoiseModel::perfect(), 5);
+        let mut saw_exit_reading = false;
+        for tick in 0..s.duration {
+            s.apply_tick(&mut sim, tick);
+            for r in sim.tick() {
+                if r.reader == 4 {
+                    saw_exit_reading = true;
+                }
+            }
+        }
+        assert!(saw_exit_reading);
+        // Everyone who exits is eventually removed.
+        assert_eq!(
+            sim.tags_in_store(),
+            s.truth.misplaced.len(),
+            "only misplaced items remain in store"
+        );
+    }
+}
+
+#[cfg(test)]
+mod restock_tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::sim::RfidSimulator;
+
+    #[test]
+    fn restocked_items_appear_and_stay() {
+        let cfg = CleaningConfig::retail_demo();
+        let s = RetailScenario::build_full(&cfg, 21, 1, 1, 0, 3);
+        assert_eq!(s.truth.restocked.len(), 3);
+        let mut sim = RfidSimulator::retail_demo(NoiseModel::perfect(), 1);
+        for tick in 0..s.duration {
+            s.apply_tick(&mut sim, tick);
+            sim.tick();
+        }
+        for &item in &s.truth.restocked {
+            let area = sim.tag_area(cfg.make_tag(item as u64));
+            assert!(
+                matches!(area, Some(SHELF_1) | Some(SHELF_2)),
+                "restocked item {item} is on a shelf: {area:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_delegates_with_zero_restock() {
+        let cfg = CleaningConfig::retail_demo();
+        let a = RetailScenario::build(&cfg, 4, 2, 1, 1);
+        let b = RetailScenario::build_full(&cfg, 4, 2, 1, 1, 0);
+        assert_eq!(a.schedule(), b.schedule());
+        assert!(a.truth.restocked.is_empty());
+    }
+}

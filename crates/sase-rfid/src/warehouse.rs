@@ -1,0 +1,245 @@
+//! Warehouse / supply-chain workload generator (§4's track-and-trace data).
+//!
+//! "We pre-populate our Event Database with RFID data that simulates
+//! typical warehouse and retail store workloads, such as loading/unloading
+//! items, stocking shelves, and changing containments (e.g., moving items
+//! from one box to another). This data represents some interesting movement
+//! history for our retail-store items throughout a simulated supply chain
+//! management system."
+//!
+//! The generator produces a [`WarehouseTrace`]: a timestamped movement
+//! history per item plus containment-change operations, which
+//! `sase-system` archives into the event database before the
+//! track-and-trace queries run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Well-known warehouse/retail area ids used by the trace.
+pub mod areas {
+    /// Truck loading dock.
+    pub const LOADING_DOCK: i64 = 100;
+    /// Unloading / receiving zone.
+    pub const UNLOADING_ZONE: i64 = 101;
+    /// Warehouse backroom.
+    pub const BACKROOM: i64 = 102;
+    /// Retail shelf 1.
+    pub const SHELF_1: i64 = 1;
+    /// Retail shelf 2.
+    pub const SHELF_2: i64 = 2;
+}
+
+/// One observed item movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Movement {
+    /// Item id.
+    pub item: i64,
+    /// Area the item arrived in.
+    pub area: i64,
+    /// Logical arrival time.
+    pub ts: u64,
+}
+
+/// A containment change: an item entering or leaving a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainmentChange {
+    /// Item id.
+    pub item: i64,
+    /// Container id (a box/pallet, itself tagged).
+    pub container: i64,
+    /// Logical time of the change.
+    pub ts: u64,
+    /// True = item put into the container; false = taken out.
+    pub added: bool,
+}
+
+/// A generated supply-chain history.
+#[derive(Debug, Clone, Default)]
+pub struct WarehouseTrace {
+    /// Item movements, timestamp-sorted.
+    pub movements: Vec<Movement>,
+    /// Containment changes, timestamp-sorted.
+    pub containments: Vec<ContainmentChange>,
+    /// All item ids.
+    pub items: Vec<i64>,
+    /// All container ids.
+    pub containers: Vec<i64>,
+}
+
+/// Generate a trace: each item is loaded in a container, trucked in,
+/// unloaded (possibly re-boxed), stored in the backroom, and stocked onto a
+/// shelf; a random subset is later moved between shelves.
+pub fn generate(seed: u64, n_items: usize, n_containers: usize) -> WarehouseTrace {
+    assert!(n_containers > 0, "need at least one container");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = WarehouseTrace {
+        items: (1..=n_items as i64).collect(),
+        containers: (1000..1000 + n_containers as i64).collect(),
+        ..WarehouseTrace::default()
+    };
+
+    let mut ts: u64 = 1;
+    let bump = |rng: &mut StdRng, ts: &mut u64| {
+        *ts += rng.gen_range(1..5);
+        *ts
+    };
+
+    for &item in &trace.items {
+        let c0 = trace.containers[rng.gen_range(0..trace.containers.len())];
+        // Packed into a container at the supplier, seen at the loading dock.
+        let t = bump(&mut rng, &mut ts);
+        trace.containments.push(ContainmentChange {
+            item,
+            container: c0,
+            ts: t,
+            added: true,
+        });
+        trace.movements.push(Movement {
+            item,
+            area: areas::LOADING_DOCK,
+            ts: bump(&mut rng, &mut ts),
+        });
+        // Unloaded at the store.
+        trace.movements.push(Movement {
+            item,
+            area: areas::UNLOADING_ZONE,
+            ts: bump(&mut rng, &mut ts),
+        });
+        // Sometimes re-boxed during unloading (containment change).
+        if rng.gen_bool(0.3) {
+            let c1 = trace.containers[rng.gen_range(0..trace.containers.len())];
+            if c1 != c0 {
+                let t = bump(&mut rng, &mut ts);
+                trace.containments.push(ContainmentChange {
+                    item,
+                    container: c0,
+                    ts: t,
+                    added: false,
+                });
+                trace.containments.push(ContainmentChange {
+                    item,
+                    container: c1,
+                    ts: t,
+                    added: true,
+                });
+            }
+        }
+        // Backroom, then stocked on a shelf (out of its box).
+        trace.movements.push(Movement {
+            item,
+            area: areas::BACKROOM,
+            ts: bump(&mut rng, &mut ts),
+        });
+        let active_container = trace
+            .containments
+            .iter()
+            .rev()
+            .find(|c| c.item == item && c.added)
+            .map(|c| c.container)
+            .expect("item was packed");
+        let t = bump(&mut rng, &mut ts);
+        trace.containments.push(ContainmentChange {
+            item,
+            container: active_container,
+            ts: t,
+            added: false,
+        });
+        let shelf = if rng.gen_bool(0.5) {
+            areas::SHELF_1
+        } else {
+            areas::SHELF_2
+        };
+        trace.movements.push(Movement {
+            item,
+            area: shelf,
+            ts: bump(&mut rng, &mut ts),
+        });
+        // A fraction gets re-shelved later.
+        if rng.gen_bool(0.25) {
+            let other = if shelf == areas::SHELF_1 {
+                areas::SHELF_2
+            } else {
+                areas::SHELF_1
+            };
+            trace.movements.push(Movement {
+                item,
+                area: other,
+                ts: bump(&mut rng, &mut ts),
+            });
+        }
+    }
+
+    trace.movements.sort_by_key(|m| m.ts);
+    trace.containments.sort_by_key(|c| c.ts);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_item_reaches_a_shelf() {
+        let t = generate(9, 20, 3);
+        for &item in &t.items {
+            let last = t
+                .movements
+                .iter()
+                .rfind(|m| m.item == item)
+                .unwrap();
+            assert!(
+                last.area == areas::SHELF_1 || last.area == areas::SHELF_2,
+                "item {item} ended in area {}",
+                last.area
+            );
+        }
+    }
+
+    #[test]
+    fn movement_path_is_plausible() {
+        let t = generate(9, 10, 2);
+        for &item in &t.items {
+            let path: Vec<i64> = t
+                .movements
+                .iter()
+                .filter(|m| m.item == item)
+                .map(|m| m.area)
+                .collect();
+            assert_eq!(path[0], areas::LOADING_DOCK);
+            assert_eq!(path[1], areas::UNLOADING_ZONE);
+            assert_eq!(path[2], areas::BACKROOM);
+            assert!(path.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn containment_balances() {
+        let t = generate(3, 30, 4);
+        for &item in &t.items {
+            let mut open: Vec<i64> = Vec::new();
+            for c in t.containments.iter().filter(|c| c.item == item) {
+                if c.added {
+                    open.push(c.container);
+                } else {
+                    let pos = open.iter().position(|x| *x == c.container);
+                    assert!(pos.is_some(), "removing item from a box it is not in");
+                    open.remove(pos.unwrap());
+                }
+            }
+            assert!(
+                open.is_empty(),
+                "item {item} still boxed after stocking: {open:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_sorted_and_deterministic() {
+        let a = generate(5, 15, 2);
+        let b = generate(5, 15, 2);
+        assert_eq!(a.movements, b.movements);
+        assert_eq!(a.containments, b.containments);
+        assert!(a.movements.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(a.containments.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sase-stream — the Cleaning and Association Layer
+//!
+//! The middle layer of the SASE architecture (Figure 1 of the paper): it
+//! "copes with idiosyncrasies of readers and performs data cleaning, such
+//! as filtering and smoothing", and "uses attributes such as product name
+//! ... to create events" (§3). Five components, each its own module:
+//!
+//! 1. [`anomaly`] — Anomaly Filtering Layer
+//! 2. [`smoothing`] — Temporal Smoothing Layer
+//! 3. [`time_conversion`] — Time Conversion Layer (plus reader→area
+//!    association)
+//! 4. [`dedup`] — Deduplication Layer
+//! 5. [`event_gen`] — Event Generation Layer with a simulated ONS
+//!
+//! [`pipeline::CleaningPipeline`] assembles them; feed it raw readings one
+//! reader scan-cycle at a time and it yields schema-conformant
+//! [`sase_core::Event`]s in strict timestamp order.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anomaly;
+pub mod config;
+pub mod dedup;
+pub mod event_gen;
+pub mod pipeline;
+pub mod reading;
+pub mod smoothing;
+pub mod time_conversion;
+
+pub use config::{AreaInfo, AreaKind, CleaningConfig};
+pub use event_gen::{register_reading_schemas, OnsResolver, ProductInfo, StaticOns};
+pub use pipeline::{CleaningPipeline, PipelineStats};
+pub use reading::{CleanReading, RawReading, RawTag, ReaderId, Tick, TimedReading};

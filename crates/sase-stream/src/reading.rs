@@ -1,0 +1,124 @@
+//! Reading representations at each stage of the cleaning pipeline.
+//!
+//! §3: "Each raw RFID reading consists of the TagId and ReaderId." Readers
+//! scan in regular intervals; a reading is stamped with the *tick* (scan
+//! cycle) it was captured in. The pipeline refines readings stage by stage:
+//!
+//! ```text
+//! RawReading  --anomaly filter-->  CleanReading  --smoothing/time-->
+//! TimedReading  --dedup/event generation-->  sase_core::Event
+//! ```
+
+use std::fmt;
+
+/// Identifier of a physical reader (antenna).
+pub type ReaderId = u32;
+
+/// A reader scan-cycle index (raw device time).
+pub type Tick = u64;
+
+/// The tag payload of a raw reading. Real EPC reads are lossy: besides
+/// complete codes, readers deliver truncated ids (partial captures) that the
+/// Anomaly Filtering Layer must discard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawTag {
+    /// A complete (64-bit, in this simulation) EPC code.
+    Full(u64),
+    /// A truncated capture: only the low `bits` bits are trustworthy.
+    Truncated {
+        /// The partial code.
+        partial: u64,
+        /// Number of valid low bits.
+        bits: u8,
+    },
+}
+
+impl RawTag {
+    /// The complete code, if the capture was complete.
+    pub fn full(&self) -> Option<u64> {
+        match self {
+            RawTag::Full(c) => Some(*c),
+            RawTag::Truncated { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for RawTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawTag::Full(c) => write!(f, "{c:#018x}"),
+            RawTag::Truncated { partial, bits } => {
+                write!(f, "{partial:#x}~{bits}b")
+            }
+        }
+    }
+}
+
+/// A raw reading as delivered by the physical device layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawReading {
+    /// The captured tag code.
+    pub tag: RawTag,
+    /// The reader that produced the reading.
+    pub reader: ReaderId,
+    /// The scan cycle it was captured in.
+    pub tick: Tick,
+}
+
+impl RawReading {
+    /// A complete-capture reading.
+    pub fn full(tag: u64, reader: ReaderId, tick: Tick) -> Self {
+        RawReading {
+            tag: RawTag::Full(tag),
+            reader,
+            tick,
+        }
+    }
+}
+
+/// A reading that survived anomaly filtering: complete, plausible tag code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanReading {
+    /// The complete tag code.
+    pub tag: u64,
+    /// The reader that produced (or smoothing that interpolated) it.
+    pub reader: ReaderId,
+    /// The scan cycle.
+    pub tick: Tick,
+    /// True when the Temporal Smoothing Layer interpolated this reading
+    /// rather than a reader capturing it.
+    pub synthetic: bool,
+}
+
+/// A reading after time conversion and reader→area association:
+/// positioned in logical time and logical space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedReading {
+    /// The tag code.
+    pub tag: u64,
+    /// The logical area the reading is associated with.
+    pub area: i64,
+    /// Logical timestamp (see [`sase_core::time`]).
+    pub timestamp: u64,
+    /// True for smoothing-interpolated readings.
+    pub synthetic: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_tag_accessors() {
+        assert_eq!(RawTag::Full(7).full(), Some(7));
+        assert_eq!(RawTag::Truncated { partial: 3, bits: 8 }.full(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(RawTag::Full(0xABCD).to_string().contains("abcd"));
+        assert!(RawTag::Truncated { partial: 0xF, bits: 4 }
+            .to_string()
+            .contains("~4b"));
+    }
+}

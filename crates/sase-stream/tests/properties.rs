@@ -1,0 +1,118 @@
+//! Property tests on the cleaning layers: smoothing and deduplication
+//! invariants under arbitrary reading patterns.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sase_core::event::SchemaRegistry;
+use sase_stream::{
+    register_reading_schemas, CleaningConfig, CleaningPipeline, RawReading, StaticOns,
+};
+
+fn pipeline(smoothing: u64, dedup: u64) -> (CleaningPipeline, CleaningConfig) {
+    let mut cfg = CleaningConfig::retail_demo();
+    cfg.smoothing_window = smoothing;
+    cfg.dedup_window = dedup;
+    let registry = SchemaRegistry::new();
+    register_reading_schemas(&registry).unwrap();
+    let mut ons = StaticOns::new();
+    for item in 0..8 {
+        ons.insert(cfg.make_tag(item), &format!("p{item}"), "misc", 100);
+    }
+    (
+        CleaningPipeline::new(cfg.clone(), registry, Arc::new(ons)),
+        cfg,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always come out in strictly increasing timestamp order, for
+    /// any presence pattern and any window configuration.
+    #[test]
+    fn events_strictly_ordered(
+        pattern in prop::collection::vec(
+            prop::collection::vec((0u64..8, 1u32..5), 0..6), 1..30),
+        smoothing in 0u64..4,
+        dedup in 0u64..4,
+    ) {
+        let (mut p, cfg) = pipeline(smoothing, dedup);
+        let mut all = Vec::new();
+        for (tick, cycle) in pattern.iter().enumerate() {
+            let readings: Vec<RawReading> = cycle
+                .iter()
+                .map(|(item, reader)| {
+                    RawReading::full(cfg.make_tag(*item), *reader, tick as u64)
+                })
+                .collect();
+            all.extend(p.process_tick(tick as u64, &readings).unwrap());
+        }
+        for w in all.windows(2) {
+            prop_assert!(w[0].timestamp() < w[1].timestamp());
+        }
+    }
+
+    /// Layer counters balance: everything that enters is either dropped by
+    /// a named layer or becomes an event.
+    #[test]
+    fn counters_balance(
+        pattern in prop::collection::vec(
+            prop::collection::vec((0u64..8, 1u32..5), 0..6), 1..30),
+    ) {
+        let (mut p, cfg) = pipeline(2, 1);
+        for (tick, cycle) in pattern.iter().enumerate() {
+            let readings: Vec<RawReading> = cycle
+                .iter()
+                .map(|(item, reader)| {
+                    RawReading::full(cfg.make_tag(*item), *reader, tick as u64)
+                })
+                .collect();
+            p.process_tick(tick as u64, &readings).unwrap();
+        }
+        let s = p.stats();
+        // Anomaly: seen = dropped + passed.
+        prop_assert_eq!(
+            s.anomaly.seen,
+            s.anomaly.dropped_truncated + s.anomaly.dropped_spurious + s.anomaly.passed
+        );
+        // Time conversion sees genuine + interpolated readings.
+        prop_assert_eq!(
+            s.time.converted + s.time.unassociated,
+            s.smoothing.genuine + s.smoothing.interpolated
+        );
+        // Dedup: in = out + suppressed.
+        prop_assert_eq!(s.time.converted, s.dedup.passed + s.dedup.suppressed);
+        // Every deduped reading becomes an event or an unknown-tag drop.
+        prop_assert_eq!(s.dedup.passed, s.events.generated + s.events.unknown_tag);
+    }
+
+    /// With smoothing window w, a tag continuously present but read at
+    /// least once every w ticks never produces a gap: the smoother reports
+    /// presence on every tick in between.
+    #[test]
+    fn smoothing_bridges_gaps_up_to_w(gap in 1u64..3) {
+        let (mut p, cfg) = pipeline(2, 0); // dedup 0: every unit passes
+        let tag = cfg.make_tag(1);
+        let mut seen_ticks = Vec::new();
+        for tick in 0..20u64 {
+            let readings = if tick % (gap + 1) == 0 {
+                vec![RawReading::full(tag, 1, tick)]
+            } else {
+                vec![]
+            };
+            for e in p.process_tick(tick, &readings).unwrap() {
+                seen_ticks.push(e.timestamp());
+            }
+        }
+        // gap <= w = 2, so presence is continuous over [0, 18+].
+        for expect in 0..=18u64 {
+            prop_assert!(
+                seen_ticks.contains(&expect),
+                "missing presence at tick {} (gap {}): {:?}",
+                expect, gap, seen_ticks
+            );
+        }
+    }
+}

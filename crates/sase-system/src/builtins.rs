@@ -1,0 +1,274 @@
+//! The paper's database built-in functions, bound to the event database.
+//!
+//! §2.1.1: "our language provides a set of built-in functions (all starting
+//! with `_`) for common database operations". Q1 calls
+//! `_retrieveLocation(z.AreaId)`; Q2 calls `_updateLocation(y.TagId,
+//! y.AreaId, y.Timestamp)`; the containment archiving rule uses
+//! `_addToContainer` / `_removeFromContainer`.
+//!
+//! Each function is a closure capturing a [`Database`] handle, registered
+//! on the engine's [`FunctionRegistry`]; the event processor invokes them
+//! exactly once per emitted composite event, which is what makes the
+//! side-effecting update functions safe as archiving rules.
+
+use sase_core::error::{Result as CoreResult, SaseError};
+use sase_core::functions::FunctionRegistry;
+use sase_core::value::{Value, ValueType};
+
+use sase_db::{Database, TrackAndTrace};
+
+/// Name of the area-description table backing `_retrieveLocation`.
+pub const AREA_INFO_TABLE: &str = "area_info";
+
+fn arg_int(name: &str, args: &[Value], i: usize) -> CoreResult<i64> {
+    args.get(i).and_then(|v| v.as_int()).ok_or_else(|| {
+        SaseError::Function {
+            name: name.to_string(),
+            message: format!("argument {i} must be an integer"),
+        }
+    })
+}
+
+fn db_err(name: &str, e: sase_db::DbError) -> SaseError {
+    SaseError::Function {
+        name: name.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Create (if needed) and seed the `area_info` table with a description per
+/// area. Existing descriptions are replaced.
+pub fn seed_area_info(db: &Database, areas: &[(i64, &str)]) -> sase_db::Result<()> {
+    if !db.table_names().contains(&AREA_INFO_TABLE.to_string()) {
+        db.create_table(
+            AREA_INFO_TABLE,
+            &[("area", ValueType::Int), ("description", ValueType::Str)],
+        )?;
+        db.create_index(AREA_INFO_TABLE, "area")?;
+    }
+    for (area, desc) in areas {
+        db.execute(&format!(
+            "DELETE FROM {AREA_INFO_TABLE} WHERE area = {area}"
+        ))?;
+        db.execute(&format!(
+            "INSERT INTO {AREA_INFO_TABLE} VALUES ({area}, '{}')",
+            desc.replace('\'', "''")
+        ))?;
+    }
+    Ok(())
+}
+
+/// The retail demo's area descriptions (Figure 2), including the paper's
+/// example phrase for the exit.
+pub fn retail_area_descriptions() -> Vec<(i64, &'static str)> {
+    vec![
+        (1, "shelf 1 (grocery aisle)"),
+        (2, "shelf 2 (household aisle)"),
+        (3, "the check-out counter"),
+        (4, "the leftmost door on the south side of the store"),
+        (100, "the truck loading dock"),
+        (101, "the unloading zone"),
+        (102, "the warehouse backroom"),
+    ]
+}
+
+/// Register every database built-in on a function registry:
+///
+/// | function | effect |
+/// |---|---|
+/// | `_retrieveLocation(area)` | textual description of an area (Q1) |
+/// | `_updateLocation(tag, area, ts)` | Location Update rule (Q2) |
+/// | `_addToContainer(item, container, ts)` | Containment Update rule |
+/// | `_removeFromContainer(item, ts)` | Containment Update rule |
+/// | `_currentLocation(item)` | current area of an item, `-1` if unknown |
+/// | `_movementHistory(item)` | rendered §4 track-and-trace history |
+pub fn register_db_builtins(
+    functions: &FunctionRegistry,
+    db: &Database,
+) -> sase_db::Result<()> {
+    let tnt = TrackAndTrace::open(db.clone())?;
+
+    {
+        let db = db.clone();
+        functions.register_fn("_retrieveLocation", Some(1), move |args| {
+            let area = arg_int("_retrieveLocation", args, 0)?;
+            let rs = db
+                .query(&format!(
+                    "SELECT description FROM {AREA_INFO_TABLE} WHERE area = {area}"
+                ))
+                .map_err(|e| db_err("_retrieveLocation", e))?;
+            match rs.rows.first() {
+                Some(row) => Ok(row[0].clone()),
+                None => Ok(Value::str(format!("area {area}"))),
+            }
+        });
+    }
+    {
+        let tnt = tnt.clone();
+        functions.register_fn("_updateLocation", Some(3), move |args| {
+            let tag = arg_int("_updateLocation", args, 0)?;
+            let area = arg_int("_updateLocation", args, 1)?;
+            let ts = arg_int("_updateLocation", args, 2)?;
+            let changed = tnt
+                .locations()
+                .update_location(tag, area, ts)
+                .map_err(|e| db_err("_updateLocation", e))?;
+            Ok(Value::Bool(changed))
+        });
+    }
+    {
+        let tnt = tnt.clone();
+        functions.register_fn("_addToContainer", Some(3), move |args| {
+            let item = arg_int("_addToContainer", args, 0)?;
+            let container = arg_int("_addToContainer", args, 1)?;
+            let ts = arg_int("_addToContainer", args, 2)?;
+            tnt.containments()
+                .add_to_container(item, container, ts)
+                .map_err(|e| db_err("_addToContainer", e))?;
+            Ok(Value::Bool(true))
+        });
+    }
+    {
+        let tnt = tnt.clone();
+        functions.register_fn("_removeFromContainer", Some(2), move |args| {
+            let item = arg_int("_removeFromContainer", args, 0)?;
+            let ts = arg_int("_removeFromContainer", args, 1)?;
+            let removed = tnt
+                .containments()
+                .remove_from_container(item, ts)
+                .map_err(|e| db_err("_removeFromContainer", e))?;
+            Ok(Value::Bool(removed))
+        });
+    }
+    {
+        let tnt = tnt.clone();
+        functions.register_fn("_currentLocation", Some(1), move |args| {
+            let item = arg_int("_currentLocation", args, 0)?;
+            let stay = tnt
+                .current_location(item)
+                .map_err(|e| db_err("_currentLocation", e))?;
+            Ok(Value::Int(stay.map(|s| s.area).unwrap_or(-1)))
+        });
+    }
+    {
+        let tnt = tnt.clone();
+        functions.register_fn("_movementHistory", Some(1), move |args| {
+            let item = arg_int("_movementHistory", args, 0)?;
+            let text = tnt
+                .render_history(item)
+                .map_err(|e| db_err("_movementHistory", e))?;
+            Ok(Value::str(text))
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FunctionRegistry, Database) {
+        let db = Database::new();
+        let functions = FunctionRegistry::with_stdlib();
+        seed_area_info(&db, &retail_area_descriptions()).unwrap();
+        register_db_builtins(&functions, &db).unwrap();
+        (functions, db)
+    }
+
+    #[test]
+    fn retrieve_location_returns_paper_phrase() {
+        let (f, _db) = setup();
+        let v = f
+            .resolve("_retrieveLocation")
+            .unwrap()
+            .call(&[Value::Int(4)])
+            .unwrap();
+        assert_eq!(
+            v,
+            Value::str("the leftmost door on the south side of the store")
+        );
+        // Unknown areas degrade gracefully.
+        let v = f
+            .resolve("_retrieveLocation")
+            .unwrap()
+            .call(&[Value::Int(77)])
+            .unwrap();
+        assert_eq!(v, Value::str("area 77"));
+    }
+
+    #[test]
+    fn update_location_round_trip() {
+        let (f, db) = setup();
+        let upd = f.resolve("_updateLocation").unwrap();
+        assert_eq!(
+            upd.call(&[Value::Int(7), Value::Int(1), Value::Int(10)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            upd.call(&[Value::Int(7), Value::Int(1), Value::Int(12)]).unwrap(),
+            Value::Bool(false), // same area: no change
+        );
+        assert_eq!(
+            upd.call(&[Value::Int(7), Value::Int(4), Value::Int(20)]).unwrap(),
+            Value::Bool(true)
+        );
+        let cur = f.resolve("_currentLocation").unwrap();
+        assert_eq!(cur.call(&[Value::Int(7)]).unwrap(), Value::Int(4));
+        assert_eq!(cur.call(&[Value::Int(99)]).unwrap(), Value::Int(-1));
+        let tnt = TrackAndTrace::open(db).unwrap();
+        assert_eq!(tnt.locations().history(7).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn containment_functions() {
+        let (f, _db) = setup();
+        let add = f.resolve("_addToContainer").unwrap();
+        let rm = f.resolve("_removeFromContainer").unwrap();
+        add.call(&[Value::Int(1), Value::Int(1000), Value::Int(5)])
+            .unwrap();
+        assert_eq!(
+            rm.call(&[Value::Int(1), Value::Int(9)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            rm.call(&[Value::Int(1), Value::Int(10)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn movement_history_renders() {
+        let (f, _db) = setup();
+        f.resolve("_updateLocation")
+            .unwrap()
+            .call(&[Value::Int(3), Value::Int(100), Value::Int(2)])
+            .unwrap();
+        let v = f
+            .resolve("_movementHistory")
+            .unwrap()
+            .call(&[Value::Int(3)])
+            .unwrap();
+        assert!(v.as_str().unwrap().contains("in area 100"));
+    }
+
+    #[test]
+    fn bad_arguments_error() {
+        let (f, _db) = setup();
+        assert!(f
+            .resolve("_retrieveLocation")
+            .unwrap()
+            .call(&[Value::str("x")])
+            .is_err());
+    }
+
+    #[test]
+    fn seeding_is_idempotent() {
+        let (_f, db) = setup();
+        seed_area_info(&db, &[(4, "new exit description")]).unwrap();
+        let rs = db
+            .query(&format!("SELECT description FROM {AREA_INFO_TABLE} WHERE area = 4"))
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::str("new exit description"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Threaded deployment: each Figure 1 layer on its own thread.
+//!
+//! In the paper's prototype the physical device layer, the Cleaning and
+//! Association Layer, and the complex event processor are separate
+//! components connected by sockets. This module reproduces that deployment
+//! shape: a *device* thread streams wire-encoded reading frames
+//! ([`sase_rfid::wire`]) into a channel, a *cleaning* thread decodes and
+//! runs the five-layer pipeline, and an *engine* thread executes the
+//! continuous queries — with crossbeam channels standing in for the
+//! sockets.
+//!
+//! The single-threaded [`crate::SaseSystem`] is the reference; the
+//! pipelined deployment produces byte-for-byte the same detections (the
+//! stages are deterministic and order-preserving), which the tests assert.
+
+use std::sync::Arc;
+use std::thread;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use sase_core::engine::Engine;
+use sase_core::error::{Result as CoreResult, SaseError};
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::output::ComplexEvent;
+
+use sase_rfid::wire::{decode_frame, encode_frame};
+use sase_stream::pipeline::CleaningPipeline;
+use sase_stream::reading::RawReading;
+use sase_stream::Tick;
+
+/// Channel capacity between stages (frames / events in flight).
+const STAGE_CAPACITY: usize = 64;
+
+/// Outcome of a pipelined run.
+#[derive(Debug)]
+pub struct PipelinedRun {
+    /// Every composite event, in emission order.
+    pub detections: Vec<ComplexEvent>,
+    /// Events that left the cleaning stage.
+    pub events_generated: usize,
+    /// Frames the device stage shipped.
+    pub frames_shipped: usize,
+}
+
+/// Run a scripted reading source through cleaning and the engine, one
+/// thread per stage.
+///
+/// `ticks` yields each scan cycle's readings in order (the device stage
+/// encodes them to wire frames); `pipeline` and `engine` are consumed by
+/// their stages. Errors from any stage abort the run.
+pub fn run_pipelined<I>(
+    ticks: I,
+    mut pipeline: CleaningPipeline,
+    mut engine: Engine,
+) -> CoreResult<PipelinedRun>
+where
+    I: IntoIterator<Item = (Tick, Vec<RawReading>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    let (frame_tx, frame_rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(STAGE_CAPACITY);
+    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = bounded(STAGE_CAPACITY);
+
+    // Stage 1: the device layer ships frames "over the socket".
+    let device = thread::spawn(move || -> CoreResult<usize> {
+        let mut shipped = 0usize;
+        for (tick, readings) in ticks {
+            let frame = encode_frame(tick, &readings)
+                .map_err(|e| SaseError::engine(format!("wire encode: {e}")))?;
+            if frame_tx.send(frame).is_err() {
+                break; // downstream closed (error path)
+            }
+            shipped += 1;
+        }
+        Ok(shipped)
+    });
+
+    // Stage 2: cleaning and association.
+    let cleaning = thread::spawn(move || -> CoreResult<usize> {
+        let mut generated = 0usize;
+        for frame in frame_rx {
+            let (tick, readings) = decode_frame(frame)
+                .map_err(|e| SaseError::engine(format!("wire decode: {e}")))?;
+            for event in pipeline.process_tick(tick, &readings)? {
+                generated += 1;
+                if event_tx.send(event).is_err() {
+                    return Ok(generated); // downstream closed
+                }
+            }
+        }
+        Ok(generated)
+    });
+
+    // Stage 3: the complex event processor (this thread).
+    let mut detections = Vec::new();
+    for event in event_rx {
+        detections.extend(engine.process(&event)?);
+    }
+
+    let frames_shipped = device
+        .join()
+        .map_err(|_| SaseError::engine("device stage panicked"))??;
+    let events_generated = cleaning
+        .join()
+        .map_err(|_| SaseError::engine("cleaning stage panicked"))??;
+
+    Ok(PipelinedRun {
+        detections,
+        events_generated,
+        frames_shipped,
+    })
+}
+
+/// Convenience: pre-render a simulator + scenario into the tick iterator
+/// [`run_pipelined`] consumes.
+pub fn scripted_ticks(
+    mut sim: sase_rfid::sim::RfidSimulator,
+    scenario: &sase_rfid::scenario::RetailScenario,
+) -> Vec<(Tick, Vec<RawReading>)> {
+    let mut out = Vec::with_capacity(scenario.duration as usize);
+    for tick in 0..scenario.duration {
+        scenario.apply_tick(&mut sim, tick);
+        out.push((tick, sim.tick()));
+    }
+    out
+}
+
+/// Build the cleaning pipeline and engine for the retail demo without the
+/// rest of [`crate::SaseSystem`] (the pipelined deployment owns them).
+pub fn retail_stages(
+    catalog_size: usize,
+) -> CoreResult<(SchemaRegistry, CleaningPipeline, Engine)> {
+    use crate::builtins::{register_db_builtins, retail_area_descriptions, seed_area_info};
+    use sase_core::functions::FunctionRegistry;
+    use sase_db::Database;
+    use sase_stream::{register_reading_schemas, CleaningConfig, StaticOns};
+
+    let cfg = CleaningConfig::retail_demo();
+    let registry = SchemaRegistry::new();
+    register_reading_schemas(&registry)?;
+    let db = Database::new();
+    seed_area_info(&db, &retail_area_descriptions())
+        .map_err(|e| SaseError::engine(e.to_string()))?;
+    let functions = FunctionRegistry::with_stdlib();
+    register_db_builtins(&functions, &db).map_err(|e| SaseError::engine(e.to_string()))?;
+    let mut ons = StaticOns::new();
+    for item in 1..=catalog_size as u64 {
+        let (name, category, price) = crate::system::demo_product(item);
+        ons.insert(cfg.make_tag(item), name, category, price);
+    }
+    let pipeline = CleaningPipeline::new(cfg, registry.clone(), Arc::new(ons));
+    let engine = Engine::with_functions(registry.clone(), functions);
+    Ok((registry, pipeline, engine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries;
+    use sase_core::value::Value;
+    use sase_rfid::noise::NoiseModel;
+    use sase_rfid::scenario::RetailScenario;
+    use sase_rfid::sim::RfidSimulator;
+    use sase_stream::CleaningConfig;
+
+    #[test]
+    fn pipelined_matches_single_threaded() {
+        let cfg = CleaningConfig::retail_demo();
+        let scenario = RetailScenario::build(&cfg, 42, 4, 2, 1);
+
+        // Single-threaded reference.
+        let mut reference = crate::SaseSystem::retail(NoiseModel::realistic(), 9, 40).unwrap();
+        reference.register_demo_queries().unwrap();
+        reference.run_scenario(&scenario).unwrap();
+        let expect: Vec<String> = reference
+            .detections()
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+
+        // Pipelined deployment over the *same* device stream (same sim
+        // seed and noise).
+        let (_registry, pipeline, mut engine) = retail_stages(40).unwrap();
+        engine.register("shoplifting", queries::SHOPLIFTING).unwrap();
+        engine
+            .register("location_change", queries::LOCATION_CHANGE)
+            .unwrap();
+        engine
+            .register("archive_location", queries::ARCHIVE_LOCATION)
+            .unwrap();
+        let sim = RfidSimulator::retail_demo(NoiseModel::realistic(), 9);
+        let ticks = scripted_ticks(sim, &scenario);
+        let run = run_pipelined(ticks, pipeline, engine).unwrap();
+
+        let got: Vec<String> = run.detections.iter().map(|d| d.to_string()).collect();
+        assert_eq!(expect, got, "pipelined deployment must agree exactly");
+        assert!(run.frames_shipped as u64 >= scenario.duration);
+        assert!(run.events_generated > 0);
+    }
+
+    #[test]
+    fn pipelined_detects_planted_shoplifters() {
+        let cfg = CleaningConfig::retail_demo();
+        let scenario = RetailScenario::build(&cfg, 7, 3, 2, 0);
+        let (_registry, pipeline, mut engine) = retail_stages(40).unwrap();
+        engine.register("shoplifting", queries::SHOPLIFTING).unwrap();
+        let sim = RfidSimulator::retail_demo(NoiseModel::perfect(), 1);
+        let run = run_pipelined(scripted_ticks(sim, &scenario), pipeline, engine).unwrap();
+        let mut flagged: Vec<i64> = run
+            .detections
+            .iter()
+            .filter_map(|d| d.value("x.TagId").and_then(Value::as_int))
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        assert_eq!(flagged, scenario.truth.shoplifted);
+    }
+
+    #[test]
+    fn engine_error_propagates_across_threads() {
+        let (_registry, pipeline, mut engine) = retail_stages(4).unwrap();
+        engine
+            .functions()
+            .register_fn("_boom", Some(1), |_| {
+                Err(SaseError::Function {
+                    name: "_boom".into(),
+                    message: "injected".into(),
+                })
+            });
+        engine
+            .register("q", "EVENT SHELF_READING x RETURN _boom(x.TagId)")
+            .unwrap();
+        let cfg = CleaningConfig::retail_demo();
+        let mut sim = RfidSimulator::retail_demo(NoiseModel::perfect(), 1);
+        sim.place_tag(cfg.make_tag(1), 1);
+        let ticks: Vec<(Tick, Vec<RawReading>)> = vec![(0, sim.tick())];
+        let err = run_pipelined(ticks, pipeline, engine).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+    }
+}

@@ -1,0 +1,392 @@
+//! The assembled SASE system (Figure 1): RFID devices → Cleaning and
+//! Association → Complex Event Processor → results + Event Database.
+
+use std::sync::Arc;
+
+use sase_core::engine::Engine;
+use sase_core::error::{Result as CoreResult, SaseError};
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::functions::FunctionRegistry;
+use sase_core::output::ComplexEvent;
+use sase_core::value::ValueType;
+
+use sase_db::{Database, TrackAndTrace};
+use sase_rfid::noise::NoiseModel;
+use sase_rfid::scenario::RetailScenario;
+use sase_rfid::sim::RfidSimulator;
+use sase_rfid::warehouse::WarehouseTrace;
+use sase_stream::config::CleaningConfig;
+use sase_stream::event_gen::{register_reading_schemas, StaticOns};
+use sase_stream::pipeline::{CleaningPipeline, PipelineStats};
+use sase_stream::reading::Tick;
+
+use crate::builtins::{register_db_builtins, retail_area_descriptions, seed_area_info};
+
+/// Everything produced by one system tick.
+#[derive(Debug, Default)]
+pub struct TickResult {
+    /// Events that left the cleaning layer this tick.
+    pub events: Vec<Event>,
+    /// Composite events emitted by continuous queries this tick.
+    pub detections: Vec<ComplexEvent>,
+}
+
+/// Product names the demo catalog cycles through.
+const PRODUCT_NAMES: [&str; 8] = [
+    "milk", "soap", "bread", "razor", "cereal", "coffee", "batteries", "shampoo",
+];
+
+/// The demo catalog entry for an item id: `(name, category, price cents)`.
+/// Shared by the single-threaded and pipelined deployments so their ONS
+/// contents are identical.
+pub(crate) fn demo_product(item: u64) -> (&'static str, &'static str, i64) {
+    let name = PRODUCT_NAMES[(item as usize - 1) % PRODUCT_NAMES.len()];
+    let category = if item % 2 == 0 { "household" } else { "grocery" };
+    let price = 99 + (item as i64 % 40) * 25;
+    (name, category, price)
+}
+
+/// The fully wired system: simulator, cleaning pipeline, engine, database.
+pub struct SaseSystem {
+    cfg: CleaningConfig,
+    registry: SchemaRegistry,
+    db: Database,
+    tnt: TrackAndTrace,
+    engine: Engine,
+    pipeline: CleaningPipeline,
+    sim: RfidSimulator,
+    /// Tap of recent cleaned events for the UI window (bounded).
+    cleaning_tap: Vec<Event>,
+    /// All detections so far, for the "Message Results" window.
+    detections: Vec<ComplexEvent>,
+}
+
+impl SaseSystem {
+    /// Assemble the retail demo deployment (Figure 2): four readers over
+    /// two shelves, a counter, and an exit; a product catalog of
+    /// `catalog_size` tagged items; the paper's built-in DB functions
+    /// registered and the `area_info` table seeded.
+    pub fn retail(noise: NoiseModel, seed: u64, catalog_size: usize) -> CoreResult<Self> {
+        let cfg = CleaningConfig::retail_demo();
+        let registry = SchemaRegistry::new();
+        register_reading_schemas(&registry)?;
+
+        let db = Database::new();
+        seed_area_info(&db, &retail_area_descriptions()).map_err(db_err)?;
+        db.create_table(
+            "product",
+            &[
+                ("item", ValueType::Int),
+                ("name", ValueType::Str),
+                ("category", ValueType::Str),
+                ("price_cents", ValueType::Int),
+            ],
+        )
+        .map_err(db_err)?;
+        db.create_index("product", "item").map_err(db_err)?;
+
+        // Catalog: both in the simulated ONS and queryable in the DB.
+        let mut ons = StaticOns::new();
+        for item in 1..=catalog_size as u64 {
+            let (name, category, price) = demo_product(item);
+            ons.insert(cfg.make_tag(item), name, category, price);
+            db.execute(&format!(
+                "INSERT INTO product VALUES ({item}, '{name}', '{category}', {price})"
+            ))
+            .map_err(db_err)?;
+        }
+
+        let functions = FunctionRegistry::with_stdlib();
+        register_db_builtins(&functions, &db).map_err(db_err)?;
+        let engine = Engine::with_functions(registry.clone(), functions);
+        let tnt = TrackAndTrace::open(db.clone()).map_err(db_err)?;
+        let pipeline = CleaningPipeline::new(cfg.clone(), registry.clone(), Arc::new(ons));
+        let sim = RfidSimulator::retail_demo(noise, seed);
+
+        Ok(SaseSystem {
+            cfg,
+            registry,
+            db,
+            tnt,
+            engine,
+            pipeline,
+            sim,
+            cleaning_tap: Vec::new(),
+            detections: Vec::new(),
+        })
+    }
+
+    /// The cleaning configuration.
+    pub fn config(&self) -> &CleaningConfig {
+        &self.cfg
+    }
+
+    /// The schema registry.
+    pub fn schemas(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    /// The event database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Track-and-trace query interface.
+    pub fn track_and_trace(&self) -> &TrackAndTrace {
+        &self.tnt
+    }
+
+    /// The continuous-query engine.
+    pub fn engine(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The device simulator.
+    pub fn simulator(&mut self) -> &mut RfidSimulator {
+        &mut self.sim
+    }
+
+    /// Cleaning-layer statistics.
+    pub fn cleaning_stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Recent cleaned events (the "Cleaning and Association Layer Output"
+    /// window).
+    pub fn cleaning_tap(&self) -> &[Event] {
+        &self.cleaning_tap
+    }
+
+    /// All detections so far (the "Message Results" window).
+    pub fn detections(&self) -> &[ComplexEvent] {
+        &self.detections
+    }
+
+    /// Detections of one query.
+    pub fn detections_for(&self, query: &str) -> Vec<&ComplexEvent> {
+        self.detections
+            .iter()
+            .filter(|d| d.query.as_ref() == query)
+            .collect()
+    }
+
+    /// Register a continuous query (SASE text) under a name.
+    pub fn register_query(&mut self, name: &str, src: &str) -> CoreResult<()> {
+        self.engine.register(name, src)
+    }
+
+    /// Register the demo's standing queries: shoplifting (Q1), the Q2
+    /// location-change rule, and the complete location archiving rule.
+    pub fn register_demo_queries(&mut self) -> CoreResult<()> {
+        self.engine
+            .register("shoplifting", crate::queries::SHOPLIFTING)?;
+        self.engine
+            .register("location_change", crate::queries::LOCATION_CHANGE)?;
+        self.engine
+            .register("archive_location", crate::queries::ARCHIVE_LOCATION)?;
+        Ok(())
+    }
+
+    /// Register a misplaced-inventory monitor for a product family.
+    pub fn register_misplaced_query(
+        &mut self,
+        name: &str,
+        product: &str,
+        home_shelf: i64,
+    ) -> CoreResult<()> {
+        self.engine
+            .register(name, &crate::queries::misplaced_inventory(product, home_shelf))
+    }
+
+    /// Run one scan cycle: simulator → cleaning → event processor.
+    pub fn tick(&mut self, scenario: Option<&RetailScenario>) -> CoreResult<TickResult> {
+        let tick: Tick = self.sim.now();
+        if let Some(s) = scenario {
+            s.apply_tick(&mut self.sim, tick);
+        }
+        let readings = self.sim.tick();
+        let events = self.pipeline.process_tick(tick, &readings)?;
+        let mut detections = Vec::new();
+        for e in &events {
+            detections.extend(self.engine.process(e)?);
+        }
+        // Bounded UI tap.
+        self.cleaning_tap.extend(events.iter().cloned());
+        let overflow = self.cleaning_tap.len().saturating_sub(256);
+        if overflow > 0 {
+            self.cleaning_tap.drain(..overflow);
+        }
+        self.detections.extend(detections.iter().cloned());
+        Ok(TickResult { events, detections })
+    }
+
+    /// Play a scripted scenario to completion; returns every detection.
+    pub fn run_scenario(&mut self, scenario: &RetailScenario) -> CoreResult<Vec<ComplexEvent>> {
+        let mut all = Vec::new();
+        let start = self.sim.now();
+        while self.sim.now() < start + scenario.duration {
+            let r = self.tick(Some(scenario))?;
+            all.extend(r.detections);
+        }
+        Ok(all)
+    }
+
+    /// Capture the Figure 3 UI windows, with full query texts in the
+    /// "Present Queries" window.
+    pub fn ui_report(&self) -> crate::report::UiReport {
+        let mut report = crate::report::UiReport::capture(self, &self.engine.query_names());
+        for (name, text) in report.present_queries.iter_mut() {
+            if let Ok(t) = self.engine.query_text(name) {
+                *text = t;
+            }
+        }
+        report
+    }
+
+    /// Pre-populate the event database from a warehouse trace (§4's
+    /// track-and-trace data set).
+    pub fn prepopulate_warehouse(&mut self, trace: &WarehouseTrace) -> CoreResult<()> {
+        for m in &trace.movements {
+            self.tnt
+                .locations()
+                .update_location(m.item, m.area, m.ts as i64)
+                .map_err(db_err)?;
+        }
+        for c in &trace.containments {
+            if c.added {
+                self.tnt
+                    .containments()
+                    .add_to_container(c.item, c.container, c.ts as i64)
+                    .map_err(db_err)?;
+            } else {
+                self.tnt
+                    .containments()
+                    .remove_from_container(c.item, c.ts as i64)
+                    .map_err(db_err)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SaseSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SaseSystem")
+            .field("detections", &self.detections.len())
+            .field("cleaning", &self.pipeline.stats())
+            .finish()
+    }
+}
+
+fn db_err(e: sase_db::DbError) -> SaseError {
+    SaseError::engine(format!("event database: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shoplifting_detected_end_to_end_with_perfect_devices() {
+        let mut sys = SaseSystem::retail(NoiseModel::perfect(), 7, 20).unwrap();
+        sys.register_demo_queries().unwrap();
+        let scenario = RetailScenario::build(sys.config(), 3, 2, 1, 0);
+        sys.run_scenario(&scenario).unwrap();
+
+        let hits = sys.detections_for("shoplifting");
+        let mut flagged: Vec<i64> = hits
+            .iter()
+            .map(|d| d.value("x.TagId").unwrap().as_int().unwrap())
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        assert_eq!(flagged, scenario.truth.shoplifted, "exactly the planted thief");
+        // The DB lookup joined the paper's exit description.
+        let desc = hits[0]
+            .value("_retrieveLocation(z.AreaId)")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(desc.contains("door"));
+    }
+
+    #[test]
+    fn archiving_rules_keep_database_current() {
+        let mut sys = SaseSystem::retail(NoiseModel::perfect(), 9, 20).unwrap();
+        sys.register_demo_queries().unwrap();
+        let scenario = RetailScenario::build(sys.config(), 4, 1, 0, 1);
+        sys.run_scenario(&scenario).unwrap();
+
+        // The misplaced item's location history ends on a shelf; the
+        // archive rule must have recorded each hop.
+        let item = scenario.truth.misplaced[0];
+        let hist = sys.track_and_trace().locations().history(item).unwrap();
+        assert!(hist.len() >= 2, "history: {hist:?}");
+        let cur = sys.track_and_trace().current_location(item).unwrap().unwrap();
+        assert!(cur.area == 1 || cur.area == 2);
+    }
+
+    #[test]
+    fn misplaced_inventory_query_fires_with_history_lookup() {
+        let mut sys = SaseSystem::retail(NoiseModel::perfect(), 11, 20).unwrap();
+        sys.register_demo_queries().unwrap();
+        // Home shelf of every product in this tiny demo is shelf 1.
+        sys.register_misplaced_query("misplaced", "milk", 1).unwrap();
+
+        // Manually script: item 1 ("milk") placed on shelf 2 (wrong).
+        let cfg = sys.config().clone();
+        sys.simulator().place_tag(cfg.make_tag(1), 2);
+        for _ in 0..3 {
+            sys.tick(None).unwrap();
+        }
+        let hits = sys.detections_for("misplaced");
+        assert!(!hits.is_empty());
+        let history = hits[0]
+            .value("_movementHistory(x.TagId)")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(history.contains("movement history"));
+    }
+
+    #[test]
+    fn warehouse_prepopulation_supports_track_and_trace() {
+        let mut sys = SaseSystem::retail(NoiseModel::perfect(), 1, 10).unwrap();
+        let trace = sase_rfid::warehouse::generate(5, 12, 3);
+        sys.prepopulate_warehouse(&trace).unwrap();
+        for &item in &trace.items {
+            let cur = sys.track_and_trace().current_location(item).unwrap();
+            assert!(cur.is_some(), "item {item} has a current location");
+            let hist = sys.track_and_trace().movement_history(item).unwrap();
+            assert!(hist.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn noisy_devices_still_detect_with_cleaning() {
+        let mut sys = SaseSystem::retail(NoiseModel::realistic(), 21, 30).unwrap();
+        sys.register_demo_queries().unwrap();
+        let scenario = RetailScenario::build(sys.config(), 5, 4, 2, 0);
+        sys.run_scenario(&scenario).unwrap();
+        let mut flagged: Vec<i64> = sys
+            .detections_for("shoplifting")
+            .iter()
+            .map(|d| d.value("x.TagId").unwrap().as_int().unwrap())
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        // With realistic (not harsh) noise, the cleaning stack recovers
+        // every planted shoplifter and no honest shopper is flagged.
+        for thief in &scenario.truth.shoplifted {
+            assert!(flagged.contains(thief), "missed shoplifter {thief}");
+        }
+        for honest in &scenario.truth.honest {
+            assert!(!flagged.contains(honest), "false accusation of {honest}");
+        }
+        let stats = sys.cleaning_stats();
+        assert!(stats.anomaly.dropped_spurious > 0 || stats.anomaly.dropped_truncated > 0);
+        assert!(stats.dedup.suppressed > 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! An interactive console over a running SASE deployment: register SASE
+//! queries, feed scripted events, and run ad-hoc SQL against the event
+//! database — the headless equivalent of the paper's UI (§3).
+//!
+//! ```text
+//! cargo run --example repl
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! query <name> <sase-query-on-one-line>   register a continuous query
+//! drop <name>                             delete a query
+//! event <TYPE> <ts> <tag> <product> <area> push one event
+//! sql <statement>                         ad-hoc SQL on the event database
+//! explain <name>                          show the query plan
+//! stats <name>                            runtime counters
+//! queries                                 list registered queries
+//! quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use sase::core::engine::Engine;
+use sase::core::value::Value;
+use sase::db::Database;
+use sase::stream::register_reading_schemas;
+use sase::system::{register_db_builtins, retail_area_descriptions, seed_area_info};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = sase::core::event::SchemaRegistry::new();
+    register_reading_schemas(&registry)?;
+    let db = Database::new();
+    seed_area_info(&db, &retail_area_descriptions())?;
+    let functions = sase::core::functions::FunctionRegistry::with_stdlib();
+    register_db_builtins(&functions, &db)?;
+    let mut engine = Engine::with_functions(registry.clone(), functions);
+
+    println!("SASE console. `help` for commands, `quit` to exit.");
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("sase> ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let result = match cmd {
+            "quit" | "exit" => break,
+            "help" => {
+                println!(
+                    "query <name> <text> | drop <name> | event <TYPE> <ts> <tag> <product> <area>\n\
+                     sql <stmt> | explain <name> | stats <name> | queries | quit"
+                );
+                Ok(())
+            }
+            "query" => match rest.split_once(' ') {
+                Some((name, src)) => engine
+                    .register(name, src)
+                    .map(|_| println!("registered `{name}`"))
+                    .map_err(|e| e.to_string()),
+                None => Err("usage: query <name> <text>".to_string()),
+            }
+            .map_err(print_err),
+            "drop" => {
+                if engine.unregister(rest) {
+                    println!("dropped `{rest}`");
+                } else {
+                    println!("no query named `{rest}`");
+                }
+                Ok(())
+            }
+            "event" => push_event(&mut engine, &registry, rest).map_err(print_err),
+            "sql" => match db.execute(rest) {
+                Ok(sase::db::StatementResult::Rows(rs)) => {
+                    print!("{}", rs.render());
+                    Ok(())
+                }
+                Ok(other) => {
+                    println!("{other:?}");
+                    Ok(())
+                }
+                Err(e) => {
+                    println!("error: {e}");
+                    Ok(())
+                }
+            },
+            "explain" => match engine.explain(rest) {
+                Ok(text) => {
+                    println!("{text}");
+                    Ok(())
+                }
+                Err(e) => {
+                    println!("error: {e}");
+                    Ok(())
+                }
+            },
+            "stats" => match engine.stats(rest) {
+                Ok(s) => {
+                    println!("{s:#?}");
+                    Ok(())
+                }
+                Err(e) => {
+                    println!("error: {e}");
+                    Ok(())
+                }
+            },
+            "queries" => {
+                for q in engine.query_names() {
+                    println!("{q}");
+                }
+                Ok(())
+            }
+            other => {
+                println!("unknown command `{other}`; try `help`");
+                Ok(())
+            }
+        };
+        let _: Result<(), ()> = result;
+    }
+    Ok(())
+}
+
+fn print_err(e: impl std::fmt::Display) {
+    println!("error: {e}");
+}
+
+fn push_event(
+    engine: &mut Engine,
+    registry: &sase::core::event::SchemaRegistry,
+    rest: &str,
+) -> Result<(), String> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let [ty, ts, tag, product, area] = parts.as_slice() else {
+        return Err("usage: event <TYPE> <ts> <tag> <product> <area>".to_string());
+    };
+    let event = registry
+        .build_event(
+            ty,
+            ts.parse().map_err(|e| format!("bad ts: {e}"))?,
+            vec![
+                Value::Int(tag.parse().map_err(|e| format!("bad tag: {e}"))?),
+                Value::str(*product),
+                Value::Int(area.parse().map_err(|e| format!("bad area: {e}"))?),
+            ],
+        )
+        .map_err(|e| e.to_string())?;
+    let detections = engine.process(&event).map_err(|e| e.to_string())?;
+    println!("ok ({} detections)", detections.len());
+    for d in detections {
+        println!("  {d}");
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # sase — umbrella crate for the SASE reproduction
+//!
+//! Re-exports every crate of the workspace so examples and integration
+//! tests can `use sase::core::...`, `use sase::stream::...`, etc.
+//!
+//! * [`core`] — the SASE language, planner, NFA/AIS sequence operators, and
+//!   continuous-query engine.
+//! * [`stream`] — the five-layer Cleaning and Association pipeline.
+//! * [`rfid`] — the RFID device simulator, retail/warehouse scenarios, and
+//!   synthetic workload generators.
+//! * [`db`] — the event database (in-memory relational store, SQL subset,
+//!   location/containment history, track-and-trace).
+//! * [`system`] — full-system wiring: devices → cleaning → event processor
+//!   → database, plus the paper's built-in DB functions and the textual UI.
+
+pub use sase_core as core;
+pub use sase_db as db;
+pub use sase_rfid as rfid;
+pub use sase_stream as stream;
+pub use sase_system as system;

@@ -1,0 +1,147 @@
+//! Differential testing: every planner configuration must produce the same
+//! match set on the same stream — the optimizations (PAIS, window pushdown,
+//! predicate pushdown, indexed negation) are performance-only.
+
+use sase::core::functions::FunctionRegistry;
+use sase::core::lang::parse_query;
+use sase::core::plan::{Planner, PlannerOptions, SequenceStrategy};
+use sase::core::runtime::QueryRuntime;
+use sase::core::{Event, SchemaRegistry};
+use sase::rfid::generator::{generate, registry_for, SyntheticConfig};
+
+fn all_configs() -> Vec<PlannerOptions> {
+    let mut out = Vec::new();
+    for partition in [true, false] {
+        for window in [true, false] {
+            for single in [true, false] {
+                for neg_idx in [true, false] {
+                    out.push(PlannerOptions {
+                        pushdown_partition: partition,
+                        pushdown_window: window,
+                        pushdown_single_event_predicates: single,
+                        indexed_negation: neg_idx,
+                        strategy: SequenceStrategy::Ssc,
+                    });
+                }
+            }
+        }
+    }
+    out.push(PlannerOptions::naive());
+    out
+}
+
+fn canonical_matches(
+    registry: &SchemaRegistry,
+    events: &[Event],
+    query: &str,
+    options: PlannerOptions,
+) -> Vec<Vec<u64>> {
+    let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
+    let q = parse_query(query).unwrap();
+    let plan = planner.plan_with(&q, options).unwrap();
+    let mut rt = QueryRuntime::new("diff", plan);
+    let out = rt.process_all(events).unwrap();
+    let mut canon: Vec<Vec<u64>> = out
+        .iter()
+        .map(|ce| ce.events.iter().map(|e| e.timestamp()).collect())
+        .collect();
+    canon.sort();
+    canon
+}
+
+fn check_query(query: &str, seeds: &[u64], events: usize, partitions: usize) {
+    for &seed in seeds {
+        let cfg = SyntheticConfig::retail(seed, events, partitions);
+        let registry = registry_for(&cfg);
+        let stream = generate(&registry, &cfg);
+        let reference =
+            canonical_matches(&registry, &stream, query, PlannerOptions::default());
+        for options in all_configs() {
+            let got = canonical_matches(&registry, &stream, query, options);
+            assert_eq!(
+                reference, got,
+                "seed {seed}: {options:?} disagrees on {query}"
+            );
+        }
+        assert!(
+            !reference.is_empty(),
+            "seed {seed}: workload produced no matches for {query} — weak test"
+        );
+    }
+}
+
+#[test]
+fn differential_two_step_equality() {
+    check_query(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId WITHIN 120",
+        &[1, 2, 3],
+        1_500,
+        8,
+    );
+}
+
+#[test]
+fn differential_q1_with_negation() {
+    check_query(
+        "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+         WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 150",
+        &[4, 5, 6],
+        1_500,
+        6,
+    );
+}
+
+#[test]
+fn differential_equivalence_shorthand_three_steps() {
+    check_query(
+        "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) \
+         WHERE [TagId] WITHIN 200",
+        &[7, 8],
+        1_200,
+        5,
+    );
+}
+
+#[test]
+fn differential_mixed_predicates() {
+    check_query(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+         WHERE x.TagId = z.TagId AND x.AreaId != z.AreaId AND z.AreaId >= 2 WITHIN 100",
+        &[9, 10],
+        1_500,
+        6,
+    );
+}
+
+#[test]
+fn differential_any_pattern() {
+    check_query(
+        "EVENT SEQ(ANY(SHELF_READING, COUNTER_READING) a, EXIT_READING b) \
+         WHERE a.TagId = b.TagId WITHIN 80",
+        &[11, 12],
+        1_200,
+        6,
+    );
+}
+
+#[test]
+fn differential_negation_with_candidate_filter() {
+    check_query(
+        "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+         WHERE x.TagId = y.TagId AND x.TagId = z.TagId AND y.AreaId = 3 WITHIN 150",
+        &[13, 14],
+        1_500,
+        5,
+    );
+}
+
+#[test]
+fn differential_unbounded_window() {
+    // No WITHIN clause at all: matches accumulate over the whole stream.
+    check_query(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId",
+        &[15],
+        400,
+        10,
+    );
+}

@@ -1,0 +1,360 @@
+//! Property-based tests (proptest) over the core engine:
+//!
+//! * the canonical printer and parser round-trip,
+//! * the SSC operator agrees with a brute-force enumeration oracle on
+//!   randomly generated streams (for both plain and negated patterns),
+//! * every optimized configuration agrees with the naive NFA runner,
+//! * structural invariants of emitted matches.
+
+use proptest::prelude::*;
+
+use sase::core::functions::FunctionRegistry;
+use sase::core::lang::parse_query;
+use sase::core::plan::{Planner, PlannerOptions};
+use sase::core::runtime::QueryRuntime;
+use sase::core::value::Value;
+use sase::core::{Event, SchemaRegistry};
+
+// ---------------------------------------------------------------------------
+// Stream generation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RawEvent {
+    ty: usize, // 0 = SHELF, 1 = COUNTER, 2 = EXIT
+    ts_gap: u64,
+    tag: i64,
+    area: i64,
+}
+
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<RawEvent>> {
+    prop::collection::vec(
+        (0usize..3, 1u64..4, 0i64..4, 1i64..5).prop_map(|(ty, ts_gap, tag, area)| RawEvent {
+            ty,
+            ts_gap,
+            tag,
+            area,
+        }),
+        0..max_len,
+    )
+}
+
+fn materialize(registry: &SchemaRegistry, raw: &[RawEvent]) -> Vec<Event> {
+    const TYPES: [&str; 3] = ["SHELF_READING", "COUNTER_READING", "EXIT_READING"];
+    let mut ts = 0;
+    raw.iter()
+        .map(|r| {
+            ts += r.ts_gap;
+            registry
+                .build_event(
+                    TYPES[r.ty],
+                    ts,
+                    vec![Value::Int(r.tag), Value::str("p"), Value::Int(r.area)],
+                )
+                .unwrap()
+        })
+        .collect()
+}
+
+fn run(query: &str, options: PlannerOptions, events: &[Event]) -> Vec<Vec<u64>> {
+    let registry = sase::core::event::retail_registry();
+    let planner = Planner::new(registry, FunctionRegistry::with_stdlib());
+    let q = parse_query(query).unwrap();
+    let plan = planner.plan_with(&q, options).unwrap();
+    let mut rt = QueryRuntime::new("prop", plan);
+    let out = rt.process_all(events).unwrap();
+    let mut canon: Vec<Vec<u64>> = out
+        .iter()
+        .map(|ce| ce.events.iter().map(|e| e.timestamp()).collect())
+        .collect();
+    canon.sort();
+    canon
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force oracles
+// ---------------------------------------------------------------------------
+
+/// All (shelf, exit) pairs with equal tags within the window.
+fn oracle_seq2(events: &[Event], window: u64) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    for (i, a) in events.iter().enumerate() {
+        if a.type_name() != "SHELF_READING" {
+            continue;
+        }
+        for b in &events[i + 1..] {
+            if b.type_name() != "EXIT_READING" {
+                continue;
+            }
+            if b.timestamp() <= a.timestamp() {
+                continue;
+            }
+            if b.timestamp() - a.timestamp() > window {
+                continue;
+            }
+            if a.attr("TagId") != b.attr("TagId") {
+                continue;
+            }
+            out.push(vec![a.timestamp(), b.timestamp()]);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Q1 oracle: pairs as above, minus those with a same-tag counter reading
+/// strictly between.
+fn oracle_q1(events: &[Event], window: u64) -> Vec<Vec<u64>> {
+    oracle_seq2(events, window)
+        .into_iter()
+        .filter(|pair| {
+            let (t0, t1) = (pair[0], pair[1]);
+            let tag = events
+                .iter()
+                .find(|e| e.timestamp() == t0 && e.type_name() == "SHELF_READING")
+                .unwrap()
+                .attr("TagId");
+            !events.iter().any(|e| {
+                e.type_name() == "COUNTER_READING"
+                    && e.timestamp() > t0
+                    && e.timestamp() < t1
+                    && e.attr("TagId") == tag
+            })
+        })
+        .collect()
+}
+
+const SEQ2: &str =
+    "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId WITHIN 10";
+const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+                  WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 10";
+
+// Timestamps can collide across events only via different gap events; gaps
+// are >= 1 so timestamps are strictly increasing and unique, making the
+// timestamp-vector canonicalization faithful.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ssc_matches_brute_force_seq2(raw in arb_stream(40)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        let got = run(SEQ2, PlannerOptions::default(), &events);
+        let want = oracle_seq2(&events, 10);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ssc_matches_brute_force_q1_negation(raw in arb_stream(40)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        let got = run(Q1, PlannerOptions::default(), &events);
+        let want = oracle_q1(&events, 10);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn naive_agrees_with_optimized(raw in arb_stream(60)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        for q in [SEQ2, Q1] {
+            let a = run(q, PlannerOptions::default(), &events);
+            let b = run(q, PlannerOptions::naive(), &events);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn matches_are_well_formed(raw in arb_stream(60)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(Q1).unwrap();
+        let plan = planner.plan(&q).unwrap();
+        let mut rt = QueryRuntime::new("prop", plan);
+        let out = rt.process_all(&events).unwrap();
+        for ce in &out {
+            prop_assert_eq!(ce.events.len(), 2);
+            prop_assert_eq!(ce.events[0].type_name(), "SHELF_READING");
+            prop_assert_eq!(ce.events[1].type_name(), "EXIT_READING");
+            prop_assert!(ce.events[0].timestamp() < ce.events[1].timestamp());
+            prop_assert!(ce.events[1].timestamp() - ce.events[0].timestamp() <= 10);
+            prop_assert_eq!(
+                ce.events[0].attr("TagId"),
+                ce.events[1].attr("TagId")
+            );
+            prop_assert_eq!(ce.detected_at, ce.events[1].timestamp());
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_generated_queries(
+        window in 1u64..5000,
+        area in 0i64..10,
+        use_neg in any::<bool>(),
+        use_equiv in any::<bool>(),
+        use_return in any::<bool>(),
+    ) {
+        let pattern = if use_neg {
+            "SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)"
+        } else {
+            "SEQ(SHELF_READING x, EXIT_READING z)"
+        };
+        let where_clause = if use_equiv {
+            format!("WHERE [TagId] AND x.AreaId = {area}")
+        } else {
+            format!("WHERE x.TagId = z.TagId AND x.AreaId != {area}")
+        };
+        let ret = if use_return {
+            "\nRETURN x.TagId, z.AreaId AS exit_area, count(*)"
+        } else {
+            ""
+        };
+        let src = format!("EVENT {pattern}\n{where_clause}\nWITHIN {window}{ret}");
+        let q1 = parse_query(&src).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn stats_invariants(raw in arb_stream(60)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
+        let q = parse_query(Q1).unwrap();
+        let plan = planner.plan(&q).unwrap();
+        let mut rt = QueryRuntime::new("prop", plan);
+        let out = rt.process_all(&events).unwrap();
+        let s = rt.stats();
+        prop_assert_eq!(s.events_processed as usize, events.len());
+        prop_assert_eq!(s.matches_emitted as usize, out.len());
+        prop_assert_eq!(
+            s.sequences_constructed,
+            s.matches_emitted + s.dropped_by_negation + s.dropped_by_window
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The event database holds SELECT/INSERT consistency under random rows.
+    #[test]
+    fn sql_insert_select_consistency(rows in prop::collection::vec((0i64..20, 1i64..5), 1..60)) {
+        let db = sase::db::Database::new();
+        db.execute("CREATE TABLE t (item int, area int)").unwrap();
+        db.execute("CREATE INDEX ON t (item)").unwrap();
+        for (item, area) in &rows {
+            db.execute(&format!("INSERT INTO t VALUES ({item}, {area})")).unwrap();
+        }
+        let total = db.query("SELECT count(*) FROM t").unwrap();
+        prop_assert_eq!(total.rows[0][0].as_int().unwrap() as usize, rows.len());
+        // Per-item counts via the index path match the naive count.
+        for probe in 0..20i64 {
+            let rs = db
+                .query(&format!("SELECT count(*) FROM t WHERE item = {probe}"))
+                .unwrap();
+            let want = rows.iter().filter(|(i, _)| *i == probe).count();
+            prop_assert_eq!(rs.rows[0][0].as_int().unwrap() as usize, want);
+        }
+    }
+
+    /// Location-store invariant: at most one open stay per item; history
+    /// intervals are contiguous and ordered.
+    #[test]
+    fn location_history_invariants(moves in prop::collection::vec((0i64..5, 1i64..6), 1..40)) {
+        let store = sase::db::LocationStore::open(sase::db::Database::new()).unwrap();
+        let mut ts = 0i64;
+        for (item, area) in &moves {
+            ts += 1;
+            store.update_location(*item, *area, ts).unwrap();
+        }
+        for item in 0..5i64 {
+            let hist = store.history(item).unwrap();
+            let open = hist.iter().filter(|s| s.time_out == sase::db::OPEN).count();
+            prop_assert!(open <= 1);
+            for w in hist.windows(2) {
+                prop_assert_eq!(w[0].time_out, w[1].time_in, "contiguous stays");
+                prop_assert!(w[0].time_in < w[1].time_in);
+                prop_assert!(w[0].area != w[1].area, "no-op moves are skipped");
+            }
+        }
+    }
+}
+
+/// Brute-force oracle for the 3-component sequence with tag equivalence.
+fn oracle_seq3(events: &[Event], window: u64) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    for (i, a) in events.iter().enumerate() {
+        if a.type_name() != "SHELF_READING" {
+            continue;
+        }
+        for (j, b) in events.iter().enumerate().skip(i + 1) {
+            if b.type_name() != "COUNTER_READING"
+                || b.timestamp() <= a.timestamp()
+                || a.attr("TagId") != b.attr("TagId")
+            {
+                continue;
+            }
+            for c in &events[j + 1..] {
+                if c.type_name() != "EXIT_READING"
+                    || c.timestamp() <= b.timestamp()
+                    || a.attr("TagId") != c.attr("TagId")
+                    || c.timestamp() - a.timestamp() > window
+                {
+                    continue;
+                }
+                out.push(vec![a.timestamp(), b.timestamp(), c.timestamp()]);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+const SEQ3: &str = "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) \
+                    WHERE [TagId] WITHIN 12";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ssc_matches_brute_force_seq3(raw in arb_stream(36)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        let got = run(SEQ3, PlannerOptions::default(), &events);
+        let want = oracle_seq3(&events, 12);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The derived-stream path is deterministic: two engines fed the same
+    /// stream produce identical output sequences, including re-ingested
+    /// INTO events.
+    #[test]
+    fn into_composition_deterministic(raw in arb_stream(40)) {
+        let registry = sase::core::event::retail_registry();
+        let events = materialize(&registry, &raw);
+        let build = || {
+            let mut engine = sase::core::engine::Engine::new(registry.clone());
+            engine
+                .register(
+                    "stage1",
+                    "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE [TagId] WITHIN 10 \
+                     RETURN x.TagId AS tag, z.AreaId AS area INTO pairs",
+                )
+                .unwrap();
+            engine
+        };
+        let run_engine = |mut engine: sase::core::engine::Engine| -> Vec<String> {
+            let mut out = Vec::new();
+            for e in &events {
+                out.extend(engine.process(e).unwrap());
+            }
+            out.iter().map(|d| d.to_string()).collect()
+        };
+        let a = run_engine(build());
+        let b = run_engine(build());
+        prop_assert_eq!(a, b);
+    }
+}

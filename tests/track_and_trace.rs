@@ -1,0 +1,120 @@
+//! Experiment D4: track-and-trace queries over a pre-populated event
+//! database (§4's warehouse workload).
+
+use sase::db::{Database, TraceEntry, TrackAndTrace, OPEN};
+use sase::rfid::noise::NoiseModel;
+use sase::rfid::warehouse::{self, areas};
+use sase::system::SaseSystem;
+
+#[test]
+fn d4_every_item_traceable_end_to_end() {
+    let mut sys = SaseSystem::retail(NoiseModel::perfect(), 5, 10).unwrap();
+    let trace = warehouse::generate(42, 50, 5);
+    sys.prepopulate_warehouse(&trace).unwrap();
+
+    for &item in &trace.items {
+        // Current location: always a shelf at the end of the trace.
+        let cur = sys
+            .track_and_trace()
+            .current_location(item)
+            .unwrap()
+            .unwrap_or_else(|| panic!("item {item} is somewhere"));
+        assert!(
+            cur.area == areas::SHELF_1 || cur.area == areas::SHELF_2,
+            "item {item} in {}",
+            cur.area
+        );
+        assert_eq!(cur.time_out, OPEN);
+
+        // Movement history follows the canonical supply-chain path.
+        let history = sys.track_and_trace().movement_history(item).unwrap();
+        let area_path: Vec<i64> = history
+            .iter()
+            .filter_map(|e| match e {
+                TraceEntry::Location { area, .. } => Some(*area),
+                TraceEntry::Containment { .. } => None,
+            })
+            .collect();
+        assert_eq!(area_path[0], areas::LOADING_DOCK, "item {item}");
+        assert_eq!(area_path[1], areas::UNLOADING_ZONE, "item {item}");
+        assert_eq!(area_path[2], areas::BACKROOM, "item {item}");
+
+        // Containment: boxed through the warehouse leg, unboxed at stocking.
+        let boxed: Vec<&TraceEntry> = history
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Containment { .. }))
+            .collect();
+        assert!(!boxed.is_empty(), "item {item} was never boxed");
+        assert!(
+            boxed.iter().all(|e| match e {
+                TraceEntry::Containment { time_out, .. } => *time_out != OPEN,
+                _ => unreachable!(),
+            }),
+            "item {item} is still boxed on a shelf"
+        );
+    }
+}
+
+#[test]
+fn d4_containment_contents_are_consistent() {
+    let trace = warehouse::generate(9, 30, 3);
+    let tnt = TrackAndTrace::open(Database::new()).unwrap();
+    // Replay only up to the midpoint timestamp; contents must equal a
+    // straightforward interpretation of the operations so far.
+    let mid = trace.containments[trace.containments.len() / 2].ts;
+    let mut expected: std::collections::HashMap<i64, i64> = Default::default();
+    for c in trace.containments.iter().filter(|c| c.ts <= mid) {
+        if c.added {
+            tnt.containments()
+                .add_to_container(c.item, c.container, c.ts as i64)
+                .unwrap();
+            expected.insert(c.item, c.container);
+        } else {
+            tnt.containments()
+                .remove_from_container(c.item, c.ts as i64)
+                .unwrap();
+            expected.remove(&c.item);
+        }
+    }
+    for container in &trace.containers {
+        let mut want: Vec<i64> = expected
+            .iter()
+            .filter(|(_, c)| *c == container)
+            .map(|(i, _)| *i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(
+            tnt.containments().contents(*container).unwrap(),
+            want,
+            "container {container}"
+        );
+    }
+}
+
+#[test]
+fn d4_adhoc_sql_over_prepopulated_database() {
+    let mut sys = SaseSystem::retail(NoiseModel::perfect(), 5, 10).unwrap();
+    let trace = warehouse::generate(11, 40, 4);
+    sys.prepopulate_warehouse(&trace).unwrap();
+    let db = sys.database();
+
+    // Every item has exactly one open stay.
+    let rs = db
+        .query("SELECT count(*) AS open_stays FROM item_location WHERE time_out = -1")
+        .unwrap();
+    assert_eq!(rs.rows[0][0].as_int().unwrap(), 40);
+
+    // Shelf occupancy sums to the item count.
+    let rs = db
+        .query(
+            "SELECT area, count(*) AS n FROM item_location \
+             WHERE time_out = -1 GROUP BY area ORDER BY area",
+        )
+        .unwrap();
+    let total: i64 = rs.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+    assert_eq!(total, 40);
+    for row in &rs.rows {
+        let area = row[0].as_int().unwrap();
+        assert!(area == areas::SHELF_1 || area == areas::SHELF_2);
+    }
+}
