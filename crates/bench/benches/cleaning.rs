@@ -32,8 +32,7 @@ fn bench(c: &mut Criterion) {
                 for t in 1..=40u64 {
                     ons.insert(cfg.make_tag(t), "p", "misc", 100);
                 }
-                let mut pipeline =
-                    CleaningPipeline::new(cfg.clone(), registry, Arc::new(ons));
+                let mut pipeline = CleaningPipeline::new(cfg.clone(), registry, Arc::new(ons));
                 let mut events = 0usize;
                 for (tick, readings) in ticks.iter().enumerate() {
                     events += pipeline.process_tick(tick as u64, readings).unwrap().len();

@@ -19,7 +19,14 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("negation_indexed", |b| {
-        b.iter(|| run_query(&registry, &stream, &q1_query(300), PlannerOptions::default()))
+        b.iter(|| {
+            run_query(
+                &registry,
+                &stream,
+                &q1_query(300),
+                PlannerOptions::default(),
+            )
+        })
     });
     g.bench_function("negation_scan", |b| {
         b.iter(|| {

@@ -167,7 +167,12 @@ fn p4_negation(scale: usize) {
     );
     let events = 40_000 / scale;
     let (registry, stream) = retail_stream(404, events, 100);
-    let with_neg_idx = run_query(&registry, &stream, &q1_query(300), PlannerOptions::default());
+    let with_neg_idx = run_query(
+        &registry,
+        &stream,
+        &q1_query(300),
+        PlannerOptions::default(),
+    );
     let with_neg_scan = run_query(
         &registry,
         &stream,

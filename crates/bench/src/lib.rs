@@ -40,7 +40,9 @@ pub fn run_query(
 ) -> RunResult {
     let planner = Planner::new(registry.clone(), FunctionRegistry::with_stdlib());
     let q = parse_query(query_src).expect("benchmark query parses");
-    let plan = planner.plan_with(&q, options).expect("benchmark query plans");
+    let plan = planner
+        .plan_with(&q, options)
+        .expect("benchmark query plans");
     let mut rt = QueryRuntime::new("bench", plan);
     let mut out = Vec::new();
     let start = Instant::now();
@@ -246,7 +248,12 @@ mod tests {
     fn harness_self_test() {
         let (registry, events) = retail_stream(3, 2000, 20);
         assert_configs_agree(&registry, &events, &q1_query(100));
-        let r = run_query(&registry, &events, &seq2_query(100), PlannerOptions::default());
+        let r = run_query(
+            &registry,
+            &events,
+            &seq2_query(100),
+            PlannerOptions::default(),
+        );
         assert!(r.matches > 0);
         assert!(r.events_per_sec > 0.0);
     }

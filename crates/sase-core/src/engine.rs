@@ -89,21 +89,15 @@ impl Engine {
     }
 
     /// Register a continuous query with explicit planner options.
-    pub fn register_with(
-        &mut self,
-        name: &str,
-        src: &str,
-        options: PlannerOptions,
-    ) -> Result<()> {
+    pub fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()> {
         if self.by_name.contains_key(name) {
             return Err(SaseError::engine(format!(
                 "a query named `{name}` is already registered"
             )));
         }
         let query = parse_query(src)?;
-        let planner =
-            Planner::new(self.registry.clone(), self.functions.clone())
-                .with_time_scale(self.time_scale);
+        let planner = Planner::new(self.registry.clone(), self.functions.clone())
+            .with_time_scale(self.time_scale);
         let plan = planner.plan_with(&query, options)?;
         self.install(name, plan)
     }
@@ -150,8 +144,7 @@ impl Engine {
 
     /// Names of registered queries, in registration order.
     pub fn query_names(&self) -> Vec<String> {
-        let mut names: Vec<(usize, &String)> =
-            self.by_name.iter().map(|(n, i)| (*i, n)).collect();
+        let mut names: Vec<(usize, &String)> = self.by_name.iter().map(|(n, i)| (*i, n)).collect();
         names.sort_unstable_by_key(|(i, _)| *i);
         names.into_iter().map(|(_, n)| n.clone()).collect()
     }
@@ -191,11 +184,7 @@ impl Engine {
     /// stream name; if it is not already registered, a schema is derived
     /// from the first emission's column types. Cyclic INTO graphs are cut
     /// off after [`MAX_DERIVATION_DEPTH`] hops with an error.
-    pub fn process_on(
-        &mut self,
-        stream: Option<&str>,
-        event: &Event,
-    ) -> Result<Vec<ComplexEvent>> {
+    pub fn process_on(&mut self, stream: Option<&str>, event: &Event) -> Result<Vec<ComplexEvent>> {
         let mut out = Vec::new();
         let mut queue: VecDeque<(Option<String>, Event, usize)> = VecDeque::new();
         queue.push_back((stream.map(str::to_string), event.clone(), 0));
@@ -370,7 +359,10 @@ mod tests {
     fn stream_routing() {
         let mut engine = Engine::new(retail_registry());
         engine
-            .register("on_named", "FROM retail EVENT SHELF_READING x RETURN x.TagId")
+            .register(
+                "on_named",
+                "FROM retail EVENT SHELF_READING x RETURN x.TagId",
+            )
             .unwrap();
         engine
             .register("on_default", "EVENT SHELF_READING x RETURN x.TagId")

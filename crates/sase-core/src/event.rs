@@ -181,9 +181,9 @@ impl SchemaRegistry {
         timestamp: Timestamp,
         attrs: Vec<Value>,
     ) -> Result<Event> {
-        let id = self.type_id(type_name).ok_or_else(|| {
-            SaseError::schema(format!("unknown event type `{type_name}`"))
-        })?;
+        let id = self
+            .type_id(type_name)
+            .ok_or_else(|| SaseError::schema(format!("unknown event type `{type_name}`")))?;
         self.build_event_by_id(id, timestamp, attrs)
     }
 

@@ -168,9 +168,9 @@ impl CompiledExpr {
         match self {
             CompiledExpr::Literal(v) => Ok(v.clone()),
             CompiledExpr::Attr { slot, attr, var } => {
-                let event = binding.event_at(*slot).ok_or_else(|| {
-                    SaseError::eval(format!("variable `{var}` is not bound"))
-                })?;
+                let event = binding
+                    .event_at(*slot)
+                    .ok_or_else(|| SaseError::eval(format!("variable `{var}` is not bound")))?;
                 event.attr(attr).ok_or_else(|| {
                     SaseError::eval(format!(
                         "event type `{}` has no attribute `{attr}` (variable `{var}`)",
@@ -361,9 +361,15 @@ mod tests {
         let reg = retail_registry();
         let e = compile("x.AreaId > 1 AND x.TagId < 100", &xy_slots());
         let ev = shelf(&reg, 1, 7, 2);
-        let probe = SlotProbe { slot: 0, event: &ev };
+        let probe = SlotProbe {
+            slot: 0,
+            event: &ev,
+        };
         assert!(e.eval_bool(&probe).unwrap());
-        let probe_wrong_slot = SlotProbe { slot: 1, event: &ev };
+        let probe_wrong_slot = SlotProbe {
+            slot: 1,
+            event: &ev,
+        };
         assert!(e.eval_bool(&probe_wrong_slot).is_err());
     }
 
@@ -384,7 +390,10 @@ mod tests {
         // y is unbound; AND must short-circuit on the false left side.
         let e = compile("x.TagId = 999 AND y.TagId = 1", &xy_slots());
         let ev = shelf(&reg, 1, 7, 1);
-        let probe = SlotProbe { slot: 0, event: &ev };
+        let probe = SlotProbe {
+            slot: 0,
+            event: &ev,
+        };
         assert!(!e.eval_bool(&probe).unwrap());
         // OR short-circuits on the true left side.
         let o = compile("x.TagId = 7 OR y.TagId = 1", &xy_slots());
@@ -405,7 +414,10 @@ mod tests {
         let reg = retail_registry();
         let e = compile("x.ProductName > 3", &xy_slots());
         let ev = shelf(&reg, 1, 1, 1);
-        let probe = SlotProbe { slot: 0, event: &ev };
+        let probe = SlotProbe {
+            slot: 0,
+            event: &ev,
+        };
         assert!(!e.eval_bool(&probe).unwrap());
     }
 
@@ -414,7 +426,12 @@ mod tests {
         let reg = retail_registry();
         let e = compile("x.ProductName != 3", &xy_slots());
         let ev = shelf(&reg, 1, 1, 1);
-        assert!(e.eval_bool(&SlotProbe { slot: 0, event: &ev }).unwrap());
+        assert!(e
+            .eval_bool(&SlotProbe {
+                slot: 0,
+                event: &ev
+            })
+            .unwrap());
     }
 
     #[test]
@@ -434,8 +451,7 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected() {
         let ast = parse_expr("_abs(x.TagId, y.TagId)").unwrap();
-        let err =
-            CompiledExpr::compile(&ast, &xy_slots()[..], &FunctionRegistry::with_stdlib());
+        let err = CompiledExpr::compile(&ast, &xy_slots()[..], &FunctionRegistry::with_stdlib());
         assert!(err.is_err());
     }
 
@@ -463,6 +479,11 @@ mod tests {
         let reg = retail_registry();
         let e = compile("x.TagId + 1", &xy_slots());
         let ev = shelf(&reg, 1, 1, 1);
-        assert!(e.eval_bool(&SlotProbe { slot: 0, event: &ev }).is_err());
+        assert!(e
+            .eval_bool(&SlotProbe {
+                slot: 0,
+                event: &ev
+            })
+            .is_err());
     }
 }

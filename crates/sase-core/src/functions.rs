@@ -99,9 +99,8 @@ impl FunctionRegistry {
 
     /// Resolve a function, producing a semantic error naming it on failure.
     pub fn resolve(&self, name: &str) -> Result<Arc<dyn BuiltinFunction>> {
-        self.get(name).ok_or_else(|| {
-            SaseError::semantic(format!("unknown built-in function `{name}`"))
-        })
+        self.get(name)
+            .ok_or_else(|| SaseError::semantic(format!("unknown built-in function `{name}`")))
     }
 
     /// Names of all registered functions, sorted.
@@ -197,9 +196,7 @@ mod tests {
     #[test]
     fn register_and_call() {
         let reg = FunctionRegistry::new();
-        reg.register_fn("_double", Some(1), |args| {
-            args[0].mul(&Value::Int(2))
-        });
+        reg.register_fn("_double", Some(1), |args| args[0].mul(&Value::Int(2)));
         let f = reg.resolve("_double").unwrap();
         assert_eq!(f.call(&[Value::Int(21)]).unwrap(), Value::Int(42));
         assert_eq!(f.arity(), Some(1));
@@ -220,7 +217,10 @@ mod tests {
     fn stdlib_functions() {
         let reg = FunctionRegistry::with_stdlib();
         assert_eq!(
-            reg.resolve("_abs").unwrap().call(&[Value::Int(-4)]).unwrap(),
+            reg.resolve("_abs")
+                .unwrap()
+                .call(&[Value::Int(-4)])
+                .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
@@ -245,7 +245,10 @@ mod tests {
             Value::str("a1")
         );
         assert_eq!(
-            reg.resolve("_len").unwrap().call(&[Value::str("abc")]).unwrap(),
+            reg.resolve("_len")
+                .unwrap()
+                .call(&[Value::str("abc")])
+                .unwrap(),
             Value::Int(3)
         );
         assert!(reg.resolve("_min").unwrap().call(&[]).is_err());

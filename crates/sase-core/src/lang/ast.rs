@@ -448,8 +448,27 @@ impl Expr {
                     UnaryOp::Not => write!(f, "NOT ")?,
                     UnaryOp::Neg => write!(f, "-")?,
                 }
-                // Unary binds tighter than any binary operator.
-                expr.fmt_prec(f, 6)
+                // A nested leading `-` would print as `--`, which the lexer
+                // reads as a line comment; parenthesize to keep the form
+                // reparseable.
+                let needs_guard = *op == UnaryOp::Neg
+                    && match expr.as_ref() {
+                        Expr::Unary {
+                            op: UnaryOp::Neg, ..
+                        } => true,
+                        Expr::Literal(Value::Int(i)) => *i < 0,
+                        // `-0.0` prints as `-0`, so sign matters, not order.
+                        Expr::Literal(Value::Float(x)) => x.is_sign_negative(),
+                        _ => false,
+                    };
+                if needs_guard {
+                    write!(f, "(")?;
+                    expr.fmt_prec(f, 0)?;
+                    write!(f, ")")
+                } else {
+                    // Unary binds tighter than any binary operator.
+                    expr.fmt_prec(f, 6)
+                }
             }
             Expr::Binary { op, left, right } => {
                 let prec = op.precedence();
@@ -540,7 +559,11 @@ mod tests {
             Expr::binary(
                 BinOp::And,
                 Expr::Equivalence("id".into()),
-                Expr::binary(BinOp::Gt, Expr::attr("x", "p"), Expr::Literal(Value::Int(3))),
+                Expr::binary(
+                    BinOp::Gt,
+                    Expr::attr("x", "p"),
+                    Expr::Literal(Value::Int(3)),
+                ),
             ),
         );
         assert_eq!(e.conjuncts().len(), 3);
@@ -586,10 +609,7 @@ mod tests {
         );
         assert_eq!(p.positive_len(), 2);
         assert_eq!(p.negated_len(), 1);
-        assert_eq!(
-            p.positive_vars().collect::<Vec<_>>(),
-            vec!["x", "z"]
-        );
+        assert_eq!(p.positive_vars().collect::<Vec<_>>(), vec!["x", "z"]);
     }
 
     #[test]
@@ -600,6 +620,30 @@ mod tests {
             variable: "v".into(),
         };
         assert_eq!(e.to_string(), "ANY(A, B) v");
+    }
+
+    #[test]
+    fn nested_negation_never_prints_a_comment() {
+        // `--` is a line comment in the lexer; the printer must guard it.
+        let e = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::attr("x", "a")),
+            }),
+        };
+        assert_eq!(e.to_string(), "-(-x.a)");
+        let lit = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::Literal(Value::Int(-3))),
+        };
+        assert_eq!(lit.to_string(), "-(-3)");
+        // -0.0 prints as `-0`; the guard must key on the sign bit.
+        let zero = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::Literal(Value::Float(-0.0))),
+        };
+        assert_eq!(zero.to_string(), "-(-0)");
     }
 
     #[test]

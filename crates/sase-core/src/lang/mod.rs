@@ -19,8 +19,8 @@ pub mod parser;
 pub mod token;
 
 pub use ast::{
-    AggArg, AggFunc, AttrRef, BinOp, Expr, Pattern, PatternElem, Query, ReturnClause,
-    ReturnItem, UnaryOp,
+    AggArg, AggFunc, AttrRef, BinOp, Expr, Pattern, PatternElem, Query, ReturnClause, ReturnItem,
+    UnaryOp,
 };
 pub use lexer::tokenize;
 pub use parser::{parse_expr, parse_query};

@@ -17,8 +17,8 @@ use crate::time::{TimeUnit, WindowSpec};
 use crate::value::Value;
 
 use super::ast::{
-    AggArg, AggFunc, AttrRef, BinOp, Expr, Pattern, PatternElem, Query, ReturnClause,
-    ReturnItem, UnaryOp,
+    AggArg, AggFunc, AttrRef, BinOp, Expr, Pattern, PatternElem, Query, ReturnClause, ReturnItem,
+    UnaryOp,
 };
 use super::lexer::tokenize;
 use super::token::{Keyword, Token, TokenKind};
@@ -496,10 +496,8 @@ mod tests {
 
     #[test]
     fn equivalence_shorthand() {
-        let q = parse_query(
-            "EVENT SEQ(A x, B y) WHERE [TagId] AND x.price > 5 WITHIN 100",
-        )
-        .unwrap();
+        let q =
+            parse_query("EVENT SEQ(A x, B y) WHERE [TagId] AND x.price > 5 WITHIN 100").unwrap();
         let w = q.where_clause.unwrap();
         let cs = w.conjuncts().len();
         assert_eq!(cs, 2);
@@ -518,7 +516,11 @@ mod tests {
         let e = parse_expr("x.a = 1 OR x.b = 2 AND x.c = 3").unwrap();
         // AND binds tighter: OR(=, AND(=, =))
         match e {
-            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => match *right {
                 Expr::Binary { op: BinOp::And, .. } => {}
                 other => panic!("expected AND under OR, got {other:?}"),
             },
@@ -526,7 +528,11 @@ mod tests {
         }
         let a = parse_expr("x.a + 2 * x.b").unwrap();
         match a {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected + at top, got {other:?}"),
@@ -537,7 +543,11 @@ mod tests {
     fn left_associativity() {
         let e = parse_expr("x.a - x.b - x.c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Sub, left, .. } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Sub, .. }));
             }
             other => panic!("expected left-assoc subtraction, got {other:?}"),
@@ -559,7 +569,11 @@ mod tests {
         let items = q.return_clause.unwrap().items;
         assert!(matches!(
             items[0],
-            ReturnItem::Aggregate { func: AggFunc::Count, arg: AggArg::Star, .. }
+            ReturnItem::Aggregate {
+                func: AggFunc::Count,
+                arg: AggArg::Star,
+                ..
+            }
         ));
         assert!(matches!(
             &items[1],

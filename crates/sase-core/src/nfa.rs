@@ -174,9 +174,8 @@ mod tests {
     #[test]
     fn q1_nfa_shape() {
         // Negated component is not part of the NFA.
-        let (nfa, _) = nfa_for(
-            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10",
-        );
+        let (nfa, _) =
+            nfa_for("EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10");
         assert_eq!(nfa.state_count(), 3);
         assert_eq!(nfa.accepting(), 2);
     }
@@ -200,9 +199,8 @@ mod tests {
 
     #[test]
     fn any_transition_fires_on_all_listed_types() {
-        let (nfa, reg) = nfa_for(
-            "EVENT SEQ(ANY(SHELF_READING, COUNTER_READING) v, EXIT_READING w)",
-        );
+        let (nfa, reg) =
+            nfa_for("EVENT SEQ(ANY(SHELF_READING, COUNTER_READING) v, EXIT_READING w)");
         let shelf = reg.type_id("SHELF_READING").unwrap();
         let counter = reg.type_id("COUNTER_READING").unwrap();
         assert_eq!(nfa.step(0, shelf), Some(1));

@@ -69,12 +69,7 @@ impl CompiledPattern {
         if pattern.elements.is_empty() {
             return Err(SaseError::semantic("empty event pattern"));
         }
-        if pattern
-            .elements
-            .first()
-            .map(|e| e.negated)
-            .unwrap_or(false)
-        {
+        if pattern.elements.first().map(|e| e.negated).unwrap_or(false) {
             return Err(SaseError::semantic(
                 "a sequence pattern cannot begin with a negated component: negation \
                  expresses non-occurrence *between* two positive events",
@@ -102,9 +97,9 @@ impl CompiledPattern {
             let mut type_ids = Vec::with_capacity(elem.event_types.len());
             let mut type_names = Vec::with_capacity(elem.event_types.len());
             for name in &elem.event_types {
-                let id = registry.type_id(name).ok_or_else(|| {
-                    SaseError::semantic(format!("unknown event type `{name}`"))
-                })?;
+                let id = registry
+                    .type_id(name)
+                    .ok_or_else(|| SaseError::semantic(format!("unknown event type `{name}`")))?;
                 if type_ids.contains(&id) {
                     return Err(SaseError::semantic(format!(
                         "duplicate event type `{name}` in ANY(...)"
@@ -219,10 +214,9 @@ mod tests {
 
     #[test]
     fn q1_pattern_compiles() {
-        let p = compile(
-            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10",
-        )
-        .unwrap();
+        let p =
+            compile("EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10")
+                .unwrap();
         assert_eq!(p.slot_count(), 3);
         assert_eq!(p.positive_len(), 2);
         assert_eq!(p.positive_slots, vec![0, 2]);
@@ -274,21 +268,17 @@ mod tests {
 
     #[test]
     fn any_compiles_and_dedups() {
-        let p = compile("EVENT SEQ(ANY(SHELF_READING, COUNTER_READING) v, EXIT_READING w)")
-            .unwrap();
+        let p =
+            compile("EVENT SEQ(ANY(SHELF_READING, COUNTER_READING) v, EXIT_READING w)").unwrap();
         assert_eq!(p.elements[0].type_ids.len(), 2);
-        assert!(compile(
-            "EVENT SEQ(ANY(SHELF_READING, SHELF_READING) v, EXIT_READING w)"
-        )
-        .is_err());
+        assert!(compile("EVENT SEQ(ANY(SHELF_READING, SHELF_READING) v, EXIT_READING w)").is_err());
     }
 
     #[test]
     fn slot_table_covers_all_components() {
-        let p = compile(
-            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10",
-        )
-        .unwrap();
+        let p =
+            compile("EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WITHIN 10")
+                .unwrap();
         let t = p.slot_table();
         assert_eq!(
             t,
@@ -303,8 +293,7 @@ mod tests {
     #[test]
     fn attr_presence_check() {
         let reg = retail_registry();
-        let q =
-            parse_query("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 5").unwrap();
+        let q = parse_query("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 5").unwrap();
         let p = CompiledPattern::compile(&q.pattern, &reg).unwrap();
         assert!(p.all_have_attr(&reg, "TagId"));
         assert!(p.all_have_attr(&reg, "timestamp"));

@@ -206,10 +206,10 @@ impl<'a> Analyzer<'a> {
         let mut node_ids: HashMap<(usize, String), usize> = HashMap::new();
         let mut nodes: Vec<AttrNode> = Vec::new();
         let intern = |uf: &mut UnionFind,
-                          nodes: &mut Vec<AttrNode>,
-                          node_ids: &mut HashMap<(usize, String), usize>,
-                          slot: usize,
-                          attr: &str|
+                      nodes: &mut Vec<AttrNode>,
+                      node_ids: &mut HashMap<(usize, String), usize>,
+                      slot: usize,
+                      attr: &str|
          -> usize {
             let key = (slot, attr.to_ascii_lowercase());
             *node_ids.entry(key.clone()).or_insert_with(|| {
@@ -226,11 +226,7 @@ impl<'a> Analyzer<'a> {
         // Per-conjunct classification scratch.
         enum Kind<'e> {
             EquivDecl(&'e str),
-            Edge {
-                a: usize,
-                b: usize,
-                expr: &'e Expr,
-            },
+            Edge { a: usize, b: usize, expr: &'e Expr },
             Ordinary(&'e Expr),
         }
         let mut kinds: Vec<Kind<'_>> = Vec::with_capacity(conjuncts.len());
@@ -321,11 +317,7 @@ impl<'a> Analyzer<'a> {
                         ));
                     }
                     Some(chosen) if chosen.to_ascii_lowercase() != node.attr_lc => {
-                        intra_slot_filters.push((
-                            node.slot,
-                            node.attr.clone(),
-                            chosen.clone(),
-                        ));
+                        intra_slot_filters.push((node.slot, node.attr.clone(), chosen.clone()));
                     }
                     Some(_) => {}
                 }
@@ -653,10 +645,9 @@ mod tests {
     #[test]
     fn equivalence_on_missing_attr_rejected() {
         let reg = retail_registry();
-        let q = parse_query(
-            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE [Temperature] WITHIN 5",
-        )
-        .unwrap();
+        let q =
+            parse_query("EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE [Temperature] WITHIN 5")
+                .unwrap();
         let p = CompiledPattern::compile(&q.pattern, &reg).unwrap();
         let err = analyze_where(
             q.where_clause.as_ref(),
@@ -684,10 +675,8 @@ mod tests {
     #[test]
     fn single_var_pushdown_disabled_keeps_construction_filters() {
         let reg = retail_registry();
-        let q = parse_query(
-            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.AreaId = 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.AreaId = 2").unwrap();
         let p = CompiledPattern::compile(&q.pattern, &reg).unwrap();
         let a = analyze_where(
             q.where_clause.as_ref(),
@@ -787,14 +776,8 @@ mod tests {
             true,
         );
         let spec = a.partition.unwrap();
-        assert_eq!(
-            spec.parts[0].attr_for_slot(0).unwrap().as_ref(),
-            "TagId"
-        );
-        assert_eq!(
-            spec.parts[0].attr_for_slot(1).unwrap().as_ref(),
-            "AreaId"
-        );
+        assert_eq!(spec.parts[0].attr_for_slot(0).unwrap().as_ref(), "TagId");
+        assert_eq!(spec.parts[0].attr_for_slot(1).unwrap().as_ref(), "AreaId");
     }
 
     #[test]

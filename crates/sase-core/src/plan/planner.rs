@@ -56,8 +56,7 @@ impl Planner {
 
         // The naive strategy deliberately ignores partitioning: it is the
         // "no optimizations" baseline.
-        let use_partition =
-            options.pushdown_partition && options.strategy == SequenceStrategy::Ssc;
+        let use_partition = options.pushdown_partition && options.strategy == SequenceStrategy::Ssc;
 
         let analysis = analyze_where(
             query.where_clause.as_ref(),
@@ -110,20 +109,14 @@ impl Planner {
         })
     }
 
-    fn compile_return(
-        &self,
-        query: &Query,
-        pattern: &CompiledPattern,
-    ) -> Result<ReturnPlan> {
+    fn compile_return(&self, query: &Query, pattern: &CompiledPattern) -> Result<ReturnPlan> {
         let Some(rc) = &query.return_clause else {
             return Ok(ReturnPlan::default());
         };
         let slots = pattern.slot_table();
         let mut items = Vec::with_capacity(rc.items.len());
         for (i, item) in rc.items.iter().enumerate() {
-            let default_name = |text: String| -> Arc<str> {
-                Arc::from(text.as_str())
-            };
+            let default_name = |text: String| -> Arc<str> { Arc::from(text.as_str()) };
             match item {
                 ReturnItem::Scalar { expr, alias } => {
                     // RETURN may reference only positive components: a

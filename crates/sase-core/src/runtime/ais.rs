@@ -203,10 +203,7 @@ mod tests {
             });
         }
         // Bound 3 = only absolute indexes 0,1,2; newest first.
-        let got: Vec<u64> = s
-            .iter_below(3)
-            .map(|(_, i)| i.event.timestamp())
-            .collect();
+        let got: Vec<u64> = s.iter_below(3).map(|(_, i)| i.event.timestamp()).collect();
         assert_eq!(got, vec![30, 20, 10]);
 
         s.prune_before(20);

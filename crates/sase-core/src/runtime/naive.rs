@@ -140,8 +140,7 @@ impl NaiveRunner {
             }
         }
         // All construction filters over the complete binding.
-        let mut binding: Vec<Option<Event>> =
-            vec![None; self.plan.pattern.slot_count()];
+        let mut binding: Vec<Option<Event>> = vec![None; self.plan.pattern.slot_count()];
         for (i, e) in run.bound.iter().enumerate() {
             binding[self.plan.pattern.positive_slots[i]] = Some(e.clone());
         }
@@ -256,9 +255,7 @@ mod tests {
 
     #[test]
     fn window_pruning_bounds_runs() {
-        let (mut runner, reg) = naive(
-            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 10",
-        );
+        let (mut runner, reg) = naive("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 10");
         let mut out = Vec::new();
         let mut stats = RuntimeStats::default();
         for k in 0..100u64 {

@@ -97,10 +97,7 @@ impl NegationOperator {
             }
             let buf = &mut self.buffers[ni];
             if buf.indexed {
-                let attrs = neg
-                    .partition_attrs
-                    .as_ref()
-                    .expect("indexed implies attrs");
+                let attrs = neg.partition_attrs.as_ref().expect("indexed implies attrs");
                 let mut key = Vec::with_capacity(attrs.len());
                 let mut complete = true;
                 for a in attrs {
@@ -157,8 +154,7 @@ impl NegationOperator {
                 if neg.checks.is_empty() {
                     return Ok(false);
                 }
-                let binding =
-                    MatchBinding::with_negated(&self.plan.pattern, m, neg.scope.slot, e);
+                let binding = MatchBinding::with_negated(&self.plan.pattern, m, neg.scope.slot, e);
                 let mut all_pass = true;
                 for c in &neg.checks {
                     if !c.eval_bool(&binding)? {
@@ -227,8 +223,12 @@ mod tests {
     }
 
     fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64) -> Event {
-        reg.build_event(ty, ts, vec![Value::Int(tag), Value::str("p"), Value::Int(1)])
-            .unwrap()
+        reg.build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+        )
+        .unwrap()
     }
 
     fn check(indexed: bool) {
@@ -243,20 +243,38 @@ mod tests {
             .unwrap();
         assert_eq!(stats.negation_candidates_buffered, 2);
 
-        let spanning = vec![ev(&reg, "SHELF_READING", 1, 7), ev(&reg, "EXIT_READING", 9, 7)];
+        let spanning = vec![
+            ev(&reg, "SHELF_READING", 1, 7),
+            ev(&reg, "EXIT_READING", 9, 7),
+        ];
         assert!(!op.allows(&spanning).unwrap(), "counter at 5 must kill it");
 
-        let before = vec![ev(&reg, "SHELF_READING", 6, 7), ev(&reg, "EXIT_READING", 9, 7)];
-        assert!(op.allows(&before).unwrap(), "counter at 5 is before the shelf");
+        let before = vec![
+            ev(&reg, "SHELF_READING", 6, 7),
+            ev(&reg, "EXIT_READING", 9, 7),
+        ];
+        assert!(
+            op.allows(&before).unwrap(),
+            "counter at 5 is before the shelf"
+        );
 
-        let other_tag = vec![ev(&reg, "SHELF_READING", 1, 9), ev(&reg, "EXIT_READING", 9, 9)];
+        let other_tag = vec![
+            ev(&reg, "SHELF_READING", 1, 9),
+            ev(&reg, "EXIT_READING", 9, 9),
+        ];
         assert!(op.allows(&other_tag).unwrap(), "different tag unaffected");
 
         // Boundary: counter exactly at the shelf/exit timestamps does not
         // count (open interval).
-        let at_left = vec![ev(&reg, "SHELF_READING", 5, 7), ev(&reg, "EXIT_READING", 9, 7)];
+        let at_left = vec![
+            ev(&reg, "SHELF_READING", 5, 7),
+            ev(&reg, "EXIT_READING", 9, 7),
+        ];
         assert!(op.allows(&at_left).unwrap());
-        let at_right = vec![ev(&reg, "SHELF_READING", 1, 7), ev(&reg, "EXIT_READING", 5, 7)];
+        let at_right = vec![
+            ev(&reg, "SHELF_READING", 1, 7),
+            ev(&reg, "EXIT_READING", 5, 7),
+        ];
         assert!(op.allows(&at_right).unwrap());
     }
 

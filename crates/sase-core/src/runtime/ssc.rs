@@ -133,10 +133,7 @@ impl SscOperator {
                 },
                 None => Vec::new(),
             };
-            let group = self
-                .groups
-                .entry(key)
-                .or_insert_with(|| AisGroup::new(n));
+            let group = self.groups.entry(key).or_insert_with(|| AisGroup::new(n));
             if let Some(w) = window {
                 stats.instances_pruned +=
                     group.prune_before(event.timestamp().saturating_sub(w)) as u64;
@@ -313,10 +310,7 @@ mod tests {
         .unwrap()
     }
 
-    fn run(
-        op: &mut SscOperator,
-        events: &[Event],
-    ) -> (Vec<PositiveMatch>, RuntimeStats) {
+    fn run(op: &mut SscOperator, events: &[Event]) -> (Vec<PositiveMatch>, RuntimeStats) {
         let mut out = Vec::new();
         let mut stats = RuntimeStats::default();
         for e in events {

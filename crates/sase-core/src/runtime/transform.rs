@@ -70,10 +70,7 @@ fn aggregate(
                 _ => Err(SaseError::eval("only count accepts `*`")),
             }
         }
-        CompiledAggArg::AttrAll(attr) => m
-            .iter()
-            .filter_map(|e| e.attr(attr))
-            .collect(),
+        CompiledAggArg::AttrAll(attr) => m.iter().filter_map(|e| e.attr(attr)).collect(),
         CompiledAggArg::Slot { slot, attr } => {
             let elem = &plan.pattern.elements[*slot];
             let e = &m[elem.positive_index];
@@ -162,7 +159,10 @@ mod tests {
             "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 100 \
              RETURN x.TagId, z.AreaId AS exit_area, _concat(x.ProductName, '!')",
         );
-        let m = vec![ev(&reg, "SHELF_READING", 1, 7, 2), ev(&reg, "EXIT_READING", 5, 7, 4)];
+        let m = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 2),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
         let ce = transform(&plan, &Arc::from("q"), m).unwrap();
         assert_eq!(ce.value("x.TagId"), Some(&Value::Int(7)));
         assert_eq!(ce.value("exit_area"), Some(&Value::Int(4)));
@@ -181,7 +181,10 @@ mod tests {
              RETURN count(*) AS n, sum(AreaId) AS areas, avg(AreaId) AS avg_area, \
              min(timestamp) AS t0, max(timestamp) AS t1, sum(x.TagId) AS xtag",
         );
-        let m = vec![ev(&reg, "SHELF_READING", 1, 7, 2), ev(&reg, "EXIT_READING", 5, 7, 4)];
+        let m = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 2),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
         let ce = transform(&plan, &Arc::from("q"), m).unwrap();
         assert_eq!(ce.value("n"), Some(&Value::Int(2)));
         assert_eq!(ce.value("areas"), Some(&Value::Int(6)));
@@ -194,7 +197,10 @@ mod tests {
     #[test]
     fn empty_return_clause_produces_bare_composite() {
         let (plan, reg) = plan_for("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 100");
-        let m = vec![ev(&reg, "SHELF_READING", 1, 7, 2), ev(&reg, "EXIT_READING", 5, 7, 4)];
+        let m = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 2),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
         let ce = transform(&plan, &Arc::from("q"), m).unwrap();
         assert!(ce.values.is_empty());
         assert_eq!(ce.events.len(), 2);
@@ -202,18 +208,18 @@ mod tests {
 
     #[test]
     fn missing_aggregate_attr_errors() {
-        let (plan, reg) = plan_for(
-            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 100 RETURN sum(Missing)",
-        );
-        let m = vec![ev(&reg, "SHELF_READING", 1, 7, 2), ev(&reg, "EXIT_READING", 5, 7, 4)];
+        let (plan, reg) =
+            plan_for("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 100 RETURN sum(Missing)");
+        let m = vec![
+            ev(&reg, "SHELF_READING", 1, 7, 2),
+            ev(&reg, "EXIT_READING", 5, 7, 4),
+        ];
         assert!(transform(&plan, &Arc::from("q"), m).is_err());
     }
 
     #[test]
     fn into_stream_propagates() {
-        let (plan, reg) = plan_for(
-            "EVENT SHELF_READING x RETURN x.TagId AS tag INTO shelf_out",
-        );
+        let (plan, reg) = plan_for("EVENT SHELF_READING x RETURN x.TagId AS tag INTO shelf_out");
         let m = vec![ev(&reg, "SHELF_READING", 1, 7, 2)];
         let ce = transform(&plan, &Arc::from("q"), m).unwrap();
         assert_eq!(ce.into.as_deref(), Some("shelf_out"));

@@ -116,7 +116,9 @@ pub struct TimeScale {
 impl TimeScale {
     /// One logical unit per second.
     pub fn per_second() -> Self {
-        TimeScale { units_per_second: 1 }
+        TimeScale {
+            units_per_second: 1,
+        }
     }
 
     /// Custom scale.

@@ -178,9 +178,7 @@ impl Value {
     /// Arithmetic division; integer division for int/int, error on zero.
     pub fn div(&self, other: &Value) -> Result<Value> {
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(SaseError::eval("division by zero".to_string()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(SaseError::eval("division by zero".to_string())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
             _ => self.numeric_binop(other, "/", |a, b| a / b),
         }
@@ -189,9 +187,7 @@ impl Value {
     /// Arithmetic modulo; error on zero divisor for integers.
     pub fn rem(&self, other: &Value) -> Result<Value> {
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(SaseError::eval("modulo by zero".to_string()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(SaseError::eval("modulo by zero".to_string())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
             _ => self.numeric_binop(other, "%", |a, b| a % b),
         }
@@ -326,7 +322,10 @@ mod tests {
             Value::Float(10.0).sase_cmp(&Value::Int(3)),
             Some(Ordering::Greater)
         );
-        assert_eq!(Value::str("a").sase_cmp(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("a").sase_cmp(&Value::str("b")),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::str("a").sase_cmp(&Value::Int(1)), None);
     }
 

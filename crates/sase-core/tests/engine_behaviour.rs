@@ -10,7 +10,11 @@ use sase_core::value::Value;
 fn ev(engine: &Engine, ty: &str, ts: u64, tag: i64, area: i64) -> sase_core::event::Event {
     engine
         .schemas()
-        .build_event(ty, ts, vec![Value::Int(tag), Value::str("p"), Value::Int(area)])
+        .build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("p"), Value::Int(area)],
+        )
         .unwrap()
 }
 
@@ -56,17 +60,37 @@ fn multiple_negations_all_enforced() {
 
     // Clean run for tag 1.
     let mut out = Vec::new();
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 1, 1, 1)).unwrap());
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 5, 1, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 1, 1, 1))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 5, 1, 4))
+            .unwrap(),
+    );
     assert_eq!(out.len(), 1);
 
     // Tag 2: a second shelf reading between kills it — twice over, since
     // each shelf reading also *starts* a candidate whose own scope is
     // clean; only the later start survives.
     let mut out = Vec::new();
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 10, 2, 1)).unwrap());
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 12, 2, 2)).unwrap());
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 15, 2, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 10, 2, 1))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 12, 2, 2))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 15, 2, 4))
+            .unwrap(),
+    );
     // The (10, 15) pair has the ts-12 shelf reading inside -> killed.
     // The (12, 15) pair is clean -> fires.
     assert_eq!(out.len(), 1);
@@ -74,9 +98,21 @@ fn multiple_negations_all_enforced() {
 
     // Tag 3: counter in between kills the otherwise-clean pair.
     let mut out = Vec::new();
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 20, 3, 1)).unwrap());
-    out.extend(engine.process(&ev(&engine, "COUNTER_READING", 22, 3, 3)).unwrap());
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 25, 3, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 20, 3, 1))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "COUNTER_READING", 22, 3, 3))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 25, 3, 4))
+            .unwrap(),
+    );
     assert!(out.is_empty());
 }
 
@@ -92,9 +128,21 @@ fn any_component_binds_either_type() {
         )
         .unwrap();
     let mut out = Vec::new();
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 1, 1, 1)).unwrap());
-    out.extend(engine.process(&ev(&engine, "COUNTER_READING", 2, 1, 3)).unwrap());
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 3, 1, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 1, 1, 1))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "COUNTER_READING", 2, 1, 3))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 3, 1, 4))
+            .unwrap(),
+    );
     // Both the shelf and the counter reading pair with the exit.
     assert_eq!(out.len(), 2);
 }
@@ -115,8 +163,16 @@ fn naive_strategy_usable_through_engine() {
         )
         .unwrap();
     let mut out = Vec::new();
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 1, 1, 1)).unwrap());
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 2, 1, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 1, 1, 1))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 2, 1, 4))
+            .unwrap(),
+    );
     assert_eq!(out.len(), 1);
     assert!(engine.explain("q").unwrap().contains("Naive"));
 }
@@ -130,9 +186,17 @@ fn unbounded_query_without_where_matches_cross_product() {
         .unwrap();
     let mut out = Vec::new();
     for k in 0..5u64 {
-        out.extend(engine.process(&ev(&engine, "SHELF_READING", k * 2 + 1, k as i64, 1)).unwrap());
+        out.extend(
+            engine
+                .process(&ev(&engine, "SHELF_READING", k * 2 + 1, k as i64, 1))
+                .unwrap(),
+        );
     }
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 100, 9, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 100, 9, 4))
+            .unwrap(),
+    );
     // Every shelf reading pairs: 5 matches, no predicates, no window.
     assert_eq!(out.len(), 5);
 }
@@ -148,8 +212,16 @@ fn detected_at_equals_last_event_time() {
         )
         .unwrap();
     let mut out = Vec::new();
-    out.extend(engine.process(&ev(&engine, "SHELF_READING", 7, 1, 1)).unwrap());
-    out.extend(engine.process(&ev(&engine, "EXIT_READING", 31, 1, 4)).unwrap());
+    out.extend(
+        engine
+            .process(&ev(&engine, "SHELF_READING", 7, 1, 1))
+            .unwrap(),
+    );
+    out.extend(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 31, 1, 4))
+            .unwrap(),
+    );
     assert_eq!(out[0].detected_at, 31);
     assert_eq!(out[0].variables, vec!["x".into(), "z".into()]);
 }

@@ -46,7 +46,11 @@ proptest! {
 fn ev(engine: &Engine, ty: &str, ts: u64, tag: i64) -> sase_core::event::Event {
     engine
         .schemas()
-        .build_event(ty, ts, vec![Value::Int(tag), Value::str("p"), Value::Int(1)])
+        .build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+        )
         .unwrap()
 }
 
@@ -61,24 +65,34 @@ fn failing_builtin_does_not_poison_engine() {
     let mut engine = Engine::new(registry);
     let fail = Arc::new(AtomicBool::new(false));
     let f = fail.clone();
-    engine.functions().register_fn("_flaky", Some(1), move |args| {
-        if f.load(Ordering::SeqCst) {
-            Err(SaseError::Function {
-                name: "_flaky".into(),
-                message: "injected outage".into(),
-            })
-        } else {
-            Ok(args[0].clone())
-        }
-    });
+    engine
+        .functions()
+        .register_fn("_flaky", Some(1), move |args| {
+            if f.load(Ordering::SeqCst) {
+                Err(SaseError::Function {
+                    name: "_flaky".into(),
+                    message: "injected outage".into(),
+                })
+            } else {
+                Ok(args[0].clone())
+            }
+        });
     engine
         .register("q", "EVENT EXIT_READING z RETURN _flaky(z.TagId) AS t")
         .unwrap();
 
-    assert_eq!(engine.process(&ev(&engine, "EXIT_READING", 1, 5)).unwrap().len(), 1);
+    assert_eq!(
+        engine
+            .process(&ev(&engine, "EXIT_READING", 1, 5))
+            .unwrap()
+            .len(),
+        1
+    );
 
     fail.store(true, std::sync::atomic::Ordering::SeqCst);
-    let err = engine.process(&ev(&engine, "EXIT_READING", 2, 6)).unwrap_err();
+    let err = engine
+        .process(&ev(&engine, "EXIT_READING", 2, 6))
+        .unwrap_err();
     assert!(err.to_string().contains("injected outage"));
 
     fail.store(false, std::sync::atomic::Ordering::SeqCst);
@@ -96,10 +110,14 @@ fn out_of_order_rejection_is_recoverable() {
     engine
         .register("q", "EVENT EXIT_READING z RETURN z.TagId")
         .unwrap();
-    engine.process(&ev(&engine, "EXIT_READING", 100, 1)).unwrap();
+    engine
+        .process(&ev(&engine, "EXIT_READING", 100, 1))
+        .unwrap();
     assert!(engine.process(&ev(&engine, "EXIT_READING", 50, 2)).is_err());
     // Time moved on: accepted again.
-    let out = engine.process(&ev(&engine, "EXIT_READING", 101, 3)).unwrap();
+    let out = engine
+        .process(&ev(&engine, "EXIT_READING", 101, 3))
+        .unwrap();
     assert_eq!(out.len(), 1);
 }
 
@@ -156,6 +174,9 @@ fn long_stream_memory_is_bounded_by_window() {
     // Window 50 over 7 partitions: retained state stays in the hundreds,
     // not the hundreds of thousands.
     assert!(instances < 1_000, "instances: {instances}");
-    assert!(neg_candidates < 1_000, "negation candidates: {neg_candidates}");
+    assert!(
+        neg_candidates < 1_000,
+        "negation candidates: {neg_candidates}"
+    );
     assert!(rt.stats().instances_pruned > 100_000);
 }

@@ -138,8 +138,16 @@ mod tests {
         assert_eq!(
             h,
             vec![
-                Membership { container: 1000, time_in: 5, time_out: 9 },
-                Membership { container: 2000, time_in: 9, time_out: OPEN },
+                Membership {
+                    container: 1000,
+                    time_in: 5,
+                    time_out: 9
+                },
+                Membership {
+                    container: 2000,
+                    time_in: 9,
+                    time_out: OPEN
+                },
             ]
         );
         assert_eq!(s.current_container(1).unwrap().unwrap().container, 2000);

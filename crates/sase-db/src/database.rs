@@ -273,9 +273,7 @@ impl Database {
             }
             Some(join) => {
                 if join.table.eq_ignore_ascii_case(&sel.table) {
-                    return Err(DbError::Eval(
-                        "self-joins are not supported".to_string(),
-                    ));
+                    return Err(DbError::Eval("self-joins are not supported".to_string()));
                 }
                 let rt = inner
                     .get(&join.table.to_ascii_lowercase())
@@ -299,11 +297,8 @@ impl Database {
                 let mut candidates: Vec<Row> = Vec::new();
                 for (_, lrow) in t.iter() {
                     let key = &lrow[lcol];
-                    let probe = |rrow: &Row,
-                                     candidates: &mut Vec<Row>|
-                     -> Result<()> {
-                        let mut combined =
-                            Vec::with_capacity(lrow.len() + rrow.len());
+                    let probe = |rrow: &Row, candidates: &mut Vec<Row>| -> Result<()> {
+                        let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
                         combined.extend(lrow.iter().cloned());
                         combined.extend(rrow.iter().cloned());
                         if matches_where(&sel.where_clause, &cols, &combined)? {
@@ -489,11 +484,7 @@ fn sort_rows(rows: &mut [Row], positions: &[(usize, bool)]) {
     });
 }
 
-fn matches_where(
-    where_clause: &Option<SqlExpr>,
-    cols: &OutCols,
-    row: &Row,
-) -> Result<bool> {
+fn matches_where(where_clause: &Option<SqlExpr>, cols: &OutCols, row: &Row) -> Result<bool> {
     match where_clause {
         None => Ok(true),
         Some(e) => match eval_expr(e, Some(cols), row)? {
@@ -511,9 +502,8 @@ fn eval_expr(e: &SqlExpr, cols: Option<&OutCols>, row: &Row) -> Result<Value> {
     match e {
         SqlExpr::Literal(v) => Ok(v.clone()),
         SqlExpr::Column(name) => {
-            let cols = cols.ok_or_else(|| {
-                DbError::Eval(format!("column `{name}` not allowed here"))
-            })?;
+            let cols =
+                cols.ok_or_else(|| DbError::Eval(format!("column `{name}` not allowed here")))?;
             let pos = cols.resolve(name)?;
             Ok(row[pos].clone())
         }
@@ -593,13 +583,9 @@ fn item_name(item: &SelectItem, idx: usize) -> String {
             func,
             column,
             alias,
-        } => alias.clone().unwrap_or_else(|| {
-            format!(
-                "{}({})",
-                func.as_str(),
-                column.as_deref().unwrap_or("*")
-            )
-        }),
+        } => alias
+            .clone()
+            .unwrap_or_else(|| format!("{}({})", func.as_str(), column.as_deref().unwrap_or("*"))),
     }
 }
 
@@ -622,9 +608,7 @@ fn project_plain(
         for item in &sel.items {
             match item {
                 SelectItem::Star => out.extend(row.iter().cloned()),
-                SelectItem::Expr { expr, .. } => {
-                    out.push(eval_expr(expr, Some(cols), &row)?)
-                }
+                SelectItem::Expr { expr, .. } => out.push(eval_expr(expr, Some(cols), &row)?),
                 SelectItem::Aggregate { .. } => unreachable!("plain projection"),
             }
         }
@@ -746,12 +730,9 @@ fn project_grouped(
         let mut out = Vec::with_capacity(sel.items.len());
         for item in &sel.items {
             match item {
-                SelectItem::Aggregate { func, column, .. } => out.push(aggregate_rows(
-                    *func,
-                    column.as_deref(),
-                    cols,
-                    group,
-                )?),
+                SelectItem::Aggregate { func, column, .. } => {
+                    out.push(aggregate_rows(*func, column.as_deref(), cols, group)?)
+                }
                 SelectItem::Expr { expr, .. } => {
                     // Evaluated on the group's first row; sensible for the
                     // group column itself and constants.
@@ -781,10 +762,8 @@ mod tests {
 
     fn db() -> Database {
         let db = Database::new();
-        db.execute(
-            "CREATE TABLE item_location (item int, area int, time_in int, time_out int)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE item_location (item int, area int, time_in int, time_out int)")
+            .unwrap();
         db.execute("CREATE INDEX ON item_location (item)").unwrap();
         db.execute(
             "INSERT INTO item_location VALUES \
@@ -821,16 +800,17 @@ mod tests {
         let rs = db
             .query("SELECT count(*), min(time_in), max(area) FROM item_location")
             .unwrap();
-        assert_eq!(rs.rows[0], vec![Value::Int(5), Value::Int(0), Value::Int(4)]);
+        assert_eq!(
+            rs.rows[0],
+            vec![Value::Int(5), Value::Int(0), Value::Int(4)]
+        );
     }
 
     #[test]
     fn group_by() {
         let db = db();
         let rs = db
-            .query(
-                "SELECT item, count(*) AS n FROM item_location GROUP BY item ORDER BY item",
-            )
+            .query("SELECT item, count(*) AS n FROM item_location GROUP BY item ORDER BY item")
             .unwrap();
         assert_eq!(rs.columns, vec!["item", "n"]);
         assert_eq!(
@@ -895,9 +875,7 @@ mod tests {
         assert!(db
             .execute("INSERT INTO item_location VALUES (1, 2)")
             .is_err());
-        assert!(db
-            .execute("CREATE TABLE item_location (a int)")
-            .is_err());
+        assert!(db.execute("CREATE TABLE item_location (a int)").is_err());
         assert!(db
             .query("SELECT item, count(*) FROM item_location")
             .is_err()); // aggregate + column without GROUP BY
@@ -930,15 +908,11 @@ mod join_tests {
 
     fn db() -> Database {
         let db = Database::new();
-        db.execute(
-            "CREATE TABLE item_location (item int, area int, time_in int, time_out int)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE item_location (item int, area int, time_in int, time_out int)")
+            .unwrap();
         db.execute("CREATE INDEX ON item_location (item)").unwrap();
-        db.execute(
-            "CREATE TABLE product (item int, name string, price_cents int)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE product (item int, name string, price_cents int)")
+            .unwrap();
         db.execute("CREATE INDEX ON product (item)").unwrap();
         db.execute(
             "INSERT INTO item_location VALUES \

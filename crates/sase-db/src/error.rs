@@ -44,8 +44,12 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(DbError::Parse("x".into()).to_string().contains("parse"));
-        assert!(DbError::UnknownTable("t".into()).to_string().contains("`t`"));
-        assert!(DbError::UnknownColumn("c".into()).to_string().contains("`c`"));
+        assert!(DbError::UnknownTable("t".into())
+            .to_string()
+            .contains("`t`"));
+        assert!(DbError::UnknownColumn("c".into())
+            .to_string()
+            .contains("`c`"));
         assert!(DbError::Type("x".into()).to_string().contains("type"));
         assert!(DbError::Schema("x".into()).to_string().contains("schema"));
         assert!(DbError::Eval("x".into()).to_string().contains("evaluation"));

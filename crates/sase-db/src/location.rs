@@ -135,14 +135,30 @@ mod tests {
         assert_eq!(
             h,
             vec![
-                Stay { area: 1, time_in: 10, time_out: 20 },
-                Stay { area: 3, time_in: 20, time_out: 30 },
-                Stay { area: 4, time_in: 30, time_out: OPEN },
+                Stay {
+                    area: 1,
+                    time_in: 10,
+                    time_out: 20
+                },
+                Stay {
+                    area: 3,
+                    time_in: 20,
+                    time_out: 30
+                },
+                Stay {
+                    area: 4,
+                    time_in: 30,
+                    time_out: OPEN
+                },
             ]
         );
         assert_eq!(
             s.current_location(1).unwrap(),
-            Some(Stay { area: 4, time_in: 30, time_out: OPEN })
+            Some(Stay {
+                area: 4,
+                time_in: 30,
+                time_out: OPEN
+            })
         );
     }
 

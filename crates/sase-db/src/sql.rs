@@ -368,9 +368,7 @@ impl SqlParser {
         // Aggregate?
         if let TokenKind::Ident(name) = self.peek().clone() {
             if let Some(func) = AggFunc::parse(&name) {
-                if self.tokens.get(self.idx + 1).map(|t| &t.kind)
-                    == Some(&TokenKind::LParen)
-                {
+                if self.tokens.get(self.idx + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
                     self.bump();
                     self.bump();
                     let column = if self.peek() == &TokenKind::Star {
@@ -651,22 +649,30 @@ mod tests {
     #[test]
     fn update_and_delete() {
         let s = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE id = 7").unwrap();
-        let Statement::Update { sets, where_clause, .. } = s else {
+        let Statement::Update {
+            sets, where_clause, ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(sets.len(), 2);
         assert!(where_clause.is_some());
 
         let s = parse_sql("DELETE FROM t").unwrap();
-        assert!(matches!(s, Statement::Delete { where_clause: None, .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn create_table_and_index() {
-        let s = parse_sql(
-            "CREATE TABLE item_location (item int, area int, time_in int, time_out int)",
-        )
-        .unwrap();
+        let s =
+            parse_sql("CREATE TABLE item_location (item int, area int, time_in int, time_out int)")
+                .unwrap();
         let Statement::CreateTable { columns, .. } = s else {
             panic!()
         };

@@ -206,9 +206,11 @@ impl Table {
     pub fn update_row(&mut self, rid: RowId, updates: &[(usize, Value)]) -> Result<()> {
         // Validate first, then apply, so a failed update changes nothing.
         {
-            let row = self.rows.get(rid).and_then(|r| r.as_ref()).ok_or_else(|| {
-                DbError::Eval(format!("row {rid} does not exist"))
-            })?;
+            let row = self
+                .rows
+                .get(rid)
+                .and_then(|r| r.as_ref())
+                .ok_or_else(|| DbError::Eval(format!("row {rid} does not exist")))?;
             let mut candidate = row.clone();
             for (pos, v) in updates {
                 candidate[*pos] = v.clone();
@@ -225,10 +227,7 @@ impl Table {
                         index.remove(&old_key);
                     }
                 }
-                index
-                    .entry(ValueKey::from_value(v))
-                    .or_default()
-                    .push(rid);
+                index.entry(ValueKey::from_value(v)).or_default().push(rid);
             }
             self.rows[rid].as_mut().expect("checked live")[*pos] = v.clone();
         }
@@ -357,10 +356,7 @@ mod tests {
         let r0 = t.insert(row(1, 2, 0, -1)).unwrap();
         t.insert(row(2, 2, 0, -1)).unwrap();
         t.delete(r0);
-        let items: Vec<i64> = t
-            .iter()
-            .map(|(_, r)| r[0].as_int().unwrap())
-            .collect();
+        let items: Vec<i64> = t.iter().map(|(_, r)| r[0].as_int().unwrap()).collect();
         assert_eq!(items, vec![2]);
     }
 }

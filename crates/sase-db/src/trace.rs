@@ -37,8 +37,9 @@ impl TraceEntry {
     /// Start time, for chronological merging.
     pub fn time_in(&self) -> i64 {
         match self {
-            TraceEntry::Location { time_in, .. }
-            | TraceEntry::Containment { time_in, .. } => *time_in,
+            TraceEntry::Location { time_in, .. } | TraceEntry::Containment { time_in, .. } => {
+                *time_in
+            }
         }
     }
 }
@@ -131,8 +132,7 @@ impl TrackAndTrace {
                     } else {
                         time_out.to_string()
                     };
-                    let _ =
-                        writeln!(out, "  [{time_in} .. {until}] inside container {container}");
+                    let _ = writeln!(out, "  [{time_in} .. {until}] inside container {container}");
                 }
             }
         }
@@ -160,7 +160,13 @@ mod tests {
         let h = t.movement_history(1).unwrap();
         assert_eq!(h.len(), 4);
         assert!(h.windows(2).all(|w| w[0].time_in() <= w[1].time_in()));
-        assert!(matches!(h[0], TraceEntry::Containment { container: 1000, .. }));
+        assert!(matches!(
+            h[0],
+            TraceEntry::Containment {
+                container: 1000,
+                ..
+            }
+        ));
         assert!(matches!(h[3], TraceEntry::Location { area: 1, .. }));
 
         let cur = t.current_location(1).unwrap().unwrap();

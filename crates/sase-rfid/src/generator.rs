@@ -125,7 +125,9 @@ mod tests {
         let events = generate(&reg, &cfg);
         assert_eq!(events.len(), 1000);
         // Strictly increasing timestamps.
-        assert!(events.windows(2).all(|w| w[0].timestamp() < w[1].timestamp()));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].timestamp() < w[1].timestamp()));
         // All partitions used.
         let mut tags: Vec<i64> = events
             .iter()
@@ -163,6 +165,8 @@ mod tests {
         };
         let reg = registry_for(&cfg);
         let events = generate(&reg, &cfg);
-        assert!(events.iter().all(|e| e.type_name() == "A" || e.type_name() == "B"));
+        assert!(events
+            .iter()
+            .all(|e| e.type_name() == "A" || e.type_name() == "B"));
     }
 }

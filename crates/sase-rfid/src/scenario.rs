@@ -115,7 +115,7 @@ impl RetailScenario {
         // Stagger agents so their journeys interleave realistically.
         let mut stagger = |rng: &mut StdRng| -> Tick {
             let s = next_slot;
-            next_slot += rng.gen_range(1..4);
+            next_slot += rng.gen_range(1..4u64);
             s
         };
 
@@ -124,10 +124,10 @@ impl RetailScenario {
             let tag = cfg.make_tag(item as u64);
             let home = if rng.gen_bool(0.5) { SHELF_1 } else { SHELF_2 };
             let start = stagger(&mut rng);
-            let pick = start + rng.gen_range(3..8);
-            let at_counter = pick + rng.gen_range(2..6);
-            let at_exit = at_counter + rng.gen_range(4..9);
-            let gone = at_exit + rng.gen_range(3..7);
+            let pick = start + rng.gen_range(3..8u64);
+            let at_counter = pick + rng.gen_range(2..6u64);
+            let at_exit = at_counter + rng.gen_range(4..9u64);
+            let gone = at_exit + rng.gen_range(3..7u64);
             schedule.push(ScheduledAction {
                 tick: start,
                 action: Action::Place { tag, area: home },
@@ -156,9 +156,9 @@ impl RetailScenario {
             let tag = cfg.make_tag(item as u64);
             let home = if rng.gen_bool(0.5) { SHELF_1 } else { SHELF_2 };
             let start = stagger(&mut rng);
-            let pick = start + rng.gen_range(3..8);
-            let at_exit = pick + rng.gen_range(2..6);
-            let gone = at_exit + rng.gen_range(3..7);
+            let pick = start + rng.gen_range(3..8u64);
+            let at_exit = pick + rng.gen_range(2..6u64);
+            let gone = at_exit + rng.gen_range(3..7u64);
             schedule.push(ScheduledAction {
                 tick: start,
                 action: Action::Place { tag, area: home },
@@ -187,7 +187,7 @@ impl RetailScenario {
                 (SHELF_2, SHELF_1)
             };
             let start = stagger(&mut rng);
-            let moved = start + rng.gen_range(4..10);
+            let moved = start + rng.gen_range(4..10u64);
             schedule.push(ScheduledAction {
                 tick: start,
                 action: Action::Place { tag, area: home },
@@ -204,7 +204,7 @@ impl RetailScenario {
             let tag = cfg.make_tag(item as u64);
             let shelf = if rng.gen_bool(0.5) { SHELF_1 } else { SHELF_2 };
             // Restocking happens later than the initial placements.
-            let when = stagger(&mut rng) + rng.gen_range(6..12);
+            let when = stagger(&mut rng) + rng.gen_range(6..12u64);
             schedule.push(ScheduledAction {
                 tick: when,
                 action: Action::Place { tag, area: shelf },
@@ -283,9 +283,9 @@ mod tests {
                 matches!(a.action, Action::Place { tag: t, area } if t == tag && area == COUNTER)
             });
             assert!(!visits_counter);
-            let visits_exit = s.schedule().iter().any(|a| {
-                matches!(a.action, Action::Place { tag: t, area } if t == tag && area == EXIT)
-            });
+            let visits_exit = s.schedule().iter().any(
+                |a| matches!(a.action, Action::Place { tag: t, area } if t == tag && area == EXIT),
+            );
             assert!(visits_exit);
         }
     }

@@ -109,8 +109,7 @@ impl RfidSimulator {
         let mut out = Vec::new();
         // Collect (tag, area) pairs once; iteration order of the HashMap is
         // not deterministic, so sort for reproducibility.
-        let mut tags: Vec<(u64, i64)> =
-            self.positions.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut tags: Vec<(u64, i64)> = self.positions.iter().map(|(k, v)| (*k, *v)).collect();
         tags.sort_unstable();
 
         for reader in &self.readers {
@@ -204,10 +203,26 @@ mod tests {
         // Two shelf readers with overlapping ranges, to exercise
         // cross-reader duplicates on top of the demo floor.
         let readers = vec![
-            SimReader { id: 1, area: 1, overlaps: vec![2] },
-            SimReader { id: 2, area: 2, overlaps: vec![1] },
-            SimReader { id: 3, area: 3, overlaps: vec![] },
-            SimReader { id: 4, area: 4, overlaps: vec![] },
+            SimReader {
+                id: 1,
+                area: 1,
+                overlaps: vec![2],
+            },
+            SimReader {
+                id: 2,
+                area: 2,
+                overlaps: vec![1],
+            },
+            SimReader {
+                id: 3,
+                area: 3,
+                overlaps: vec![],
+            },
+            SimReader {
+                id: 4,
+                area: 4,
+                overlaps: vec![],
+            },
         ];
         let mut sim = RfidSimulator::new(readers, NoiseModel::harsh(), 42);
         for item in 0..20 {

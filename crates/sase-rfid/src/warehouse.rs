@@ -80,7 +80,7 @@ pub fn generate(seed: u64, n_items: usize, n_containers: usize) -> WarehouseTrac
 
     let mut ts: u64 = 1;
     let bump = |rng: &mut StdRng, ts: &mut u64| {
-        *ts += rng.gen_range(1..5);
+        *ts += rng.gen_range(1..5u64);
         *ts
     };
 
@@ -182,11 +182,7 @@ mod tests {
     fn every_item_reaches_a_shelf() {
         let t = generate(9, 20, 3);
         for &item in &t.items {
-            let last = t
-                .movements
-                .iter()
-                .rfind(|m| m.item == item)
-                .unwrap();
+            let last = t.movements.iter().rfind(|m| m.item == item).unwrap();
             assert!(
                 last.area == areas::SHELF_1 || last.area == areas::SHELF_2,
                 "item {item} ended in area {}",

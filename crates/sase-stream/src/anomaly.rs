@@ -35,11 +35,7 @@ impl AnomalyFilter {
     }
 
     /// Filter one reading.
-    pub fn process(
-        &mut self,
-        cfg: &CleaningConfig,
-        reading: &RawReading,
-    ) -> Option<CleanReading> {
+    pub fn process(&mut self, cfg: &CleaningConfig, reading: &RawReading) -> Option<CleanReading> {
         self.stats.seen += 1;
         match reading.tag {
             RawTag::Truncated { .. } => {

@@ -137,8 +137,7 @@ mod tests {
     fn cleanup_bounds_memory() {
         let cfg = CleaningConfig::retail_demo();
         let mut d = Deduplicator::new();
-        let batch: Vec<TimedReading> =
-            (0..10_000).map(|i| tr(i as u64, 1, i as u64)).collect();
+        let batch: Vec<TimedReading> = (0..10_000).map(|i| tr(i as u64, 1, i as u64)).collect();
         d.process_batch(&cfg, &batch);
         assert!(d.tracked() < 10_000);
     }

@@ -50,11 +50,7 @@ pub struct CleaningPipeline {
 
 impl CleaningPipeline {
     /// Assemble a pipeline.
-    pub fn new(
-        cfg: CleaningConfig,
-        registry: SchemaRegistry,
-        ons: Arc<dyn OnsResolver>,
-    ) -> Self {
+    pub fn new(cfg: CleaningConfig, registry: SchemaRegistry, ons: Arc<dyn OnsResolver>) -> Self {
         CleaningPipeline {
             cfg,
             anomaly: AnomalyFilter::new(),
@@ -156,15 +152,18 @@ mod tests {
         let (mut p, cfg) = pipeline();
         let tag = cfg.make_tag(2);
         let readings = vec![
-            RawReading::full(tag, 4, 0),                    // genuine, exit
-            RawReading::full(tag, 4, 0),                    // duplicate
-            RawReading::full(0xBAD0_0000_0000_0001, 4, 0),  // ghost
+            RawReading::full(tag, 4, 0),                   // genuine, exit
+            RawReading::full(tag, 4, 0),                   // duplicate
+            RawReading::full(0xBAD0_0000_0000_0001, 4, 0), // ghost
             RawReading {
-                tag: RawTag::Truncated { partial: 1, bits: 8 },
+                tag: RawTag::Truncated {
+                    partial: 1,
+                    bits: 8,
+                },
                 reader: 4,
                 tick: 0,
             },
-            RawReading::full(cfg.make_tag(9999), 4, 0),     // not in ONS
+            RawReading::full(cfg.make_tag(9999), 4, 0), // not in ONS
         ];
         let events = p.process_tick(0, &readings).unwrap();
         assert_eq!(events.len(), 1);

@@ -111,14 +111,24 @@ mod tests {
     #[test]
     fn raw_tag_accessors() {
         assert_eq!(RawTag::Full(7).full(), Some(7));
-        assert_eq!(RawTag::Truncated { partial: 3, bits: 8 }.full(), None);
+        assert_eq!(
+            RawTag::Truncated {
+                partial: 3,
+                bits: 8
+            }
+            .full(),
+            None
+        );
     }
 
     #[test]
     fn display_forms() {
         assert!(RawTag::Full(0xABCD).to_string().contains("abcd"));
-        assert!(RawTag::Truncated { partial: 0xF, bits: 4 }
-            .to_string()
-            .contains("~4b"));
+        assert!(RawTag::Truncated {
+            partial: 0xF,
+            bits: 4
+        }
+        .to_string()
+        .contains("~4b"));
     }
 }

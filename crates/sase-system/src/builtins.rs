@@ -21,12 +21,12 @@ use sase_db::{Database, TrackAndTrace};
 pub const AREA_INFO_TABLE: &str = "area_info";
 
 fn arg_int(name: &str, args: &[Value], i: usize) -> CoreResult<i64> {
-    args.get(i).and_then(|v| v.as_int()).ok_or_else(|| {
-        SaseError::Function {
+    args.get(i)
+        .and_then(|v| v.as_int())
+        .ok_or_else(|| SaseError::Function {
             name: name.to_string(),
             message: format!("argument {i} must be an integer"),
-        }
-    })
+        })
 }
 
 fn db_err(name: &str, e: sase_db::DbError) -> SaseError {
@@ -82,10 +82,7 @@ pub fn retail_area_descriptions() -> Vec<(i64, &'static str)> {
 /// | `_removeFromContainer(item, ts)` | Containment Update rule |
 /// | `_currentLocation(item)` | current area of an item, `-1` if unknown |
 /// | `_movementHistory(item)` | rendered §4 track-and-trace history |
-pub fn register_db_builtins(
-    functions: &FunctionRegistry,
-    db: &Database,
-) -> sase_db::Result<()> {
+pub fn register_db_builtins(functions: &FunctionRegistry, db: &Database) -> sase_db::Result<()> {
     let tnt = TrackAndTrace::open(db.clone())?;
 
     {
@@ -201,15 +198,18 @@ mod tests {
         let (f, db) = setup();
         let upd = f.resolve("_updateLocation").unwrap();
         assert_eq!(
-            upd.call(&[Value::Int(7), Value::Int(1), Value::Int(10)]).unwrap(),
+            upd.call(&[Value::Int(7), Value::Int(1), Value::Int(10)])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            upd.call(&[Value::Int(7), Value::Int(1), Value::Int(12)]).unwrap(),
+            upd.call(&[Value::Int(7), Value::Int(1), Value::Int(12)])
+                .unwrap(),
             Value::Bool(false), // same area: no change
         );
         assert_eq!(
-            upd.call(&[Value::Int(7), Value::Int(4), Value::Int(20)]).unwrap(),
+            upd.call(&[Value::Int(7), Value::Int(4), Value::Int(20)])
+                .unwrap(),
             Value::Bool(true)
         );
         let cur = f.resolve("_currentLocation").unwrap();
@@ -266,7 +266,9 @@ mod tests {
         let (_f, db) = setup();
         seed_area_info(&db, &[(4, "new exit description")]).unwrap();
         let rs = db
-            .query(&format!("SELECT description FROM {AREA_INFO_TABLE} WHERE area = 4"))
+            .query(&format!(
+                "SELECT description FROM {AREA_INFO_TABLE} WHERE area = 4"
+            ))
             .unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::str("new exit description"));

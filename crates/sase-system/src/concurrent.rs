@@ -79,8 +79,8 @@ where
     let cleaning = thread::spawn(move || -> CoreResult<usize> {
         let mut generated = 0usize;
         for frame in frame_rx {
-            let (tick, readings) = decode_frame(frame)
-                .map_err(|e| SaseError::engine(format!("wire decode: {e}")))?;
+            let (tick, readings) =
+                decode_frame(frame).map_err(|e| SaseError::engine(format!("wire decode: {e}")))?;
             for event in pipeline.process_tick(tick, &readings)? {
                 generated += 1;
                 if event_tx.send(event).is_err() {
@@ -181,7 +181,9 @@ mod tests {
         // Pipelined deployment over the *same* device stream (same sim
         // seed and noise).
         let (_registry, pipeline, mut engine) = retail_stages(40).unwrap();
-        engine.register("shoplifting", queries::SHOPLIFTING).unwrap();
+        engine
+            .register("shoplifting", queries::SHOPLIFTING)
+            .unwrap();
         engine
             .register("location_change", queries::LOCATION_CHANGE)
             .unwrap();
@@ -203,7 +205,9 @@ mod tests {
         let cfg = CleaningConfig::retail_demo();
         let scenario = RetailScenario::build(&cfg, 7, 3, 2, 0);
         let (_registry, pipeline, mut engine) = retail_stages(40).unwrap();
-        engine.register("shoplifting", queries::SHOPLIFTING).unwrap();
+        engine
+            .register("shoplifting", queries::SHOPLIFTING)
+            .unwrap();
         let sim = RfidSimulator::retail_demo(NoiseModel::perfect(), 1);
         let run = run_pipelined(scripted_ticks(sim, &scenario), pipeline, engine).unwrap();
         let mut flagged: Vec<i64> = run
@@ -219,14 +223,12 @@ mod tests {
     #[test]
     fn engine_error_propagates_across_threads() {
         let (_registry, pipeline, mut engine) = retail_stages(4).unwrap();
-        engine
-            .functions()
-            .register_fn("_boom", Some(1), |_| {
-                Err(SaseError::Function {
-                    name: "_boom".into(),
-                    message: "injected".into(),
-                })
-            });
+        engine.functions().register_fn("_boom", Some(1), |_| {
+            Err(SaseError::Function {
+                name: "_boom".into(),
+                message: "injected".into(),
+            })
+        });
         engine
             .register("q", "EVENT SHELF_READING x RETURN _boom(x.TagId)")
             .unwrap();

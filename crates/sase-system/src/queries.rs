@@ -46,7 +46,11 @@ mod tests {
 
     #[test]
     fn canonical_queries_parse() {
-        for src in [super::SHOPLIFTING, super::LOCATION_CHANGE, super::ARCHIVE_LOCATION] {
+        for src in [
+            super::SHOPLIFTING,
+            super::LOCATION_CHANGE,
+            super::ARCHIVE_LOCATION,
+        ] {
             parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         }
         parse_query(&super::misplaced_inventory("soap", 1)).unwrap();

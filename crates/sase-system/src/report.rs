@@ -56,19 +56,19 @@ impl UiReport {
                 stream_vals.push(format!("{name}={value}"));
             }
         }
-        self.stream_output
-            .push(format!("[{}@{}] {}", d.query, d.detected_at, stream_vals.join(", ")));
+        self.stream_output.push(format!(
+            "[{}@{}] {}",
+            d.query,
+            d.detected_at,
+            stream_vals.join(", ")
+        ));
         for v in &db_vals {
             self.database_report.push(format!("[{}] {v}", d.query));
         }
         // Message Results: the fully-joined user message.
         let mut msg = format!("{} detected at t={}", d.query, d.detected_at);
         if !d.values.is_empty() {
-            let all: Vec<String> = d
-                .values
-                .iter()
-                .map(|(n, v)| format!("{n}: {v}"))
-                .collect();
+            let all: Vec<String> = d.values.iter().map(|(n, v)| format!("{n}: {v}")).collect();
             msg.push_str(&format!(" — {}", all.join(", ")));
         }
         self.message_results.push(msg);

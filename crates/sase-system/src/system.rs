@@ -33,7 +33,14 @@ pub struct TickResult {
 
 /// Product names the demo catalog cycles through.
 const PRODUCT_NAMES: [&str; 8] = [
-    "milk", "soap", "bread", "razor", "cereal", "coffee", "batteries", "shampoo",
+    "milk",
+    "soap",
+    "bread",
+    "razor",
+    "cereal",
+    "coffee",
+    "batteries",
+    "shampoo",
 ];
 
 /// The demo catalog entry for an item id: `(name, category, price cents)`.
@@ -41,7 +48,11 @@ const PRODUCT_NAMES: [&str; 8] = [
 /// contents are identical.
 pub(crate) fn demo_product(item: u64) -> (&'static str, &'static str, i64) {
     let name = PRODUCT_NAMES[(item as usize - 1) % PRODUCT_NAMES.len()];
-    let category = if item % 2 == 0 { "household" } else { "grocery" };
+    let category = if item % 2 == 0 {
+        "household"
+    } else {
+        "grocery"
+    };
     let price = 99 + (item as i64 % 40) * 25;
     (name, category, price)
 }
@@ -194,8 +205,10 @@ impl SaseSystem {
         product: &str,
         home_shelf: i64,
     ) -> CoreResult<()> {
-        self.engine
-            .register(name, &crate::queries::misplaced_inventory(product, home_shelf))
+        self.engine.register(
+            name,
+            &crate::queries::misplaced_inventory(product, home_shelf),
+        )
     }
 
     /// Run one scan cycle: simulator → cleaning → event processor.
@@ -300,7 +313,10 @@ mod tests {
             .collect();
         flagged.sort_unstable();
         flagged.dedup();
-        assert_eq!(flagged, scenario.truth.shoplifted, "exactly the planted thief");
+        assert_eq!(
+            flagged, scenario.truth.shoplifted,
+            "exactly the planted thief"
+        );
         // The DB lookup joined the paper's exit description.
         let desc = hits[0]
             .value("_retrieveLocation(z.AreaId)")
@@ -323,7 +339,11 @@ mod tests {
         let item = scenario.truth.misplaced[0];
         let hist = sys.track_and_trace().locations().history(item).unwrap();
         assert!(hist.len() >= 2, "history: {hist:?}");
-        let cur = sys.track_and_trace().current_location(item).unwrap().unwrap();
+        let cur = sys
+            .track_and_trace()
+            .current_location(item)
+            .unwrap()
+            .unwrap();
         assert!(cur.area == 1 || cur.area == 2);
     }
 
@@ -332,7 +352,8 @@ mod tests {
         let mut sys = SaseSystem::retail(NoiseModel::perfect(), 11, 20).unwrap();
         sys.register_demo_queries().unwrap();
         // Home shelf of every product in this tiny demo is shelf 1.
-        sys.register_misplaced_query("misplaced", "milk", 1).unwrap();
+        sys.register_misplaced_query("misplaced", "milk", 1)
+            .unwrap();
 
         // Manually script: item 1 ("milk") placed on shelf 2 (wrong).
         let cfg = sys.config().clone();

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RawReading::full(cfg.make_tag(1), 1, 0), // duplicate capture
         RawReading::full(0xDEAD_BEEF_0000_0001, 1, 0), // ghost code
         RawReading {
-            tag: RawTag::Truncated { partial: 0x2A, bits: 16 },
+            tag: RawTag::Truncated {
+                partial: 0x2A,
+                bits: 16,
+            },
             reader: 1,
             tick: 0,
         }, // truncated capture

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A tiny stream: tag 42 is shoplifted, tag 7 checks out properly.
     let ev = |ty: &str, ts: u64, tag: i64, product: &str, area: i64| {
         registry
-            .build_event(ty, ts, vec![Value::Int(tag), Value::str(product), Value::Int(area)])
+            .build_event(
+                ty,
+                ts,
+                vec![Value::Int(tag), Value::str(product), Value::Int(area)],
+            )
             .expect("schema-conformant")
     };
     let stream = vec![

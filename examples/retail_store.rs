@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let show_dataflow = std::env::args().any(|a| a == "--show-dataflow");
 
     // Assemble the system: devices -> cleaning -> event processor -> DB.
-    let mut sys = SaseSystem::retail(NoiseModel::realistic(), 2024, 40)?;
+    let mut sys = SaseSystem::retail(NoiseModel::realistic(), 42, 40)?;
     sys.register_demo_queries()?;
     sys.register_misplaced_query("misplaced_milk", "milk", 1)?;
 
@@ -82,10 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cleaning statistics: what the five layers absorbed.
     let s = sys.cleaning_stats();
     println!("\n== cleaning and association layer ==");
-    println!(
-        "  raw readings seen:    {}",
-        s.anomaly.seen
-    );
+    println!("  raw readings seen:    {}", s.anomaly.seen);
     println!(
         "  anomalies dropped:    {} truncated, {} spurious",
         s.anomaly.dropped_truncated, s.anomaly.dropped_spurious

@@ -25,14 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::new();
     let tnt = TrackAndTrace::open(db.clone())?;
     for m in &trace.movements {
-        tnt.locations().update_location(m.item, m.area, m.ts as i64)?;
+        tnt.locations()
+            .update_location(m.item, m.area, m.ts as i64)?;
     }
     for c in &trace.containments {
         if c.added {
             tnt.containments()
                 .add_to_container(c.item, c.container, c.ts as i64)?;
         } else {
-            tnt.containments().remove_from_container(c.item, c.ts as i64)?;
+            tnt.containments()
+                .remove_from_container(c.item, c.ts as i64)?;
         }
     }
 

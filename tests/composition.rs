@@ -47,7 +47,10 @@ fn two_stage_pipeline_with_lazy_schema() {
     ];
     let out = engine.process_all(&stream).unwrap();
     assert_eq!(out.len(), 1);
-    assert!(registry.type_id("moves").is_some(), "derived type registered");
+    assert!(
+        registry.type_id("moves").is_some(),
+        "derived type registered"
+    );
 
     // ...after which stage 2 compiles and composes.
     engine
@@ -66,7 +69,10 @@ fn two_stage_pipeline_with_lazy_schema() {
         ev(&registry, "SHELF_READING", 40, 7, 2),
     ];
     let out = engine.process_all(&stream2).unwrap();
-    let stage2_hits: Vec<_> = out.iter().filter(|d| d.query.as_ref() == "stage2").collect();
+    let stage2_hits: Vec<_> = out
+        .iter()
+        .filter(|d| d.query.as_ref() == "stage2")
+        .collect();
     assert!(
         !stage2_hits.is_empty(),
         "stage 2 pairs the derived move events"
@@ -80,7 +86,10 @@ fn two_stage_pipeline_with_lazy_schema() {
 fn pre_registered_output_schema() {
     let registry = retail_registry();
     registry
-        .register("alerts", &[("tag", ValueType::Int), ("area", ValueType::Int)])
+        .register(
+            "alerts",
+            &[("tag", ValueType::Int), ("area", ValueType::Int)],
+        )
         .unwrap();
     let mut engine = Engine::new(registry.clone());
     engine
@@ -99,7 +108,10 @@ fn pre_registered_output_schema() {
     let out = engine
         .process(&ev(&registry, "EXIT_READING", 5, 9, 4))
         .unwrap();
-    let consumer_hits: Vec<_> = out.iter().filter(|d| d.query.as_ref() == "consumer").collect();
+    let consumer_hits: Vec<_> = out
+        .iter()
+        .filter(|d| d.query.as_ref() == "consumer")
+        .collect();
     assert_eq!(consumer_hits.len(), 1);
     assert_eq!(consumer_hits[0].value("a.tag"), Some(&Value::Int(9)));
 }
@@ -109,10 +121,7 @@ fn into_requires_identifier_column_names() {
     let registry = retail_registry();
     let mut engine = Engine::new(registry.clone());
     let err = engine
-        .register(
-            "bad",
-            "EVENT EXIT_READING z RETURN z.TagId INTO out_stream",
-        )
+        .register("bad", "EVENT EXIT_READING z RETURN z.TagId INTO out_stream")
         .unwrap_err();
     assert!(err.to_string().contains("AS"), "suggests adding AS: {err}");
 }

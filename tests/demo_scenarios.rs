@@ -63,7 +63,8 @@ fn d2_misplaced_inventory_with_history_lookup() {
     let mut sys = SaseSystem::retail(NoiseModel::perfect(), 77, 40).unwrap();
     sys.register_demo_queries().unwrap();
     // Every product's home shelf is area 1 for this monitor.
-    sys.register_misplaced_query("misplaced", "cereal", 1).unwrap();
+    sys.register_misplaced_query("misplaced", "cereal", 1)
+        .unwrap();
 
     // Script: item 5 ("cereal") stocked on shelf 1, later misplaced to 2.
     let cfg = sys.config().clone();
@@ -72,7 +73,10 @@ fn d2_misplaced_inventory_with_history_lookup() {
     for _ in 0..4 {
         sys.tick(None).unwrap();
     }
-    assert!(sys.detections_for("misplaced").is_empty(), "home shelf is fine");
+    assert!(
+        sys.detections_for("misplaced").is_empty(),
+        "home shelf is fine"
+    );
     sys.simulator().place_tag(tag, 2);
     for _ in 0..4 {
         sys.tick(None).unwrap();
@@ -85,7 +89,10 @@ fn d2_misplaced_inventory_with_history_lookup() {
         .as_str()
         .unwrap()
         .to_string();
-    assert!(history.contains("in area 1"), "history shows the home shelf: {history}");
+    assert!(
+        history.contains("in area 1"),
+        "history shows the home shelf: {history}"
+    );
 }
 
 /// D3 — archiving rules keep the event database consistent with the floor:

@@ -1,0 +1,72 @@
+//! Smoke tests over the examples: they must build, and the non-interactive
+//! ones must run to completion (each example asserts its own invariants
+//! internally, so a clean exit is a meaningful check).
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")));
+    cmd
+}
+
+#[test]
+fn all_examples_build() {
+    // The run tests below cover four examples; this additionally gates the
+    // interactive `repl`, which nothing runs non-interactively.
+    let out = cargo()
+        .args(["build", "--examples", "--quiet"])
+        .output()
+        .expect("cargo runs");
+    assert!(
+        out.status.success(),
+        "examples failed to build:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn run_example(name: &str) -> String {
+    let out = cargo()
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .expect("cargo runs");
+    assert!(
+        out.status.success(),
+        "example `{name}` exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn cleaning_pipeline_example_runs() {
+    let stdout = run_example("cleaning_pipeline");
+    assert!(stdout.contains("event out:"), "produces cleaned events");
+    assert!(
+        stdout.contains("per-layer statistics"),
+        "reports layer stats"
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    let stdout = run_example("quickstart");
+    assert!(stdout.contains("ALERT"), "emits the shoplifting alert");
+}
+
+#[test]
+fn retail_store_example_runs() {
+    let stdout = run_example("retail_store");
+    assert!(
+        stdout.contains("shoplifting alerts"),
+        "renders the alerts window"
+    );
+}
+
+#[test]
+fn track_and_trace_example_runs() {
+    let stdout = run_example("track_and_trace");
+    assert!(!stdout.is_empty(), "prints trace output");
+}

@@ -21,7 +21,14 @@ WHERE     x.TagId = y.TagId  ∧ x.AreaId != y.AreaId
 WITHIN    1 hour
 RETURN   _updateLocation(y.TagId, y.AreaId, y.Timestamp)";
 
-fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64, product: &str, area: i64) -> sase::core::Event {
+fn ev(
+    reg: &SchemaRegistry,
+    ty: &str,
+    ts: u64,
+    tag: i64,
+    product: &str,
+    area: i64,
+) -> sase::core::Event {
     reg.build_event(
         ty,
         ts,

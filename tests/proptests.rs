@@ -124,8 +124,7 @@ fn oracle_q1(events: &[Event], window: u64) -> Vec<Vec<u64>> {
         .collect()
 }
 
-const SEQ2: &str =
-    "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId WITHIN 10";
+const SEQ2: &str = "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId WITHIN 10";
 const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
                   WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 10";
 
@@ -356,5 +355,203 @@ proptest! {
         let a = run_engine(build());
         let b = run_engine(build());
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Language round-trip: parse -> AST -> pretty-print -> reparse == same AST
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator of syntactically valid (if semantically wild)
+/// SASE query strings, driven by a proptest-supplied seed. Covers every
+/// printable construct: FROM/INTO, multi-component SEQ with ANY and
+/// negation, all binary/unary operators with nested parentheses, the
+/// equivalence shorthand, function calls, literals, WITHIN units, and
+/// RETURN scalars/aggregates with aliases.
+mod query_gen {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    const ATTRS: [&str; 3] = ["TagId", "ProductName", "AreaId"];
+    const TYPES: [&str; 4] = [
+        "SHELF_READING",
+        "COUNTER_READING",
+        "EXIT_READING",
+        "BACKROOM_READING",
+    ];
+    const UNITS: [&str; 5] = ["units", "seconds", "minutes", "hours", "days"];
+    const CMPS: [&str; 6] = ["=", "!=", "<", "<=", ">", ">="];
+    const ARITH: [&str; 5] = ["+", "-", "*", "/", "%"];
+
+    fn attr(rng: &mut StdRng) -> &'static str {
+        ATTRS[rng.gen_range(0..ATTRS.len())]
+    }
+
+    /// A scalar (non-boolean) expression over the bound variables.
+    fn scalar(rng: &mut StdRng, vars: &[String], depth: u32) -> String {
+        match rng.gen_range(0..if depth == 0 { 4u32 } else { 7 }) {
+            0 => format!("{}", rng.gen_range(0i64..1000)),
+            1 => format!("'{}'", ["soap", "milk", "tea"][rng.gen_range(0..3usize)]),
+            2 | 3 => format!("{}.{}", vars[rng.gen_range(0..vars.len())], attr(rng)),
+            4 => format!("-({})", scalar(rng, vars, depth - 1)),
+            5 => {
+                let op = ARITH[rng.gen_range(0..ARITH.len())];
+                format!(
+                    "({} {} {})",
+                    scalar(rng, vars, depth - 1),
+                    op,
+                    scalar(rng, vars, depth - 1)
+                )
+            }
+            _ => {
+                let args = (0..rng.gen_range(0..3u32))
+                    .map(|_| scalar(rng, vars, depth - 1))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("_f{}({args})", rng.gen_range(0..3u32))
+            }
+        }
+    }
+
+    /// A boolean expression over the bound variables.
+    fn boolean(rng: &mut StdRng, vars: &[String], depth: u32) -> String {
+        match rng.gen_range(0..if depth == 0 { 2u32 } else { 5 }) {
+            0 => {
+                let op = CMPS[rng.gen_range(0..CMPS.len())];
+                format!(
+                    "{} {} {}",
+                    scalar(rng, vars, depth.saturating_sub(1)),
+                    op,
+                    scalar(rng, vars, depth.saturating_sub(1))
+                )
+            }
+            1 => format!("[{}]", attr(rng)),
+            2 => format!("NOT ({})", boolean(rng, vars, depth - 1)),
+            _ => {
+                let op = if rng.gen_bool(0.5) { "AND" } else { "OR" };
+                format!(
+                    "({}) {} ({})",
+                    boolean(rng, vars, depth - 1),
+                    op,
+                    boolean(rng, vars, depth - 1)
+                )
+            }
+        }
+    }
+
+    /// One RETURN item, possibly aliased.
+    fn return_item(rng: &mut StdRng, vars: &[String], idx: usize) -> String {
+        let body = match rng.gen_range(0..4u32) {
+            0 => scalar(rng, vars, 2),
+            1 => "count(*)".to_string(),
+            2 => {
+                let agg = ["sum", "avg", "min", "max"][rng.gen_range(0..4usize)];
+                format!("{agg}({})", attr(rng))
+            }
+            _ => {
+                let agg = ["sum", "avg", "min", "max"][rng.gen_range(0..4usize)];
+                format!(
+                    "{agg}({}.{})",
+                    vars[rng.gen_range(0..vars.len())],
+                    attr(rng)
+                )
+            }
+        };
+        if rng.gen_bool(0.5) {
+            format!("{body} AS out{idx}")
+        } else {
+            body
+        }
+    }
+
+    /// A complete random query string.
+    pub fn query(rng: &mut StdRng) -> String {
+        let mut src = String::new();
+        if rng.gen_bool(0.3) {
+            src.push_str(&format!("FROM stream{} ", rng.gen_range(0..5u32)));
+        }
+
+        // Pattern: 1-4 positive components, optional interior negation,
+        // each component either a plain type or ANY(...).
+        let positive = rng.gen_range(1..=4usize);
+        let negate_after = if positive >= 2 && rng.gen_bool(0.4) {
+            Some(rng.gen_range(1..positive))
+        } else {
+            None
+        };
+        let mut elems = Vec::new();
+        let mut vars: Vec<String> = Vec::new();
+        for i in 0..positive {
+            let var = format!("v{i}");
+            let component = if rng.gen_bool(0.25) {
+                let n = rng.gen_range(2..=3usize);
+                let mut picks: Vec<&str> = Vec::new();
+                for k in 0..n {
+                    picks.push(TYPES[(i + k) % TYPES.len()]);
+                }
+                format!("ANY({}) {var}", picks.join(", "))
+            } else {
+                format!("{} {var}", TYPES[rng.gen_range(0..TYPES.len())])
+            };
+            elems.push(component);
+            vars.push(var);
+            if negate_after == Some(i + 1) && i + 1 < positive {
+                let nvar = "neg".to_string();
+                elems.push(format!(
+                    "!({} {nvar})",
+                    TYPES[rng.gen_range(0..TYPES.len())]
+                ));
+                vars.push(nvar);
+            }
+        }
+        src.push_str(&format!("EVENT SEQ({})", elems.join(", ")));
+
+        if rng.gen_bool(0.8) {
+            src.push_str(&format!(" WHERE {}", boolean(rng, &vars, 3)));
+        }
+        if rng.gen_bool(0.8) {
+            let amount = rng.gen_range(1u64..100_000);
+            if rng.gen_bool(0.5) {
+                src.push_str(&format!(" WITHIN {amount}"));
+            } else {
+                src.push_str(&format!(
+                    " WITHIN {amount} {}",
+                    UNITS[rng.gen_range(0..UNITS.len())]
+                ));
+            }
+        }
+        if rng.gen_bool(0.7) {
+            let items = (0..rng.gen_range(1..=4usize))
+                .map(|i| return_item(rng, &vars, i))
+                .collect::<Vec<_>>()
+                .join(", ");
+            src.push_str(&format!(" RETURN {items}"));
+            if rng.gen_bool(0.3) {
+                src.push_str(&format!(" INTO derived{}", rng.gen_range(0..5u32)));
+            }
+        }
+        src
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse -> AST -> canonical print -> reparse is the identity on ASTs,
+    /// over deeply varied generated queries (every printable construct).
+    #[test]
+    fn parser_round_trips_deep_generated_queries(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let src = query_gen::query(&mut rng);
+        let q1 = parse_query(&src)
+            .unwrap_or_else(|e| panic!("generated query must parse: {e}\n  {src}"));
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("canonical print must reparse: {e}\n  {printed}"));
+        prop_assert_eq!(&q1, &q2, "print/reparse diverged for\n  {}\n  {}", src, printed);
+
+        // The canonical form is a fixed point: printing q2 changes nothing.
+        prop_assert_eq!(printed, q2.to_string());
     }
 }

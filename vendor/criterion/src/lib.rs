@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! Supports the harness surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple mean-of-samples
+//! measurement printed per benchmark. Under `cargo test` (or with
+//! `--test` in the args) every benchmark body runs exactly once, so
+//! bench targets double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        let n = self.samples.len() as u32;
+        if n == 0 {
+            return None;
+        }
+        Some(self.samples.iter().sum::<Duration>() / n)
+    }
+}
+
+/// Benchmark registry and runner (subset of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench executables with `--test`; `cargo bench`
+        // passes `--bench`. In test mode run each body exactly once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.effective_samples(None);
+        run_one(id, samples, f);
+        self
+    }
+
+    fn effective_samples(&self, group_override: Option<usize>) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            group_override.unwrap_or(self.sample_size) as u64
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u64, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters: samples,
+    };
+    f(&mut b);
+    match b.mean() {
+        Some(mean) => println!("bench: {label:<40} {mean:>12.2?} /iter ({samples} samples)"),
+        None => println!("bench: {label:<40} (no measurement)"),
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let samples = self.criterion.effective_samples(self.sample_size);
+        run_one(&label, samples, f);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a bench executable from its groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut runs = 0;
+        g.bench_with_input(BenchmarkId::new("f", 1), &41, |b, &i| {
+            b.iter(|| {
+                runs += 1;
+                i + 1
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+        };
+        let mut runs = 0;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

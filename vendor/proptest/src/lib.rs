@@ -1,0 +1,177 @@
+//! Offline stand-in for the `proptest` crate (API-compatible subset).
+//!
+//! The workspace builds in a container with no crates.io access, so this
+//! shim implements exactly the surface the test suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support,
+//! * integer-range, tuple, `&str`-regex (`".*"` only), and
+//!   [`collection::vec`] strategies, plus [`Strategy::prop_map`],
+//! * [`any`] for `bool`, `char`, integers, and `String`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! There is **no shrinking**: a failing case prints its generated inputs
+//! and the deterministic seed so it can be replayed. Case counts honour
+//! `ProptestConfig::with_cases` and the `PROPTEST_CASES` env override.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+/// Arbitrary-value strategies (subset of `proptest::arbitrary`).
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Assert inequality inside a property; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` runs the
+/// body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __case = {
+                    let mut __s = String::new();
+                    $(__s.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg));)+
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest case failed for `{}` with inputs:\n{}",
+                        stringify!($name), __case);
+                    ::std::panic::resume_unwind(__panic);
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..9, y in -4i64..4, z in 0usize..1) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert_eq!(z, 0);
+        }
+
+        #[test]
+        fn tuples_and_maps(v in crate::collection::vec((0u32..5, 1u64..3), 0..10)) {
+            prop_assert!(v.len() < 10);
+            for (a, b) in v {
+                prop_assert!(a < 5);
+                prop_assert!((1..3).contains(&b));
+            }
+        }
+
+        #[test]
+        fn any_and_strings(b in any::<bool>(), c in any::<char>(), s in ".*") {
+            let _ = b;
+            let _ = c.is_alphabetic();
+            prop_assert!(s.len() <= 4096);
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_honoured() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static HITS: AtomicU32 = AtomicU32::new(0);
+        let cfg = ProptestConfig::with_cases(17);
+        crate::test_runner::run_cases(&cfg, "counter", |_| {
+            HITS.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(HITS.load(Ordering::SeqCst), 17);
+    }
+}

@@ -1,0 +1,69 @@
+//! Case-running machinery for the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5A5E_2007)
+}
+
+/// Run `f` once per case with a deterministic per-case RNG.
+///
+/// The seed is derived from `PROPTEST_SEED` (default `0x5A5E_2007`), the
+/// property name, and the case index, so any failure report can be
+/// replayed exactly. `PROPTEST_CASES` caps the case count for quick runs.
+pub fn run_cases<F: FnMut(&mut StdRng)>(config: &ProptestConfig, name: &str, mut f: F) {
+    let mut cases = config.cases;
+    if let Some(cap) = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        cases = cases.min(cap);
+    }
+    let base = base_seed();
+    let name_hash = fnv1a(name);
+    for case in 0..cases {
+        let seed = base ^ name_hash.wrapping_add(0x9E37_79B9 * case as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest `{name}` failed at case {case}/{cases} \
+                 (replay with PROPTEST_SEED={base} — per-case seed {seed:#x})"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
