@@ -1,0 +1,39 @@
+//! Criterion bench: engine ingest throughput, type-indexed router vs the
+//! scan-all baseline, across standing-query counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sase_bench::ingest::{ingest_query, ingest_stream, INGEST_TYPES};
+use sase_core::engine::{Engine, RoutingMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest_routing");
+    g.sample_size(10);
+    let (registry, events) = ingest_stream(4_000, 31);
+    for queries in [1usize, 16, 128] {
+        for (label, mode) in [
+            ("indexed", RoutingMode::Indexed),
+            ("scan-all", RoutingMode::ScanAll),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, queries), &queries, |b, &q| {
+                b.iter(|| {
+                    let mut engine = Engine::new(registry.clone());
+                    engine.set_routing(mode);
+                    for i in 0..q {
+                        engine
+                            .register(&format!("q{i}"), &ingest_query(i, INGEST_TYPES))
+                            .unwrap();
+                    }
+                    let mut emitted = 0usize;
+                    for chunk in events.chunks(512) {
+                        emitted += engine.process_batch(chunk).unwrap().len();
+                    }
+                    emitted
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Emit `BENCH_ingest.json`: engine ingest throughput (events/sec) at 1,
+//! 16, and 128 standing queries under scan-all routing, the type-indexed
+//! router, and the sharded deployment.
+//!
+//! ```text
+//! cargo run --release -p sase-bench --bin ingest            # full run
+//! cargo run --release -p sase-bench --bin ingest -- --test  # CI smoke
+//! ```
+//!
+//! Flags: `--test` (tiny stream, shape-check only), `--events N`,
+//! `--out PATH` (default `BENCH_ingest.json`), `--shards N` (default 4).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test = args.iter().any(|a| a == "--test");
+    let mut out_path = "BENCH_ingest.json".to_string();
+    let mut events: usize = if test { 2_000 } else { 120_000 };
+    let mut shards: usize = 4;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--events" if i + 1 < args.len() => {
+                events = args[i + 1].parse().expect("--events takes a count");
+                i += 1;
+            }
+            "--shards" if i + 1 < args.len() => {
+                shards = args[i + 1].parse().expect("--shards takes a count");
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let mode = if test { "test" } else { "full" };
+    let json =
+        sase_bench::ingest::ingest_report(events, shards, sase_bench::ingest::INGEST_BATCH, mode);
+    sase_bench::minijson::validate(&json).expect("report must be well-formed JSON");
+    std::fs::write(&out_path, json.as_bytes()).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path} ({events} events, mode {mode})");
+}

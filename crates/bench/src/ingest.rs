@@ -1,0 +1,288 @@
+//! The engine-ingest throughput benchmark.
+//!
+//! Measures events/second through [`Engine::process_batch`] with 1, 16,
+//! and 128 standing queries under three deployments: the scan-all routing
+//! baseline, the type-indexed router, and the sharded engine. The
+//! `ingest` binary renders the measurements as `BENCH_ingest.json` so
+//! later changes have a recorded perf trajectory.
+//!
+//! The workload is the multi-tenant shape the ROADMAP north star names:
+//! many standing queries, each watching a narrow slice of a wide
+//! event-type space — exactly where `(stream, type)`-indexed routing beats
+//! offering every event to every query.
+
+use std::time::Instant;
+
+use sase_core::engine::{Engine, RoutingMode};
+use sase_core::event::{Event, SchemaRegistry};
+use sase_system::ShardedEngineBuilder;
+
+use crate::{seq_n_stream, stream_for};
+
+/// Number of distinct event types in the ingest workload.
+pub const INGEST_TYPES: usize = 128;
+/// Events per [`Engine::process_batch`] call.
+pub const INGEST_BATCH: usize = 512;
+/// Standing-query counts measured.
+pub const INGEST_QUERY_COUNTS: [usize; 3] = [1, 16, 128];
+/// Throughput multiple the indexed router is expected to reach over the
+/// scan-all baseline at the largest query count (recorded in the report;
+/// the deterministic routing-work equivalent is asserted in tests).
+pub const INGEST_SPEEDUP_TARGET: f64 = 5.0;
+
+/// The ingest workload: `INGEST_TYPES` event types in a uniform mix over
+/// 32 tag partitions.
+pub fn ingest_stream(events: usize, seed: u64) -> (SchemaRegistry, Vec<Event>) {
+    stream_for(&seq_n_stream(INGEST_TYPES, seed, events, 32))
+}
+
+/// Standing query `i`: a two-step sequence over two adjacent types of the
+/// type space, so each query's relevant-type set is 2 of `n_types`.
+pub fn ingest_query(i: usize, n_types: usize) -> String {
+    let a = i % n_types;
+    let b = (i + 1) % n_types;
+    format!("EVENT SEQ(T{a} x, T{b} y) WHERE x.TagId = y.TagId WITHIN 64 RETURN x.TagId AS tag")
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct IngestRun {
+    /// Configuration label (`scan-all`, `indexed`, `sharded-N`).
+    pub label: String,
+    /// Standing queries registered.
+    pub queries: usize,
+    /// Engine workers (1 unless sharded).
+    pub shards: usize,
+    /// Wall-clock seconds for the whole stream.
+    pub seconds: f64,
+    /// Input events per second.
+    pub events_per_sec: f64,
+    /// Composite events emitted.
+    pub matches: u64,
+    /// Total events offered to query runtimes — the deterministic routing
+    /// work metric (scan-all offers every event to every query).
+    pub events_offered: u64,
+}
+
+/// Measure a single engine in the given routing mode.
+pub fn run_ingest_engine(
+    registry: &SchemaRegistry,
+    events: &[Event],
+    n_queries: usize,
+    mode: RoutingMode,
+    batch: usize,
+) -> IngestRun {
+    let mut engine = Engine::new(registry.clone());
+    engine.set_routing(mode);
+    for i in 0..n_queries {
+        engine
+            .register(&format!("q{i}"), &ingest_query(i, INGEST_TYPES))
+            .expect("ingest query registers");
+    }
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for chunk in events.chunks(batch.max(1)) {
+        matches += engine.process_batch(chunk).expect("ingest batch").len() as u64;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let events_offered = (0..n_queries)
+        .map(|i| {
+            engine
+                .stats(&format!("q{i}"))
+                .expect("registered")
+                .events_processed
+        })
+        .sum();
+    IngestRun {
+        label: match mode {
+            RoutingMode::Indexed => "indexed".to_string(),
+            RoutingMode::ScanAll => "scan-all".to_string(),
+        },
+        queries: n_queries,
+        shards: 1,
+        seconds,
+        events_per_sec: events.len() as f64 / seconds.max(1e-12),
+        matches,
+        events_offered,
+    }
+}
+
+/// Measure the sharded deployment (type-indexed routing inside each
+/// shard).
+pub fn run_ingest_sharded(
+    registry: &SchemaRegistry,
+    events: &[Event],
+    n_queries: usize,
+    shards: usize,
+    batch: usize,
+) -> IngestRun {
+    let mut builder = ShardedEngineBuilder::new(registry.clone());
+    for i in 0..n_queries {
+        builder
+            .register(&format!("q{i}"), &ingest_query(i, INGEST_TYPES))
+            .expect("ingest query registers");
+    }
+    let mut engine = builder.build(shards).expect("sharded engine builds");
+    let shards = engine.shard_count();
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for chunk in events.chunks(batch.max(1)) {
+        matches += engine.process_batch(chunk).expect("ingest batch").len() as u64;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let events_offered = (0..n_queries)
+        .map(|i| {
+            engine
+                .stats(&format!("q{i}"))
+                .expect("registered")
+                .events_processed
+        })
+        .sum();
+    IngestRun {
+        label: format!("sharded-{shards}"),
+        queries: n_queries,
+        shards,
+        seconds,
+        events_per_sec: events.len() as f64 / seconds.max(1e-12),
+        matches,
+        events_offered,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Run the full measurement matrix and render `BENCH_ingest.json`.
+///
+/// `mode_label` records how the report was produced (`full` or `test`);
+/// the `--test` CI smoke run uses a tiny stream, so only the full run's
+/// throughput numbers are meaningful.
+pub fn ingest_report(events_n: usize, shards: usize, batch: usize, mode_label: &str) -> String {
+    let (registry, events) = ingest_stream(events_n, 7);
+    let mut runs: Vec<IngestRun> = Vec::new();
+    for &q in &INGEST_QUERY_COUNTS {
+        runs.push(run_ingest_engine(
+            &registry,
+            &events,
+            q,
+            RoutingMode::ScanAll,
+            batch,
+        ));
+        runs.push(run_ingest_engine(
+            &registry,
+            &events,
+            q,
+            RoutingMode::Indexed,
+            batch,
+        ));
+        runs.push(run_ingest_sharded(&registry, &events, q, shards, batch));
+    }
+
+    let max_q = *INGEST_QUERY_COUNTS.last().expect("nonempty");
+    let rate_of = |label: &str| {
+        runs.iter()
+            .find(|r| r.label == label && r.queries == max_q)
+            .map(|r| r.events_per_sec)
+            .unwrap_or(0.0)
+    };
+    let scan_rate = rate_of("scan-all");
+    let indexed_rate = rate_of("indexed");
+    let speedup = if scan_rate > 0.0 {
+        indexed_rate / scan_rate
+    } else {
+        0.0
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ingest\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode_label)));
+    out.push_str(&format!("  \"events\": {},\n", events.len()));
+    out.push_str(&format!("  \"event_types\": {INGEST_TYPES},\n"));
+    out.push_str(&format!("  \"batch\": {batch},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"queries\": {}, \"shards\": {}, \
+             \"seconds\": {:.6}, \"events_per_sec\": {:.1}, \"matches\": {}, \
+             \"events_offered\": {}}}{}\n",
+            json_escape(&r.label),
+            r.queries,
+            r.shards,
+            r.seconds,
+            r.events_per_sec,
+            r.matches,
+            r.events_offered,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_indexed_vs_scan_all_at_{max_q}_queries\": {speedup:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_target\": {INGEST_SPEEDUP_TARGET:.1}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minijson;
+
+    #[test]
+    fn report_is_wellformed_json() {
+        let json = ingest_report(400, 2, 64, "test");
+        minijson::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"bench\": \"ingest\""));
+        assert!(json.contains("scan-all"));
+        assert!(json.contains("sharded-"));
+        assert!(json.contains("speedup_indexed_vs_scan_all_at_128_queries"));
+    }
+
+    /// The deterministic counterpart of the ≥5x throughput criterion:
+    /// with 128 queries over `INGEST_TYPES` (128) types, scan-all offers
+    /// every event to all 128 runtimes while the indexed router offers
+    /// each event only to the ~2 queries whose relevant-type set contains
+    /// its type (query `i` covers types `i` and `i+1`), a ~64x reduction
+    /// in offered events.
+    #[test]
+    fn indexed_routing_cuts_offered_events_5x_at_128_queries() {
+        let (registry, events) = ingest_stream(3_000, 11);
+        let scan = run_ingest_engine(&registry, &events, 128, RoutingMode::ScanAll, 256);
+        let indexed = run_ingest_engine(&registry, &events, 128, RoutingMode::Indexed, 256);
+        assert_eq!(scan.matches, indexed.matches, "routing is semantics-free");
+        assert_eq!(scan.events_offered, 128 * events.len() as u64);
+        assert!(
+            scan.events_offered as f64 >= INGEST_SPEEDUP_TARGET * indexed.events_offered as f64,
+            "scan offered {} vs indexed {}",
+            scan.events_offered,
+            indexed.events_offered
+        );
+    }
+
+    /// Sharded and single-engine runs emit identical match counts.
+    #[test]
+    fn sharded_ingest_matches_single_engine() {
+        let (registry, events) = ingest_stream(1_500, 13);
+        let single = run_ingest_engine(&registry, &events, 16, RoutingMode::Indexed, 128);
+        let sharded = run_ingest_sharded(&registry, &events, 16, 4, 128);
+        assert_eq!(single.matches, sharded.matches);
+        assert_eq!(sharded.shards, 4);
+    }
+}

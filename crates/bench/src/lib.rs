@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+pub mod ingest;
+pub mod minijson;
+
 use std::time::Instant;
 
 use sase_core::engine::Engine;

@@ -8,13 +8,30 @@
 //!
 //! An [`Engine`] owns the schema registry, the built-in function registry,
 //! and every registered continuous query. Events are pushed with
-//! [`Engine::process`]; emitted composite events are returned to the caller
-//! and also delivered to any registered sinks.
+//! [`Engine::process`] (one event) or [`Engine::process_batch`] (a tick's
+//! worth at once); emitted composite events are returned to the caller and
+//! also delivered to any registered sinks.
+//!
+//! ## Routing
+//!
+//! The engine routes events to queries through an inverted index keyed by
+//! `(stream, event type)`: each query's plan exposes the set of event types
+//! it can react to ([`crate::plan::QueryPlan::relevant_types`] — positive
+//! component types plus negation counterexample types), so an arriving
+//! event touches only the queries that can change state because of it
+//! instead of every registered query. [`RoutingMode::ScanAll`] retains the
+//! original scan-every-query loop as a baseline for differential testing
+//! and benchmarking.
+//!
+//! Stream names (`FROM` / `INTO`) are case-insensitive, like event type
+//! and attribute names; the engine normalizes them once at query
+//! registration and once per ingest call, so `RETURN ... INTO Foo` feeds
+//! `FROM foo`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::error::{Result, SaseError};
-use crate::event::{Event, SchemaRegistry};
+use crate::event::{Event, EventTypeId, SchemaRegistry};
 use crate::functions::FunctionRegistry;
 use crate::lang::parse_query;
 use crate::output::ComplexEvent;
@@ -25,11 +42,111 @@ use crate::time::TimeScale;
 /// A per-query output callback.
 pub type Sink = Box<dyn FnMut(&ComplexEvent) + Send>;
 
+/// How the engine matches arriving events to registered queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Inverted `(stream, event type) -> queries` index: an event is
+    /// offered only to the queries whose relevant-type set contains its
+    /// type. The default.
+    #[default]
+    Indexed,
+    /// Scan every registered query per event (the pre-index baseline).
+    /// Kept for differential tests and benchmark ablations; emits exactly
+    /// what [`RoutingMode::Indexed`] emits.
+    ScanAll,
+}
+
+/// One hop of an emission's derivation path: `(query index, output ordinal
+/// within that query's reaction to one event)`.
+pub type EmissionHop = (u32, u32);
+
+/// A composite event plus its provenance within a batch.
+///
+/// Produced by [`Engine::process_batch_tagged`]. The tag totally orders
+/// emissions the way the untagged APIs return them: ascending
+/// `(input_index, depth, path)`. Sharded deployments exploit this to merge
+/// per-shard outputs into exactly the sequence a single engine over the
+/// union of the queries would have produced.
+#[derive(Debug, Clone)]
+pub struct Emission {
+    /// The emitted composite event.
+    pub output: ComplexEvent,
+    /// Index of the input event (within the ingested batch) that
+    /// ultimately caused this emission.
+    pub input_index: u32,
+    /// Derivation depth: 0 for direct reactions to the input event, `n`
+    /// for reactions to an `INTO` event derived at depth `n - 1`.
+    pub depth: u16,
+    /// One hop per derivation level, ending at the emitting query. Hops
+    /// hold the engine-local query index (registration order); callers
+    /// merging across engines remap them to a global order first.
+    pub path: Vec<EmissionHop>,
+}
+
+impl Emission {
+    /// The ordering key: emissions sorted by it reproduce the untagged
+    /// output order of a single engine.
+    pub fn order_key(&self) -> (u32, u16, &[EmissionHop]) {
+        (self.input_index, self.depth, &self.path)
+    }
+}
+
 struct Registered {
     runtime: QueryRuntime,
-    /// Input stream this query listens on (`FROM`); `None` = default input.
+    /// Input stream this query listens on (`FROM`), normalized to
+    /// lowercase; `None` = default input.
     from: Option<String>,
+    /// Event types this query can react to (from the plan).
+    relevant: Vec<EventTypeId>,
     sinks: Vec<Sink>,
+}
+
+/// The inverted routing index: `(stream, event type) -> query indices`,
+/// with query indices in registration order so routed delivery preserves
+/// the scan loop's output order. Rebuilt on register/unregister (rare)
+/// rather than maintained incrementally.
+#[derive(Debug, Default)]
+struct RouterIndex {
+    /// Routes for the default (unnamed) input stream.
+    default_stream: HashMap<EventTypeId, Vec<usize>>,
+    /// Routes per named stream (keys normalized to lowercase).
+    named: HashMap<String, HashMap<EventTypeId, Vec<usize>>>,
+}
+
+impl RouterIndex {
+    fn rebuild(&mut self, queries: &[Registered]) {
+        self.default_stream.clear();
+        self.named.clear();
+        for (idx, q) in queries.iter().enumerate() {
+            let bucket = match &q.from {
+                None => &mut self.default_stream,
+                Some(s) => self.named.entry(s.clone()).or_default(),
+            };
+            for &ty in &q.relevant {
+                bucket.entry(ty).or_default().push(idx);
+            }
+        }
+    }
+
+    fn route(&self, stream: Option<&str>, ty: EventTypeId) -> &[usize] {
+        let bucket = match stream {
+            None => Some(&self.default_stream),
+            Some(s) => self.named.get(s),
+        };
+        bucket
+            .and_then(|b| b.get(&ty))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Memoized event type of a derived (`INTO`) output stream.
+#[derive(Debug, Clone, Copy)]
+struct DerivedEntry {
+    id: EventTypeId,
+    /// True when the engine itself registered the type (schema derived
+    /// from the first emission) as opposed to a user-preregistered type.
+    engine_registered: bool,
 }
 
 /// The continuous-query engine.
@@ -39,13 +156,35 @@ pub struct Engine {
     time_scale: TimeScale,
     queries: Vec<Registered>,
     by_name: HashMap<String, usize>,
-    /// Lazily-registered event types of derived (`INTO`) output streams.
-    derived_types: HashMap<String, crate::event::EventTypeId>,
+    routing: RoutingMode,
+    router: RouterIndex,
+    /// Lazily-registered event types of derived (`INTO`) output streams,
+    /// keyed by normalized stream name.
+    derived_types: HashMap<String, DerivedEntry>,
+    /// Streams whose event type the engine registered but whose producers
+    /// are all gone: the next producer may redefine the schema.
+    reusable_derived: HashSet<String>,
+    /// Per-stream monotonicity clocks (key = normalized stream name,
+    /// `None` = default stream). Events must arrive in non-decreasing
+    /// timestamp order per stream; the engine enforces this once, before
+    /// routing, so both routing modes reject regressions identically
+    /// (per-query runtimes repeat the check for defense in depth, but
+    /// under indexed routing they only see their relevant events).
+    stream_clocks: HashMap<Option<String>, crate::time::Timestamp>,
 }
 
 /// Maximum chain of query-to-query derivations one input event may cause;
 /// exceeding it means the INTO graph is cyclic.
-const MAX_DERIVATION_DEPTH: usize = 16;
+const MAX_DERIVATION_DEPTH: u16 = 16;
+
+fn stream_matches(from: Option<&str>, stream: Option<&str>) -> bool {
+    // Both sides are already normalized to lowercase.
+    match (from, stream) {
+        (None, None) => true,
+        (Some(f), Some(s)) => f == s,
+        _ => false,
+    }
+}
 
 impl Engine {
     /// Create an engine over a schema registry, with the standard pure
@@ -62,7 +201,11 @@ impl Engine {
             time_scale: TimeScale::default(),
             queries: Vec::new(),
             by_name: HashMap::new(),
+            routing: RoutingMode::default(),
+            router: RouterIndex::default(),
             derived_types: HashMap::new(),
+            reusable_derived: HashSet::new(),
+            stream_clocks: HashMap::new(),
         }
     }
 
@@ -70,6 +213,17 @@ impl Engine {
     /// registered afterwards.
     pub fn set_time_scale(&mut self, scale: TimeScale) {
         self.time_scale = scale;
+    }
+
+    /// Select how events are matched to queries (default:
+    /// [`RoutingMode::Indexed`]). Both modes emit identical outputs.
+    pub fn set_routing(&mut self, mode: RoutingMode) {
+        self.routing = mode;
+    }
+
+    /// The active routing mode.
+    pub fn routing(&self) -> RoutingMode {
+        self.routing
     }
 
     /// The schema registry (shared handle).
@@ -109,14 +263,19 @@ impl Engine {
                 "a query named `{name}` is already registered"
             )));
         }
-        let from = plan.query.from.clone();
+        // Stream names are case-insensitive everywhere: normalize once so
+        // routing never compares mixed-case spellings.
+        let from = plan.query.from.as_deref().map(str::to_ascii_lowercase);
+        let relevant = plan.relevant_types();
         let runtime = QueryRuntime::new(name, plan);
         self.by_name.insert(name.to_string(), self.queries.len());
         self.queries.push(Registered {
             runtime,
             from,
+            relevant,
             sinks: Vec::new(),
         });
+        self.router.rebuild(&self.queries);
         Ok(())
     }
 
@@ -125,13 +284,35 @@ impl Engine {
         let Some(idx) = self.by_name.remove(name) else {
             return false;
         };
-        self.queries.remove(idx);
+        let removed = self.queries.remove(idx);
         // Reindex the queries after the removed one.
         for v in self.by_name.values_mut() {
             if *v > idx {
                 *v -= 1;
             }
         }
+        // Derived-type memo lifecycle: when the last producer of an INTO
+        // stream leaves, drop the memo entry so a future producer derives
+        // the stream's schema afresh instead of reusing a stale one.
+        if let Some(into) = removed.runtime.plan().return_plan.into.as_ref() {
+            let key = into.to_ascii_lowercase();
+            let still_produced = self.queries.iter().any(|q| {
+                q.runtime
+                    .plan()
+                    .return_plan
+                    .into
+                    .as_ref()
+                    .is_some_and(|s| s.eq_ignore_ascii_case(&key))
+            });
+            if !still_produced {
+                if let Some(d) = self.derived_types.remove(&key) {
+                    if d.engine_registered {
+                        self.reusable_derived.insert(key);
+                    }
+                }
+            }
+        }
+        self.router.rebuild(&self.queries);
         true
     }
 
@@ -175,7 +356,8 @@ impl Engine {
     }
 
     /// Process one event on a named stream. Queries receive it when their
-    /// FROM clause matches (absent FROM = the default stream).
+    /// FROM clause matches (absent FROM = the default stream); stream
+    /// names compare case-insensitively.
     ///
     /// Composite events whose query declared `RETURN ... INTO s` are
     /// re-ingested as first-class events on stream `s` (§2.1.1: the RETURN
@@ -185,71 +367,190 @@ impl Engine {
     /// from the first emission's column types. Cyclic INTO graphs are cut
     /// off after [`MAX_DERIVATION_DEPTH`] hops with an error.
     pub fn process_on(&mut self, stream: Option<&str>, event: &Event) -> Result<Vec<ComplexEvent>> {
+        self.process_batch_on(stream, std::slice::from_ref(event))
+    }
+
+    /// Process a batch of events on the default input stream.
+    ///
+    /// Equivalent to calling [`Engine::process`] per event and
+    /// concatenating the outputs, but routing setup, derivation queues,
+    /// and output handling are amortized across the batch — the intended
+    /// ingest path for tick- or frame-grained sources.
+    pub fn process_batch(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        self.process_batch_on(None, events)
+    }
+
+    /// Process a batch of events on a named stream (see
+    /// [`Engine::process_on`] for stream and INTO semantics).
+    pub fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<ComplexEvent>> {
         let mut out = Vec::new();
-        let mut queue: VecDeque<(Option<String>, Event, usize)> = VecDeque::new();
-        queue.push_back((stream.map(str::to_string), event.clone(), 0));
-        while let Some((stream, event, depth)) = queue.pop_front() {
-            if depth > MAX_DERIVATION_DEPTH {
-                return Err(SaseError::engine(format!(
-                    "derived-stream depth exceeded {MAX_DERIVATION_DEPTH} hops; \
-                     the INTO graph is probably cyclic"
-                )));
-            }
-            let round_start = out.len();
-            for q in &mut self.queries {
-                let matches_stream = match (&q.from, stream.as_deref()) {
-                    (None, None) => true,
-                    (Some(f), Some(s)) => f == s,
-                    _ => false,
-                };
-                if !matches_stream {
-                    continue;
-                }
-                let start = out.len();
-                q.runtime.process(&event, &mut out)?;
-                for ce in &out[start..] {
-                    for sink in &mut q.sinks {
-                        sink(ce);
-                    }
-                }
-            }
-            // Re-ingest this round's INTO outputs. Collect first: deriving
-            // needs `&mut self` while `out` is still being extended.
-            let derived: Vec<ComplexEvent> = out[round_start..]
-                .iter()
-                .filter(|ce| ce.into.is_some())
-                .cloned()
-                .collect();
-            for ce in &derived {
-                let (derived_stream, derived_event) = self.derive_event(ce)?;
-                queue.push_back((Some(derived_stream), derived_event, depth + 1));
-            }
-        }
+        self.ingest(stream, events, &mut out, None)?;
         Ok(out)
     }
 
+    /// Process a batch and return each emission with its provenance tag.
+    ///
+    /// The emissions arrive already sorted by [`Emission::order_key`];
+    /// stripping the tags yields exactly [`Engine::process_batch_on`]'s
+    /// output. Sharded deployments run disjoint query sets on engine
+    /// replicas and merge their tagged emissions by the same key to
+    /// reproduce the single-engine output order deterministically.
+    pub fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<Emission>> {
+        let mut out = Vec::new();
+        let mut tags = Vec::new();
+        self.ingest(stream, events, &mut out, Some(&mut tags))?;
+        debug_assert_eq!(out.len(), tags.len());
+        Ok(out
+            .into_iter()
+            .zip(tags)
+            .map(|(output, (input_index, depth, path))| Emission {
+                output,
+                input_index,
+                depth,
+                path,
+            })
+            .collect())
+    }
+
+    /// The shared ingest core: route each input event (and the INTO events
+    /// derived from it, breadth-first) to the reacting queries, collecting
+    /// outputs and, when `tags` is given, one provenance tag per output.
+    fn ingest(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+        out: &mut Vec<ComplexEvent>,
+        mut tags: Option<&mut Vec<(u32, u16, Vec<EmissionHop>)>>,
+    ) -> Result<()> {
+        let stream_key = stream.map(str::to_ascii_lowercase);
+        let mut queue: VecDeque<(Option<String>, Event, u16, Vec<EmissionHop>)> = VecDeque::new();
+        for (input_index, input) in events.iter().enumerate() {
+            queue.push_back((stream_key.clone(), input.clone(), 0, Vec::new()));
+            while let Some((stream, event, depth, path)) = queue.pop_front() {
+                if depth > MAX_DERIVATION_DEPTH {
+                    return Err(SaseError::engine(format!(
+                        "derived-stream depth exceeded {MAX_DERIVATION_DEPTH} hops; \
+                         the INTO graph is probably cyclic"
+                    )));
+                }
+                // Per-stream monotonicity: enforced once here (not only in
+                // the per-query runtimes) so a clock regression is caught
+                // identically whether or not the event routes anywhere.
+                if let Some(last) = self.stream_clocks.get_mut(&stream) {
+                    if event.timestamp() < *last {
+                        return Err(SaseError::engine(format!(
+                            "out-of-order event: timestamp {} after {} on stream `{}`",
+                            event.timestamp(),
+                            last,
+                            stream.as_deref().unwrap_or("<default>"),
+                        )));
+                    }
+                    *last = event.timestamp();
+                } else {
+                    self.stream_clocks.insert(stream.clone(), event.timestamp());
+                }
+                // This round's INTO outputs, collected first: deriving
+                // needs `&mut self` while the router slice is borrowed.
+                let mut derived: Vec<(ComplexEvent, Vec<EmissionHop>)> = Vec::new();
+                let scanned: Vec<usize>;
+                let routed: &[usize] = match self.routing {
+                    RoutingMode::Indexed => self.router.route(stream.as_deref(), event.type_id()),
+                    RoutingMode::ScanAll => {
+                        scanned = (0..self.queries.len())
+                            .filter(|&i| {
+                                stream_matches(self.queries[i].from.as_deref(), stream.as_deref())
+                            })
+                            .collect();
+                        &scanned
+                    }
+                };
+                for &qi in routed {
+                    let q = &mut self.queries[qi];
+                    let start = out.len();
+                    q.runtime.process(&event, out)?;
+                    for (j, ce) in out[start..].iter().enumerate() {
+                        for sink in &mut q.sinks {
+                            sink(ce);
+                        }
+                        if tags.is_none() && ce.into.is_none() {
+                            continue;
+                        }
+                        let mut hop_path = Vec::with_capacity(path.len() + 1);
+                        hop_path.extend_from_slice(&path);
+                        hop_path.push((qi as u32, j as u32));
+                        if ce.into.is_some() {
+                            derived.push((ce.clone(), hop_path.clone()));
+                        }
+                        if let Some(t) = tags.as_deref_mut() {
+                            t.push((input_index as u32, depth, hop_path));
+                        }
+                    }
+                }
+                for (ce, hop_path) in derived {
+                    let (derived_stream, derived_event) = self.derive_event(&ce)?;
+                    queue.push_back((Some(derived_stream), derived_event, depth + 1, hop_path));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Turn an `INTO` composite event into a first-class event on its
-    /// output stream, registering the stream's event type on first use.
+    /// output stream, registering (or, after all previous producers left,
+    /// redefining) the stream's event type on first use. Returns the
+    /// normalized stream name.
     fn derive_event(&mut self, ce: &ComplexEvent) -> Result<(String, Event)> {
         let stream = ce.into.as_ref().expect("caller checked").to_string();
         let key = stream.to_ascii_lowercase();
         let type_id = match self.derived_types.get(&key) {
-            Some(id) => *id,
+            Some(entry) => entry.id,
             None => {
-                let id = match self.registry.type_id(&stream) {
-                    // The user pre-registered the output type: use it.
-                    Some(id) => id,
-                    // Derive the schema from this first emission.
-                    None => {
-                        let attrs: Vec<(&str, crate::value::ValueType)> = ce
-                            .values
-                            .iter()
-                            .map(|(n, v)| (n.as_ref(), v.value_type()))
-                            .collect();
-                        self.registry.register(&stream, &attrs)?
+                let attrs: Vec<(&str, crate::value::ValueType)> = ce
+                    .values
+                    .iter()
+                    .map(|(n, v)| (n.as_ref(), v.value_type()))
+                    .collect();
+                let (id, engine_registered) = match self.registry.type_id(&stream) {
+                    Some(id) => {
+                        if self.reusable_derived.contains(&key) {
+                            // The engine derived this type for producers
+                            // that are all gone. The new producer's RETURN
+                            // shape wins (the id stays stable) — unless a
+                            // registered query still consumes the stream
+                            // or reacts to the type: redefining under a
+                            // live consumer would silently invalidate its
+                            // plan, so the old schema stays authoritative
+                            // (a mismatched emission then fails loudly at
+                            // event construction below).
+                            self.reusable_derived.remove(&key);
+                            if self.type_in_use(id, &key) {
+                                (id, true)
+                            } else {
+                                (self.registry.redefine(&stream, &attrs)?, true)
+                            }
+                        } else {
+                            // The user pre-registered the output type.
+                            (id, false)
+                        }
                     }
+                    // Derive the schema from this first emission.
+                    None => (self.registry.register(&stream, &attrs)?, true),
                 };
-                self.derived_types.insert(key, id);
+                self.derived_types.insert(
+                    key.clone(),
+                    DerivedEntry {
+                        id,
+                        engine_registered,
+                    },
+                );
                 id
             }
         };
@@ -258,16 +559,20 @@ impl Engine {
             ce.detected_at,
             ce.values.iter().map(|(_, v)| v.clone()).collect(),
         )?;
-        Ok((stream, event))
+        Ok((key, event))
+    }
+
+    /// True when any registered query still depends on an event type:
+    /// listening on its stream (`FROM`) or reacting to the type itself.
+    fn type_in_use(&self, id: crate::event::EventTypeId, stream_key: &str) -> bool {
+        self.queries
+            .iter()
+            .any(|q| q.from.as_deref() == Some(stream_key) || q.relevant.contains(&id))
     }
 
     /// Process a batch of events on the default stream.
     pub fn process_all(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
-        let mut out = Vec::new();
-        for e in events {
-            out.extend(self.process(e)?);
-        }
-        Ok(out)
+        self.process_batch(events)
     }
 
     fn index_of(&self, name: &str) -> Result<usize> {
@@ -283,6 +588,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("queries", &self.query_names())
             .field("schemas", &self.registry.len())
+            .field("routing", &self.routing)
             .finish()
     }
 }
@@ -291,7 +597,7 @@ impl std::fmt::Debug for Engine {
 mod tests {
     use super::*;
     use crate::event::retail_registry;
-    use crate::value::Value;
+    use crate::value::{Value, ValueType};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -379,6 +685,183 @@ mod tests {
     }
 
     #[test]
+    fn stream_names_are_case_insensitive() {
+        // Regression for the FROM/INTO case mismatch: every identifier in
+        // the language compares case-insensitively, and stream names must
+        // agree — `FROM Retail_Stream` receives `process_on("retail_stream")`.
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .register(
+                "q",
+                "FROM Retail_Stream EVENT SHELF_READING x RETURN x.TagId",
+            )
+            .unwrap();
+        let e = ev(&engine, "SHELF_READING", 1, 7, 1);
+        assert_eq!(
+            engine.process_on(Some("retail_stream"), &e).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            engine.process_on(Some("RETAIL_STREAM"), &e).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            engine.process_on(Some("Retail_Stream"), &e).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn into_feeds_from_case_insensitively() {
+        // `INTO Foo` must feed `FROM foo` (the original routing bug: FROM
+        // compared case-sensitively while INTO memoization did not).
+        let registry = retail_registry();
+        registry
+            .register("foo", &[("tag", ValueType::Int)])
+            .unwrap();
+        let mut engine = Engine::new(registry);
+        engine
+            .register(
+                "producer",
+                "EVENT EXIT_READING z RETURN z.TagId AS tag INTO Foo",
+            )
+            .unwrap();
+        engine
+            .register("consumer", "FROM foo EVENT FOO a RETURN a.tag AS got")
+            .unwrap();
+        let out = engine
+            .process(&ev(&engine, "EXIT_READING", 5, 9, 4))
+            .unwrap();
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|d| d.query.as_ref() == "consumer")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value("got"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn reregistering_producer_redefines_derived_schema() {
+        // Unregistering the last producer of a derived stream must clear
+        // the memoized type so a new producer with a different RETURN
+        // shape is not mis-built against the stale schema.
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .register(
+                "p1",
+                "EVENT EXIT_READING z RETURN z.TagId AS tag INTO alerts",
+            )
+            .unwrap();
+        engine
+            .process(&ev(&engine, "EXIT_READING", 1, 7, 4))
+            .unwrap();
+        let first = engine.schemas().schema_by_name("alerts").unwrap();
+        assert_eq!(first.arity(), 1);
+
+        assert!(engine.unregister("p1"));
+        engine
+            .register(
+                "p2",
+                "EVENT EXIT_READING z \
+                 RETURN z.ProductName AS product, z.AreaId AS area INTO alerts",
+            )
+            .unwrap();
+        // No consumer references `alerts` yet, so p2's first emission
+        // redefines the derived schema to the new shape.
+        engine
+            .process(&ev(&engine, "EXIT_READING", 2, 8, 4))
+            .unwrap();
+        let second = engine.schemas().schema_by_name("alerts").unwrap();
+        assert_eq!(second.arity(), 2, "schema redefined to the new shape");
+        assert_eq!(second.attr_type("product"), Some(ValueType::Str));
+
+        engine
+            .register(
+                "watcher",
+                "FROM alerts EVENT alerts a RETURN a.product AS p",
+            )
+            .unwrap();
+        let out = engine
+            .process(&ev(&engine, "EXIT_READING", 3, 9, 4))
+            .unwrap();
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|d| d.query.as_ref() == "watcher")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value("p"), Some(&Value::str("soap")));
+    }
+
+    #[test]
+    fn derived_schema_not_redefined_under_live_consumer() {
+        // A consumer planned against the old derived schema must not have
+        // the type redefined under it: the mismatched new producer fails
+        // loudly at event construction instead.
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .register(
+                "p1",
+                "EVENT EXIT_READING z RETURN z.TagId AS tag INTO alerts",
+            )
+            .unwrap();
+        engine
+            .process(&ev(&engine, "EXIT_READING", 1, 7, 4))
+            .unwrap();
+        engine
+            .register("watcher", "FROM alerts EVENT alerts a RETURN a.tag AS t")
+            .unwrap();
+        assert!(engine.unregister("p1"));
+        engine
+            .register(
+                "p2",
+                "EVENT EXIT_READING z RETURN z.ProductName AS tag INTO alerts",
+            )
+            .unwrap();
+        let err = engine.process(&ev(&engine, "EXIT_READING", 2, 8, 4));
+        assert!(
+            err.is_err(),
+            "mismatched emission must fail loudly: {err:?}"
+        );
+        // The watcher's schema survived untouched.
+        let schema = engine.schemas().schema_by_name("alerts").unwrap();
+        assert_eq!(schema.attr_type("tag"), Some(ValueType::Int));
+    }
+
+    #[test]
+    fn user_preregistered_derived_type_is_kept_across_reregistration() {
+        let registry = retail_registry();
+        registry
+            .register("alerts", &[("tag", ValueType::Int)])
+            .unwrap();
+        let mut engine = Engine::new(registry);
+        engine
+            .register(
+                "p1",
+                "EVENT EXIT_READING z RETURN z.TagId AS tag INTO alerts",
+            )
+            .unwrap();
+        engine
+            .process(&ev(&engine, "EXIT_READING", 1, 7, 4))
+            .unwrap();
+        assert!(engine.unregister("p1"));
+        // A new producer with a mismatched shape must NOT silently
+        // redefine the user's type: building its derived events fails.
+        engine
+            .register(
+                "p2",
+                "EVENT EXIT_READING z \
+                 RETURN z.TagId AS tag, z.AreaId AS area INTO alerts",
+            )
+            .unwrap();
+        let err = engine.process(&ev(&engine, "EXIT_READING", 2, 8, 4));
+        assert!(err.is_err(), "user schema is authoritative: {err:?}");
+        assert_eq!(
+            engine.schemas().schema_by_name("alerts").unwrap().arity(),
+            1
+        );
+    }
+
+    #[test]
     fn multiple_queries_share_stream() {
         let mut engine = Engine::new(retail_registry());
         engine.register("q1", Q1).unwrap();
@@ -405,6 +888,136 @@ mod tests {
         assert!(engine.explain("q").unwrap().contains("PAIS"));
         assert!(engine.query_text("q").unwrap().contains("SEQ("));
         assert!(engine.stats("missing").is_err());
+    }
+
+    #[test]
+    fn indexed_routing_skips_irrelevant_queries() {
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .register("exits", "EVENT EXIT_READING z RETURN z.TagId")
+            .unwrap();
+        engine
+            .register("shelves", "EVENT SHELF_READING x RETURN x.TagId")
+            .unwrap();
+        engine
+            .process(&ev(&engine, "EXIT_READING", 1, 7, 4))
+            .unwrap();
+        // The exit event was never offered to the shelf query.
+        assert_eq!(engine.stats("exits").unwrap().events_processed, 1);
+        assert_eq!(engine.stats("shelves").unwrap().events_processed, 0);
+
+        let mut scan = Engine::new(retail_registry());
+        scan.set_routing(RoutingMode::ScanAll);
+        assert_eq!(scan.routing(), RoutingMode::ScanAll);
+        scan.register("exits", "EVENT EXIT_READING z RETURN z.TagId")
+            .unwrap();
+        scan.register("shelves", "EVENT SHELF_READING x RETURN x.TagId")
+            .unwrap();
+        scan.process(&ev(&scan, "EXIT_READING", 1, 7, 4)).unwrap();
+        // The scan baseline offers every event to every query.
+        assert_eq!(scan.stats("shelves").unwrap().events_processed, 1);
+    }
+
+    #[test]
+    fn batch_equals_per_event_processing() {
+        let mk = || {
+            let mut engine = Engine::new(retail_registry());
+            engine.register("q1", Q1).unwrap();
+            engine
+                .register("exits", "EVENT EXIT_READING z RETURN z.TagId")
+                .unwrap();
+            engine
+        };
+        let proto = mk();
+        let events: Vec<Event> = (0..40)
+            .map(|k| {
+                let ty = match k % 3 {
+                    0 => "SHELF_READING",
+                    1 => "COUNTER_READING",
+                    _ => "EXIT_READING",
+                };
+                ev(&proto, ty, k + 1, (k % 5) as i64, 1)
+            })
+            .collect();
+        let mut batched = mk();
+        let batch_out = batched.process_batch(&events).unwrap();
+        let mut single = mk();
+        let mut single_out = Vec::new();
+        for e in &events {
+            single_out.extend(single.process(e).unwrap());
+        }
+        let render = |v: &[ComplexEvent]| v.iter().map(|d| d.to_string()).collect::<Vec<_>>();
+        assert_eq!(render(&batch_out), render(&single_out));
+        assert!(!batch_out.is_empty());
+    }
+
+    #[test]
+    fn tagged_batch_preserves_order_and_provenance() {
+        let mut engine = Engine::new(retail_registry());
+        engine
+            .register(
+                "producer",
+                "EVENT EXIT_READING z RETURN z.TagId AS tag INTO side",
+            )
+            .unwrap();
+        engine
+            .register("listener", "FROM side EVENT side a RETURN a.tag AS t")
+            .unwrap_err(); // derived type does not exist yet
+        let events = vec![
+            ev(&engine, "EXIT_READING", 1, 7, 4),
+            ev(&engine, "EXIT_READING", 2, 8, 4),
+        ];
+        let tagged = engine.process_batch_tagged(None, &events).unwrap();
+        assert_eq!(tagged.len(), 2);
+        assert_eq!(tagged[0].input_index, 0);
+        assert_eq!(tagged[1].input_index, 1);
+        assert!(tagged.iter().all(|t| t.depth == 0 && t.path.len() == 1));
+
+        // Now with a listener on the derived stream: its emissions carry
+        // depth 1 and a two-hop path, sorted after the producer's.
+        engine
+            .register("listener", "FROM side EVENT side a RETURN a.tag AS t")
+            .unwrap();
+        let tagged = engine
+            .process_batch_tagged(None, &[ev(&engine, "EXIT_READING", 3, 9, 4)])
+            .unwrap();
+        assert_eq!(tagged.len(), 2);
+        assert_eq!(tagged[0].output.query.as_ref(), "producer");
+        assert_eq!(tagged[1].output.query.as_ref(), "listener");
+        assert_eq!(tagged[1].depth, 1);
+        assert_eq!(tagged[1].path.len(), 2);
+        let mut keys: Vec<_> = tagged.iter().map(|t| t.order_key()).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        keys.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn out_of_order_rejected_identically_in_both_modes() {
+        // The engine-level stream clock fires before routing, so a clock
+        // regression errors even when the event's type routes to no query
+        // — and both routing modes agree on invalid input too.
+        for mode in [RoutingMode::Indexed, RoutingMode::ScanAll] {
+            let mut engine = Engine::new(retail_registry());
+            engine.set_routing(mode);
+            engine
+                .register("exits", "EVENT EXIT_READING z RETURN z.TagId")
+                .unwrap();
+            engine
+                .process(&ev(&engine, "SHELF_READING", 10, 1, 1))
+                .unwrap();
+            let err = engine.process(&ev(&engine, "SHELF_READING", 5, 2, 1));
+            assert!(err.is_err(), "{mode:?} must reject the regression");
+            // Time moved on: the engine stays usable.
+            let out = engine
+                .process(&ev(&engine, "EXIT_READING", 11, 3, 4))
+                .unwrap();
+            assert_eq!(out.len(), 1);
+        }
     }
 
     #[test]

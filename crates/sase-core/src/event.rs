@@ -134,6 +134,29 @@ impl SchemaRegistry {
         Ok(id)
     }
 
+    /// Replace the schema of an already-registered event type, keeping its
+    /// [`EventTypeId`] stable. The lookup is case-insensitive like
+    /// [`SchemaRegistry::register`].
+    ///
+    /// This exists for *engine-managed derived types*: when every producer
+    /// of a derived (`INTO`) stream is unregistered and a new producer with
+    /// a different RETURN shape takes over, the engine redefines the stream's
+    /// event type rather than mis-building events against the stale schema.
+    /// Events built before the redefinition keep their original schema
+    /// handle, so they stay internally consistent.
+    pub fn redefine(&self, name: &str, attrs: &[(&str, ValueType)]) -> Result<EventTypeId> {
+        let schema = Schema::new(name, attrs)?;
+        let mut inner = self.inner.write();
+        let key = name.to_ascii_lowercase();
+        let Some(&id) = inner.by_name.get(&key) else {
+            return Err(SaseError::schema(format!(
+                "cannot redefine unregistered event type `{name}`"
+            )));
+        };
+        inner.schemas[id.0 as usize] = Arc::new(schema);
+        Ok(id)
+    }
+
     /// Look up a type id by name (case-insensitive).
     pub fn type_id(&self, name: &str) -> Option<EventTypeId> {
         self.inner

@@ -24,6 +24,28 @@ pub struct Query {
     pub return_clause: Option<ReturnClause>,
 }
 
+impl Query {
+    /// Every built-in function name the query calls across its WHERE and
+    /// RETURN clauses, in first-appearance order without duplicates.
+    ///
+    /// Deployments that partition queries across workers use this to
+    /// co-locate queries sharing potentially stateful host functions.
+    pub fn called_functions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(w) = &self.where_clause {
+            w.called_functions(&mut out);
+        }
+        if let Some(r) = &self.return_clause {
+            for item in &r.items {
+                if let ReturnItem::Scalar { expr, .. } = item {
+                    expr.called_functions(&mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// An event pattern. A bare `TYPE var` is a one-element sequence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
@@ -253,6 +275,27 @@ impl Expr {
             Expr::Call { args, .. } => {
                 for a in args {
                     a.referenced_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Collect every built-in function name this expression calls
+    /// (recursively), in first-appearance order without duplicates.
+    pub fn called_functions(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) | Expr::Attr(_) | Expr::Equivalence(_) => {}
+            Expr::Unary { expr, .. } => expr.called_functions(out),
+            Expr::Binary { left, right, .. } => {
+                left.called_functions(out);
+                right.called_functions(out);
+            }
+            Expr::Call { name, args } => {
+                if !out.iter().any(|n| n == name) {
+                    out.push(name.clone());
+                }
+                for a in args {
+                    a.called_functions(out);
                 }
             }
         }

@@ -12,6 +12,19 @@
 //!
 //! Use [`parse_query`] to turn query text into a [`Query`] AST, then hand it
 //! to [`crate::plan::Planner`] to compile an executable plan.
+//!
+//! ## Identifier case rules
+//!
+//! Event type names (the paper writes `SHELF_READING` and Q2's lowercase
+//! spellings interchangeably), attribute names (`TagId` vs `id`), and —
+//! importantly — **stream names** compare **case-insensitively**.
+//! `FROM Shelf_Stream` receives events published by
+//! `RETURN ... INTO shelf_stream`; the engine normalizes stream names once
+//! at query registration, so routing, derived (`INTO`) type memoization,
+//! and schema-registry lookups always agree. Built-in function names are
+//! the one exception: they resolve **case-sensitively** against the
+//! [`crate::functions::FunctionRegistry`] (`_abs`, not `_ABS`). Canonical
+//! printing preserves the spelling as written.
 
 pub mod ast;
 pub mod lexer;

@@ -171,6 +171,24 @@ impl CompiledPattern {
         &self.elements[self.positive_slots[positive_index]]
     }
 
+    /// Every event type this pattern can react to: the candidate types of
+    /// all positive components plus the types of negated components (whose
+    /// occurrences must be observed as counterexamples). Sorted, deduped.
+    ///
+    /// This is the routing set of the query: an event whose type is not in
+    /// it can neither bind a component nor kill a match, so an engine may
+    /// skip the query entirely for such events.
+    pub fn relevant_type_ids(&self) -> Vec<EventTypeId> {
+        let mut ids: Vec<EventTypeId> = self
+            .elements
+            .iter()
+            .flat_map(|e| e.type_ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Variable-name to slot mapping for expression compilation.
     pub fn slot_table(&self) -> Vec<(String, usize)> {
         self.elements

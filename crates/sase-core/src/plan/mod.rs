@@ -206,6 +206,16 @@ pub struct QueryPlan {
 }
 
 impl QueryPlan {
+    /// The set of event types this query can react to (positive component
+    /// types plus negation counterexample types), sorted and deduped.
+    ///
+    /// [`crate::engine::Engine`] builds its inverted routing index from
+    /// this set: an event of any other type provably cannot change the
+    /// query's state or output.
+    pub fn relevant_types(&self) -> Vec<EventTypeId> {
+        self.pattern.relevant_type_ids()
+    }
+
     /// Multi-line EXPLAIN rendering of the operator pipeline.
     pub fn explain(&self) -> String {
         use std::fmt::Write as _;

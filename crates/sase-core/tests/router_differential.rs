@@ -1,0 +1,214 @@
+//! Differential testing of event routing: for random query sets, random
+//! event streams (across default, named, and derived `INTO` streams), and
+//! unregistration mid-stream, the type-indexed router must emit *exactly*
+//! the sequence the scan-all-queries baseline emits — routing is a
+//! performance optimization, never a semantic one.
+
+use proptest::prelude::*;
+
+use sase_core::engine::{Engine, RoutingMode};
+use sase_core::event::{retail_registry, Event, SchemaRegistry};
+use sase_core::value::{Value, ValueType};
+
+/// Query templates covering the routing-relevant shapes: default-stream
+/// sequences, negation, mixed-case named streams, mixed-case `INTO`
+/// producers, consumers of derived streams, and a two-hop derivation
+/// chain.
+const TEMPLATES: [&str; 8] = [
+    "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+     WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId AS tag",
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+     WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120 RETURN x.TagId AS tag",
+    "FROM Retail EVENT SHELF_READING x RETURN x.TagId AS tag",
+    "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+     WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 100 \
+     RETURN y.TagId AS tag, y.AreaId AS area INTO Moves",
+    "FROM moves EVENT MOVES m WHERE m.area >= 0 RETURN m.tag AS t",
+    "EVENT COUNTER_READING c RETURN c.TagId AS tag",
+    "FROM moves EVENT SEQ(moves a, moves b) \
+     WHERE a.tag = b.tag WITHIN 100 RETURN b.tag AS t2 INTO hops",
+    "FROM HOPS EVENT hops h RETURN h.t2 AS f",
+];
+
+const EVENT_TYPES: [&str; 3] = ["SHELF_READING", "COUNTER_READING", "EXIT_READING"];
+
+/// Input-stream spellings per event; index 0 is the default stream, the
+/// rest are case variants of the same named stream.
+const STREAMS: [Option<&str>; 4] = [None, Some("retail"), Some("RETAIL"), Some("Retail")];
+
+/// One scripted input event.
+#[derive(Debug, Clone)]
+struct RawEvent {
+    ty: usize,
+    tag: i64,
+    area: i64,
+    ts_step: u64,
+    stream: usize,
+}
+
+fn arb_event() -> impl Strategy<Value = RawEvent> {
+    (0usize..3, 0i64..4, 1i64..4, 0u64..3, 0usize..4).prop_map(
+        |(ty, tag, area, ts_step, stream)| RawEvent {
+            ty,
+            tag,
+            area,
+            ts_step,
+            stream,
+        },
+    )
+}
+
+/// A fresh registry with the retail types plus pre-registered derived
+/// stream types, so consumers of `moves`/`hops` can register before the
+/// first derived emission.
+fn registry() -> SchemaRegistry {
+    let reg = retail_registry();
+    reg.register(
+        "moves",
+        &[("tag", ValueType::Int), ("area", ValueType::Int)],
+    )
+    .unwrap();
+    reg.register("hops", &[("t2", ValueType::Int)]).unwrap();
+    reg
+}
+
+fn build_engine(mode: RoutingMode, mask: u8) -> Engine {
+    let mut engine = Engine::new(registry());
+    engine.set_routing(mode);
+    for (i, src) in TEMPLATES.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            engine.register(&format!("q{i}"), src).unwrap();
+        }
+    }
+    engine
+}
+
+/// Run the script on one engine, returning every emission rendered.
+fn run_script(
+    engine: &mut Engine,
+    events: &[RawEvent],
+    unregister_at: usize,
+    unregister_slot: usize,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut ts = 0u64;
+    for (k, raw) in events.iter().enumerate() {
+        if k == unregister_at {
+            let names = engine.query_names();
+            if !names.is_empty() {
+                engine.unregister(&names[unregister_slot % names.len()]);
+            }
+        }
+        ts += raw.ts_step;
+        let event = engine
+            .schemas()
+            .build_event(
+                EVENT_TYPES[raw.ty],
+                ts,
+                vec![
+                    Value::Int(raw.tag),
+                    Value::str(format!("p{}", raw.tag)),
+                    Value::Int(raw.area),
+                ],
+            )
+            .unwrap();
+        out.extend(
+            engine
+                .process_on(STREAMS[raw.stream], &event)
+                .unwrap()
+                .iter()
+                .map(|d| d.to_string()),
+        );
+    }
+    out
+}
+
+fn assert_routing_agrees(
+    mask: u8,
+    events: &[RawEvent],
+    unregister_at: usize,
+    unregister_slot: usize,
+) {
+    let mut indexed = build_engine(RoutingMode::Indexed, mask);
+    let mut scan = build_engine(RoutingMode::ScanAll, mask);
+    let got = run_script(&mut indexed, events, unregister_at, unregister_slot);
+    let expect = run_script(&mut scan, events, unregister_at, unregister_slot);
+    assert_eq!(
+        expect, got,
+        "indexed routing diverged from scan-all (mask {mask:#010b})"
+    );
+    assert_eq!(indexed.query_names(), scan.query_names());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Indexed routing emits exactly the scan-all sequence for random
+    /// query subsets and random multi-stream scripts, including derived
+    /// INTO streams and an unregistration mid-stream.
+    #[test]
+    fn indexed_routing_matches_scan_all(
+        mask in 0u8..=255,
+        events in prop::collection::vec(arb_event(), 10..70),
+        unregister_at in 0usize..70,
+        unregister_slot in 0usize..8,
+    ) {
+        assert_routing_agrees(mask, &events, unregister_at, unregister_slot);
+    }
+}
+
+/// Deterministic anchor: the full template set over a dense script with an
+/// unregistration in the middle.
+#[test]
+fn all_templates_dense_script_anchor() {
+    let mut events = Vec::new();
+    for k in 0u64..60 {
+        events.push(RawEvent {
+            ty: (k % 3) as usize,
+            tag: (k % 3) as i64,
+            area: 1 + (k % 3) as i64,
+            ts_step: 1,
+            stream: (k % 4) as usize,
+        });
+    }
+    assert_routing_agrees(0xFF, &events, 30, 3);
+    // And with no queries at all: both modes emit nothing.
+    assert_routing_agrees(0, &events, 5, 0);
+}
+
+/// Batched ingest agrees with per-event ingest under both routing modes
+/// (same events, same emission order).
+#[test]
+fn batch_matches_per_event_under_both_modes() {
+    for mode in [RoutingMode::Indexed, RoutingMode::ScanAll] {
+        let mask = 0b0010_1011; // default + negation + named + moves consumer
+        let mut per_event = build_engine(mode, mask);
+        let mut batched = build_engine(mode, mask);
+        let mut events: Vec<Event> = Vec::new();
+        for k in 0u64..40 {
+            events.push(
+                per_event
+                    .schemas()
+                    .build_event(
+                        EVENT_TYPES[(k % 3) as usize],
+                        k + 1,
+                        vec![
+                            Value::Int((k % 4) as i64),
+                            Value::str("p"),
+                            Value::Int(1 + (k % 3) as i64),
+                        ],
+                    )
+                    .unwrap(),
+            );
+        }
+        let mut expect = Vec::new();
+        for e in &events {
+            expect.extend(per_event.process(e).unwrap());
+        }
+        let got = batched.process_batch(&events).unwrap();
+        let render = |v: &[sase_core::output::ComplexEvent]| {
+            v.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(render(&expect), render(&got), "{mode:?}");
+    }
+}

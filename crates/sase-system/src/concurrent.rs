@@ -1,36 +1,71 @@
-//! Threaded deployment: each Figure 1 layer on its own thread.
+//! Threaded deployments: each Figure 1 layer on its own thread, and a
+//! sharded complex event processor.
 //!
 //! In the paper's prototype the physical device layer, the Cleaning and
 //! Association Layer, and the complex event processor are separate
 //! components connected by sockets. This module reproduces that deployment
 //! shape: a *device* thread streams wire-encoded reading frames
 //! ([`sase_rfid::wire`]) into a channel, a *cleaning* thread decodes and
-//! runs the five-layer pipeline, and an *engine* thread executes the
+//! runs the five-layer pipeline, and an *engine* stage executes the
 //! continuous queries — with crossbeam channels standing in for the
-//! sockets.
+//! sockets. Events travel between the cleaning and engine stages in
+//! tick-sized batches so channel, routing, and output handling costs are
+//! amortized ([`Engine::process_batch`]).
 //!
-//! The single-threaded [`crate::SaseSystem`] is the reference; the
-//! pipelined deployment produces byte-for-byte the same detections (the
-//! stages are deterministic and order-preserving), which the tests assert.
+//! The engine stage is pluggable through [`IngestStage`]: a single
+//! [`Engine`], or a [`ShardedEngine`] that partitions the registered
+//! queries across N engine workers. Each query's state is independent, so
+//! sharding by query is semantics-preserving; the shards' emissions are
+//! merged on their provenance tags ([`sase_core::engine::Emission`]) so a
+//! sharded run reproduces the single-engine output sequence byte for byte.
+//!
+//! The single-threaded [`crate::SaseSystem`] is the reference; both the
+//! pipelined and the sharded deployments produce exactly the same
+//! detections (the stages are deterministic and order-preserving), which
+//! the tests assert.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use sase_core::engine::Engine;
+use sase_core::engine::{Emission, Engine};
 use sase_core::error::{Result as CoreResult, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
+use sase_core::functions::FunctionRegistry;
+use sase_core::lang::parse_query;
 use sase_core::output::ComplexEvent;
+use sase_core::plan::{Planner, PlannerOptions, QueryPlan};
+use sase_core::time::TimeScale;
 
 use sase_rfid::wire::{decode_frame, encode_frame};
 use sase_stream::pipeline::CleaningPipeline;
 use sase_stream::reading::RawReading;
 use sase_stream::Tick;
 
-/// Channel capacity between stages (frames / events in flight).
+/// Channel capacity between stages (frames / event batches in flight).
 const STAGE_CAPACITY: usize = 64;
+
+/// The engine stage of a deployment: anything that consumes a tick's batch
+/// of cleaned events and emits the detections in deterministic order.
+pub trait IngestStage {
+    /// Process one batch of events on the default input stream.
+    fn ingest_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>>;
+}
+
+impl IngestStage for Engine {
+    fn ingest_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>> {
+        self.process_batch(events)
+    }
+}
+
+impl IngestStage for ShardedEngine {
+    fn ingest_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>> {
+        self.process_batch(events)
+    }
+}
 
 /// Outcome of a pipelined run.
 #[derive(Debug)]
@@ -43,23 +78,25 @@ pub struct PipelinedRun {
     pub frames_shipped: usize,
 }
 
-/// Run a scripted reading source through cleaning and the engine, one
-/// thread per stage.
+/// Run a scripted reading source through cleaning and an engine stage, one
+/// thread per layer.
 ///
 /// `ticks` yields each scan cycle's readings in order (the device stage
 /// encodes them to wire frames); `pipeline` and `engine` are consumed by
-/// their stages. Errors from any stage abort the run.
-pub fn run_pipelined<I>(
+/// their stages. The cleaning stage ships each tick's events as one batch.
+/// Errors from any stage abort the run.
+pub fn run_pipelined<I, E>(
     ticks: I,
     mut pipeline: CleaningPipeline,
-    mut engine: Engine,
+    mut engine: E,
 ) -> CoreResult<PipelinedRun>
 where
     I: IntoIterator<Item = (Tick, Vec<RawReading>)> + Send + 'static,
     I::IntoIter: Send,
+    E: IngestStage,
 {
     let (frame_tx, frame_rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(STAGE_CAPACITY);
-    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = bounded(STAGE_CAPACITY);
+    let (batch_tx, batch_rx): (Sender<Vec<Event>>, Receiver<Vec<Event>>) = bounded(STAGE_CAPACITY);
 
     // Stage 1: the device layer ships frames "over the socket".
     let device = thread::spawn(move || -> CoreResult<usize> {
@@ -75,17 +112,19 @@ where
         Ok(shipped)
     });
 
-    // Stage 2: cleaning and association.
+    // Stage 2: cleaning and association, one event batch per tick.
     let cleaning = thread::spawn(move || -> CoreResult<usize> {
         let mut generated = 0usize;
         for frame in frame_rx {
             let (tick, readings) =
                 decode_frame(frame).map_err(|e| SaseError::engine(format!("wire decode: {e}")))?;
-            for event in pipeline.process_tick(tick, &readings)? {
-                generated += 1;
-                if event_tx.send(event).is_err() {
-                    return Ok(generated); // downstream closed
-                }
+            let events = pipeline.process_tick(tick, &readings)?;
+            if events.is_empty() {
+                continue;
+            }
+            generated += events.len();
+            if batch_tx.send(events).is_err() {
+                return Ok(generated); // downstream closed
             }
         }
         Ok(generated)
@@ -93,8 +132,8 @@ where
 
     // Stage 3: the complex event processor (this thread).
     let mut detections = Vec::new();
-    for event in event_rx {
-        detections.extend(engine.process(&event)?);
+    for batch in batch_rx {
+        detections.extend(engine.ingest_batch(&batch)?);
     }
 
     let frames_shipped = device
@@ -125,13 +164,318 @@ pub fn scripted_ticks(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Sharded engine deployment
+// ---------------------------------------------------------------------------
+
+/// The pure stdlib functions ([`FunctionRegistry::with_stdlib`]); sharing
+/// one of these across shards never needs co-location.
+const STDLIB_FUNCTIONS: [&str; 5] = ["_abs", "_min", "_max", "_concat", "_len"];
+
+/// Builds a [`ShardedEngine`]: register the full query set, then
+/// [`ShardedEngineBuilder::build`] partitions it across N engine workers.
+///
+/// Partitioning is constrained by two co-location rules that keep sharding
+/// semantics-preserving:
+///
+/// * **Derivation chains stay together.** A query consuming `FROM s` is
+///   placed with every query producing `INTO s` (transitively), because
+///   derived events are re-ingested inside the producing shard only.
+/// * **Shared host functions stay together.** Queries calling a common
+///   non-stdlib function are co-located so a stateful host function (the
+///   paper's `_updateLocation`) sees its calls in the single-engine order.
+///   Host functions with *hidden* shared state across different names are
+///   the deployer's responsibility.
+pub struct ShardedEngineBuilder {
+    registry: SchemaRegistry,
+    functions: FunctionRegistry,
+    time_scale: Option<TimeScale>,
+    queries: Vec<(String, QueryPlan)>,
+}
+
+impl ShardedEngineBuilder {
+    /// Create a builder over a schema registry with the standard pure
+    /// built-ins pre-registered.
+    pub fn new(registry: SchemaRegistry) -> Self {
+        Self::with_functions(registry, FunctionRegistry::with_stdlib())
+    }
+
+    /// Create a builder with an explicit function registry (shared by all
+    /// shards).
+    pub fn with_functions(registry: SchemaRegistry, functions: FunctionRegistry) -> Self {
+        ShardedEngineBuilder {
+            registry,
+            functions,
+            time_scale: None,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Set the logical time scale used for WITHIN conversion.
+    pub fn set_time_scale(&mut self, scale: TimeScale) {
+        self.time_scale = Some(scale);
+    }
+
+    /// Register a continuous query from source text with default options.
+    pub fn register(&mut self, name: &str, src: &str) -> CoreResult<()> {
+        self.register_with(name, src, PlannerOptions::default())
+    }
+
+    /// Register a continuous query with explicit planner options.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        options: PlannerOptions,
+    ) -> CoreResult<()> {
+        if self.queries.iter().any(|(n, _)| n == name) {
+            return Err(SaseError::engine(format!(
+                "a query named `{name}` is already registered"
+            )));
+        }
+        let query = parse_query(src)?;
+        let mut planner = Planner::new(self.registry.clone(), self.functions.clone());
+        if let Some(scale) = self.time_scale {
+            planner = planner.with_time_scale(scale);
+        }
+        let plan = planner.plan_with(&query, options)?;
+        self.queries.push((name.to_string(), plan));
+        Ok(())
+    }
+
+    /// Partition the registered queries across (at most) `shards` engine
+    /// workers and instantiate the deployment.
+    pub fn build(self, shards: usize) -> CoreResult<ShardedEngine> {
+        let n_queries = self.queries.len();
+        // Union-find over query indices.
+        let mut parent: Vec<usize> = (0..n_queries).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+
+        // Rule 1: producers of a stream with each other and with its
+        // consumers.
+        let mut producers: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut consumers: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, (_, plan)) in self.queries.iter().enumerate() {
+            if let Some(into) = &plan.return_plan.into {
+                producers
+                    .entry(into.to_ascii_lowercase())
+                    .or_default()
+                    .push(i);
+            }
+            if let Some(from) = &plan.query.from {
+                consumers
+                    .entry(from.to_ascii_lowercase())
+                    .or_default()
+                    .push(i);
+            }
+        }
+        for (stream, prod) in &producers {
+            let mut members = prod.clone();
+            if let Some(cons) = consumers.get(stream) {
+                members.extend_from_slice(cons);
+            }
+            for w in members.windows(2) {
+                union(&mut parent, w[0], w[1]);
+            }
+        }
+
+        // Rule 2: queries sharing a non-stdlib function.
+        let mut by_function: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, (_, plan)) in self.queries.iter().enumerate() {
+            for f in plan.query.called_functions() {
+                if !STDLIB_FUNCTIONS.contains(&f.as_str()) {
+                    by_function.entry(f).or_default().push(i);
+                }
+            }
+        }
+        for members in by_function.values() {
+            for w in members.windows(2) {
+                union(&mut parent, w[0], w[1]);
+            }
+        }
+
+        // Components in first-appearance order, assigned round-robin.
+        let shard_count = shards.clamp(1, n_queries.max(1));
+        let mut component_of: HashMap<usize, usize> = HashMap::new();
+        let assignment: Vec<usize> = (0..n_queries)
+            .map(|i| {
+                let root = find(&mut parent, i);
+                let next = component_of.len();
+                *component_of.entry(root).or_insert(next) % shard_count
+            })
+            .collect();
+
+        // Instantiate shards; queries installed in global registration
+        // order so every shard's local order is consistent with it.
+        let mut shards_vec: Vec<Engine> = (0..shard_count)
+            .map(|_| {
+                let mut e = Engine::with_functions(self.registry.clone(), self.functions.clone());
+                if let Some(scale) = self.time_scale {
+                    e.set_time_scale(scale);
+                }
+                e
+            })
+            .collect();
+        let mut local_to_global: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        let mut names = Vec::with_capacity(n_queries);
+        for (global, (name, plan)) in self.queries.into_iter().enumerate() {
+            let s = assignment[global];
+            shards_vec[s].install(&name, plan)?;
+            local_to_global[s].push(global as u32);
+            names.push(name);
+        }
+
+        Ok(ShardedEngine {
+            shards: shards_vec,
+            local_to_global,
+            names,
+        })
+    }
+}
+
+/// N engine workers over a partition of the registered queries.
+///
+/// [`ShardedEngine::process_batch`] broadcasts each batch to every shard in
+/// parallel, collects provenance-tagged emissions
+/// ([`sase_core::engine::Emission`]), remaps their per-shard query indices
+/// to the global registration order, and merges on
+/// [`Emission::order_key`] — reproducing, deterministically and byte for
+/// byte, the output sequence of one engine running all the queries.
+///
+/// Workers are scoped threads spawned per batch: simple and borrow-safe,
+/// but the spawn/join cost is paid on every call, so feed the engine
+/// coarse batches (hundreds of events). Persistent channel-fed workers
+/// are the natural next step if tick rates outgrow this.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    /// Per shard: local query index -> global registration index.
+    local_to_global: Vec<Vec<u32>>,
+    /// Query names in global registration order.
+    names: Vec<String>,
+}
+
+impl ShardedEngine {
+    /// Number of engine workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Query names in global registration order.
+    pub fn query_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Runtime counters of a query, wherever it is hosted.
+    pub fn stats(&self, name: &str) -> CoreResult<sase_core::runtime::RuntimeStats> {
+        let shard = self
+            .shard_of(name)
+            .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
+        self.shards[shard].stats(name)
+    }
+
+    /// Shard index hosting a query, for inspection.
+    pub fn shard_of(&self, name: &str) -> Option<usize> {
+        let global = self.names.iter().position(|n| n == name)? as u32;
+        self.local_to_global
+            .iter()
+            .position(|t| t.contains(&global))
+    }
+
+    /// Process a batch of events on the default input stream.
+    pub fn process_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>> {
+        self.process_batch_on(None, events)
+    }
+
+    /// Process a batch of events on a named stream, merging the shards'
+    /// emissions deterministically.
+    pub fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<ComplexEvent>> {
+        if self.shards.len() == 1 {
+            return self.shards[0].process_batch_on(stream, events);
+        }
+        let results: Vec<CoreResult<Vec<Emission>>> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|engine| scope.spawn(move || engine.process_batch_tagged(stream, events)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(SaseError::engine("engine shard panicked")))
+                })
+                .collect()
+        });
+
+        let mut merged: Vec<Emission> = Vec::new();
+        for (shard, result) in results.into_iter().enumerate() {
+            let table = &self.local_to_global[shard];
+            for mut emission in result? {
+                for hop in &mut emission.path {
+                    hop.0 = table[hop.0 as usize];
+                }
+                merged.push(emission);
+            }
+        }
+        merged.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
+        Ok(merged.into_iter().map(|e| e.output).collect())
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("queries", &self.names)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retail-demo stage wiring
+// ---------------------------------------------------------------------------
+
 /// Build the cleaning pipeline and engine for the retail demo without the
 /// rest of [`crate::SaseSystem`] (the pipelined deployment owns them).
 pub fn retail_stages(
     catalog_size: usize,
 ) -> CoreResult<(SchemaRegistry, CleaningPipeline, Engine)> {
+    let (registry, functions, pipeline) = retail_parts(catalog_size)?;
+    let engine = Engine::with_functions(registry.clone(), functions);
+    Ok((registry, pipeline, engine))
+}
+
+/// Like [`retail_stages`], but the engine stage is a
+/// [`ShardedEngineBuilder`]: register the standing queries on the builder,
+/// `build(n)` it, and hand the result to [`run_pipelined`].
+pub fn retail_stages_sharded(
+    catalog_size: usize,
+) -> CoreResult<(SchemaRegistry, CleaningPipeline, ShardedEngineBuilder)> {
+    let (registry, functions, pipeline) = retail_parts(catalog_size)?;
+    let builder = ShardedEngineBuilder::with_functions(registry.clone(), functions);
+    Ok((registry, pipeline, builder))
+}
+
+fn retail_parts(
+    catalog_size: usize,
+) -> CoreResult<(SchemaRegistry, FunctionRegistry, CleaningPipeline)> {
     use crate::builtins::{register_db_builtins, retail_area_descriptions, seed_area_info};
-    use sase_core::functions::FunctionRegistry;
     use sase_db::Database;
     use sase_stream::{register_reading_schemas, CleaningConfig, StaticOns};
 
@@ -149,34 +493,35 @@ pub fn retail_stages(
         ons.insert(cfg.make_tag(item), name, category, price);
     }
     let pipeline = CleaningPipeline::new(cfg, registry.clone(), Arc::new(ons));
-    let engine = Engine::with_functions(registry.clone(), functions);
-    Ok((registry, pipeline, engine))
+    Ok((registry, functions, pipeline))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::queries;
-    use sase_core::value::Value;
+    use sase_core::value::{Value, ValueType};
     use sase_rfid::noise::NoiseModel;
     use sase_rfid::scenario::RetailScenario;
     use sase_rfid::sim::RfidSimulator;
     use sase_stream::CleaningConfig;
 
+    fn reference_detections(scenario: &RetailScenario) -> Vec<String> {
+        let mut reference = crate::SaseSystem::retail(NoiseModel::realistic(), 9, 40).unwrap();
+        reference.register_demo_queries().unwrap();
+        reference.run_scenario(scenario).unwrap();
+        reference
+            .detections()
+            .iter()
+            .map(|d| d.to_string())
+            .collect()
+    }
+
     #[test]
     fn pipelined_matches_single_threaded() {
         let cfg = CleaningConfig::retail_demo();
         let scenario = RetailScenario::build(&cfg, 42, 4, 2, 1);
-
-        // Single-threaded reference.
-        let mut reference = crate::SaseSystem::retail(NoiseModel::realistic(), 9, 40).unwrap();
-        reference.register_demo_queries().unwrap();
-        reference.run_scenario(&scenario).unwrap();
-        let expect: Vec<String> = reference
-            .detections()
-            .iter()
-            .map(|d| d.to_string())
-            .collect();
+        let expect = reference_detections(&scenario);
 
         // Pipelined deployment over the *same* device stream (same sim
         // seed and noise).
@@ -198,6 +543,123 @@ mod tests {
         assert_eq!(expect, got, "pipelined deployment must agree exactly");
         assert!(run.frames_shipped as u64 >= scenario.duration);
         assert!(run.events_generated > 0);
+    }
+
+    #[test]
+    fn sharded_pipelined_matches_single_threaded() {
+        let cfg = CleaningConfig::retail_demo();
+        let scenario = RetailScenario::build(&cfg, 42, 4, 2, 1);
+        let expect = reference_detections(&scenario);
+
+        let (_registry, pipeline, mut builder) = retail_stages_sharded(40).unwrap();
+        builder
+            .register("shoplifting", queries::SHOPLIFTING)
+            .unwrap();
+        builder
+            .register("location_change", queries::LOCATION_CHANGE)
+            .unwrap();
+        builder
+            .register("archive_location", queries::ARCHIVE_LOCATION)
+            .unwrap();
+        let sharded = builder.build(3).unwrap();
+        // location_change and archive_location share the stateful
+        // `_updateLocation` built-in, so they are co-located; shoplifting
+        // runs on its own shard.
+        assert_eq!(
+            sharded.shard_of("location_change"),
+            sharded.shard_of("archive_location")
+        );
+        assert_ne!(
+            sharded.shard_of("shoplifting"),
+            sharded.shard_of("location_change")
+        );
+
+        let sim = RfidSimulator::retail_demo(NoiseModel::realistic(), 9);
+        let ticks = scripted_ticks(sim, &scenario);
+        let run = run_pipelined(ticks, pipeline, sharded).unwrap();
+        let got: Vec<String> = run.detections.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            expect, got,
+            "sharded deployment must agree with the single-threaded reference byte for byte"
+        );
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_with_derivation_chains() {
+        // Synthetic query set with an INTO/FROM chain plus independent
+        // queries, compared against one engine running everything.
+        let mk_registry = || {
+            let reg = sase_core::event::retail_registry();
+            reg.register(
+                "moves",
+                &[("tag", ValueType::Int), ("area", ValueType::Int)],
+            )
+            .unwrap();
+            reg
+        };
+        let srcs: [(&str, &str); 5] = [
+            (
+                "producer",
+                "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+                 WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 100 \
+                 RETURN y.TagId AS tag, y.AreaId AS area INTO Moves",
+            ),
+            ("mover", "FROM moves EVENT MOVES m RETURN m.tag AS t"),
+            ("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag"),
+            ("counters", "EVENT COUNTER_READING c RETURN c.TagId AS tag"),
+            (
+                "pairs",
+                "EVENT SEQ(SHELF_READING a, EXIT_READING b) \
+                 WHERE a.TagId = b.TagId WITHIN 50 RETURN a.TagId AS tag",
+            ),
+        ];
+
+        let single_reg = mk_registry();
+        let mut single = Engine::new(single_reg.clone());
+        for (name, src) in srcs {
+            single.register(name, src).unwrap();
+        }
+
+        let sharded_reg = mk_registry();
+        let mut builder = ShardedEngineBuilder::new(sharded_reg.clone());
+        for (name, src) in srcs {
+            builder.register(name, src).unwrap();
+        }
+        let mut sharded = builder.build(4).unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        // The INTO chain is co-located.
+        assert_eq!(sharded.shard_of("producer"), sharded.shard_of("mover"));
+
+        let mk_events = |reg: &SchemaRegistry| -> Vec<Event> {
+            let types = ["SHELF_READING", "COUNTER_READING", "EXIT_READING"];
+            (0u64..120)
+                .map(|k| {
+                    reg.build_event(
+                        types[(k % 3) as usize],
+                        k + 1,
+                        vec![
+                            Value::Int((k % 5) as i64),
+                            Value::str("p"),
+                            Value::Int(1 + (k % 3) as i64),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect()
+        };
+
+        let render = |v: &[ComplexEvent]| v.iter().map(|d| d.to_string()).collect::<Vec<_>>();
+        // Feed in several batches to exercise cross-batch state.
+        let single_events = mk_events(&single_reg);
+        let sharded_events = mk_events(&sharded_reg);
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for (se, he) in single_events.chunks(17).zip(sharded_events.chunks(17)) {
+            expect.extend(single.process_batch(se).unwrap());
+            got.extend(sharded.process_batch(he).unwrap());
+        }
+        assert!(!expect.is_empty());
+        assert_eq!(render(&expect), render(&got));
     }
 
     #[test]
@@ -238,5 +700,41 @@ mod tests {
         let ticks: Vec<(Tick, Vec<RawReading>)> = vec![(0, sim.tick())];
         let err = run_pipelined(ticks, pipeline, engine).unwrap_err();
         assert!(err.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn sharded_error_propagates() {
+        let registry = sase_core::event::retail_registry();
+        let functions = FunctionRegistry::with_stdlib();
+        functions.register_fn("_boom", Some(1), |_| {
+            Err(SaseError::Function {
+                name: "_boom".into(),
+                message: "injected".into(),
+            })
+        });
+        let mut builder = ShardedEngineBuilder::with_functions(registry.clone(), functions);
+        builder
+            .register("ok", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+            .unwrap();
+        builder
+            .register("bad", "EVENT SHELF_READING x RETURN _boom(x.TagId)")
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+        let e = registry
+            .build_event(
+                "SHELF_READING",
+                1,
+                vec![Value::Int(1), Value::str("p"), Value::Int(1)],
+            )
+            .unwrap();
+        let err = sharded.process_batch(&[e]).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let mut builder = ShardedEngineBuilder::new(sase_core::event::retail_registry());
+        builder.register("q", "EVENT SHELF_READING x").unwrap();
+        assert!(builder.register("q", "EVENT EXIT_READING x").is_err());
     }
 }

@@ -29,6 +29,8 @@ pub mod report;
 pub mod system;
 
 pub use builtins::{register_db_builtins, retail_area_descriptions, seed_area_info};
-pub use concurrent::{run_pipelined, PipelinedRun};
+pub use concurrent::{
+    run_pipelined, IngestStage, PipelinedRun, ShardedEngine, ShardedEngineBuilder,
+};
 pub use report::UiReport;
 pub use system::{SaseSystem, TickResult};

@@ -211,6 +211,9 @@ impl SaseSystem {
         )
     }
 
+    /// Capacity of the bounded cleaned-event tap backing the UI window.
+    const TAP_CAPACITY: usize = 256;
+
     /// Run one scan cycle: simulator → cleaning → event processor.
     pub fn tick(&mut self, scenario: Option<&RetailScenario>) -> CoreResult<TickResult> {
         let tick: Tick = self.sim.now();
@@ -219,16 +222,23 @@ impl SaseSystem {
         }
         let readings = self.sim.tick();
         let events = self.pipeline.process_tick(tick, &readings)?;
-        let mut detections = Vec::new();
-        for e in &events {
-            detections.extend(self.engine.process(e)?);
+        // One batched ingest per tick instead of per-event engine calls.
+        let detections = self.engine.process_batch(&events)?;
+        // Bounded UI tap: make room first so only surviving events are
+        // cloned (events are cheap `Arc` handles, but still).
+        if events.len() >= Self::TAP_CAPACITY {
+            self.cleaning_tap.clear();
+            self.cleaning_tap
+                .extend(events[events.len() - Self::TAP_CAPACITY..].iter().cloned());
+        } else {
+            let overflow =
+                (self.cleaning_tap.len() + events.len()).saturating_sub(Self::TAP_CAPACITY);
+            if overflow > 0 {
+                self.cleaning_tap.drain(..overflow);
+            }
+            self.cleaning_tap.extend(events.iter().cloned());
         }
-        // Bounded UI tap.
-        self.cleaning_tap.extend(events.iter().cloned());
-        let overflow = self.cleaning_tap.len().saturating_sub(256);
-        if overflow > 0 {
-            self.cleaning_tap.drain(..overflow);
-        }
+        // Archive one copy; the tick's own result keeps the originals.
         self.detections.extend(detections.iter().cloned());
         Ok(TickResult { events, detections })
     }
