@@ -1,0 +1,40 @@
+//! Emit `BENCH_replay.json`: durable live-ingest throughput, checkpoint
+//! latency, crash-recovery latency, and full-speed replay throughput at
+//! three checkpoint intervals (see `sase_bench::replay`).
+//!
+//! ```text
+//! cargo run --release -p sase-bench --bin replay            # full run
+//! cargo run --release -p sase-bench --bin replay -- --test  # CI smoke
+//! ```
+//!
+//! Flags: `--test` (tiny stream, shape-check only), `--events N`,
+//! `--out PATH` (default `BENCH_replay.json`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test = args.iter().any(|a| a == "--test");
+    let mut out_path = "BENCH_replay.json".to_string();
+    let mut events: usize = if test { 2_000 } else { 120_000 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--events" if i + 1 < args.len() => {
+                events = args[i + 1].parse().expect("--events takes a count");
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let mode = if test { "test" } else { "full" };
+    let json = sase_bench::replay::replay_report(events, mode);
+    sase_bench::minijson::validate(&json).expect("report must be well-formed JSON");
+    std::fs::write(&out_path, json.as_bytes()).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path} ({events} events, mode {mode})");
+}

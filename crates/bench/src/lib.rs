@@ -10,6 +10,7 @@
 
 pub mod ingest;
 pub mod minijson;
+pub mod replay;
 
 use std::time::Instant;
 

@@ -37,6 +37,7 @@ use crate::lang::parse_query;
 use crate::output::ComplexEvent;
 use crate::plan::{Planner, PlannerOptions, QueryPlan};
 use crate::runtime::{QueryRuntime, RuntimeStats};
+use crate::snapshot::{mismatch, DerivedStreamSnapshot, EngineSnapshot};
 use crate::time::TimeScale;
 
 /// A per-query output callback.
@@ -570,9 +571,111 @@ impl Engine {
             .any(|q| q.from.as_deref() == Some(stream_key) || q.relevant.contains(&id))
     }
 
-    /// Process a batch of events on the default stream.
-    pub fn process_all(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
-        self.process_batch(events)
+    /// Serializable image of the engine's complete mutable state: every
+    /// query's runtime, the per-stream monotonicity clocks, and the derived
+    /// (`INTO`) schema registry. See [`crate::snapshot`] for the restore
+    /// protocol.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut stream_clocks: Vec<(Option<String>, crate::time::Timestamp)> = self
+            .stream_clocks
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        stream_clocks.sort();
+
+        let mut derived_streams = Vec::new();
+        let mut derived: Vec<(&String, &DerivedEntry)> = self.derived_types.iter().collect();
+        derived.sort_by_key(|(k, _)| k.as_str());
+        for (_, entry) in derived {
+            let schema = self
+                .registry
+                .schema(entry.id)
+                .expect("derived entry ids come from this registry");
+            derived_streams.push(DerivedStreamSnapshot {
+                type_name: schema.name.to_string(),
+                attrs: schema
+                    .attributes
+                    .iter()
+                    .map(|a| (a.name.to_string(), a.ty))
+                    .collect(),
+                engine_registered: entry.engine_registered,
+                reusable: false,
+            });
+        }
+        let mut reusable: Vec<&String> = self.reusable_derived.iter().collect();
+        reusable.sort();
+        for key in reusable {
+            let schema = self
+                .registry
+                .schema_by_name(key)
+                .expect("reusable streams keep their registered type");
+            derived_streams.push(DerivedStreamSnapshot {
+                type_name: schema.name.to_string(),
+                attrs: schema
+                    .attributes
+                    .iter()
+                    .map(|a| (a.name.to_string(), a.ty))
+                    .collect(),
+                engine_registered: true,
+                reusable: true,
+            });
+        }
+
+        EngineSnapshot {
+            queries: self.queries.iter().map(|q| q.runtime.snapshot()).collect(),
+            stream_clocks,
+            derived_streams,
+        }
+    }
+
+    /// Restore a snapshot onto this engine.
+    ///
+    /// The engine must already have the snapshot's queries registered, in
+    /// the same order, compiled with the same planner options, and every
+    /// derived stream type must exist in the schema registry
+    /// ([`EngineSnapshot::preregister_derived`] arranges that). Sinks are
+    /// not part of snapshots — whatever is attached to this engine stays
+    /// attached. On error nothing observable is guaranteed to have been
+    /// restored; re-run the full restore protocol.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<()> {
+        if snap.queries.len() != self.queries.len() {
+            return Err(mismatch(format!(
+                "snapshot has {} queries, engine has {}",
+                snap.queries.len(),
+                self.queries.len()
+            )));
+        }
+        for (q, qs) in self.queries.iter_mut().zip(&snap.queries) {
+            q.runtime.restore(qs, &self.registry)?;
+        }
+
+        let mut derived_types = HashMap::new();
+        let mut reusable_derived = HashSet::new();
+        for d in &snap.derived_streams {
+            let key = d.type_name.to_ascii_lowercase();
+            let id = self.registry.type_id(&d.type_name).ok_or_else(|| {
+                mismatch(format!(
+                    "derived stream type `{}` is not registered; call \
+                     EngineSnapshot::preregister_derived before re-registering queries",
+                    d.type_name
+                ))
+            })?;
+            if d.reusable {
+                reusable_derived.insert(key);
+            } else {
+                derived_types.insert(
+                    key,
+                    DerivedEntry {
+                        id,
+                        engine_registered: d.engine_registered,
+                    },
+                );
+            }
+        }
+        self.derived_types = derived_types;
+        self.reusable_derived = reusable_derived;
+        self.stream_clocks = snap.stream_clocks.iter().cloned().collect();
+        Ok(())
     }
 
     fn index_of(&self, name: &str) -> Result<usize> {
@@ -627,7 +730,7 @@ mod tests {
             ev(&engine, "SHELF_READING", 1, 7, 1),
             ev(&engine, "EXIT_READING", 5, 7, 4),
         ];
-        let out = engine.process_all(&events).unwrap();
+        let out = engine.process_batch(&events).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].query.as_ref(), "shoplifting");
 
@@ -657,7 +760,7 @@ mod tests {
             ev(&engine, "SHELF_READING", 1, 7, 1),
             ev(&engine, "EXIT_READING", 5, 7, 4),
         ];
-        engine.process_all(&events).unwrap();
+        engine.process_batch(&events).unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 
@@ -872,7 +975,7 @@ mod tests {
             ev(&engine, "SHELF_READING", 1, 7, 1),
             ev(&engine, "EXIT_READING", 5, 7, 4),
         ];
-        let out = engine.process_all(&events).unwrap();
+        let out = engine.process_batch(&events).unwrap();
         assert_eq!(out.len(), 2);
     }
 

@@ -67,6 +67,7 @@ pub mod output;
 pub mod pattern;
 pub mod plan;
 pub mod runtime;
+pub mod snapshot;
 pub mod time;
 pub mod value;
 
@@ -78,5 +79,6 @@ pub use lang::{parse_query, Query};
 pub use output::ComplexEvent;
 pub use plan::{Planner, PlannerOptions, QueryPlan, SequenceStrategy};
 pub use runtime::{QueryRuntime, RuntimeStats};
+pub use snapshot::EngineSnapshot;
 pub use time::{TimeScale, TimeUnit, Timestamp, WindowSpec};
 pub use value::{Value, ValueType};

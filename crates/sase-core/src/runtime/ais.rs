@@ -17,7 +17,9 @@
 
 use std::collections::VecDeque;
 
-use crate::event::Event;
+use crate::error::Result;
+use crate::event::{Event, SchemaRegistry};
+use crate::snapshot::{EventSnapshot, InstanceSnapshot, StackSnapshot};
 use crate::time::Timestamp;
 
 /// One stack entry.
@@ -95,6 +97,37 @@ impl Stack {
         dropped
     }
 
+    /// Serializable image of this stack (absolute indexing included).
+    pub fn snapshot(&self) -> StackSnapshot {
+        StackSnapshot {
+            base: self.base as u64,
+            instances: self
+                .items
+                .iter()
+                .map(|i| InstanceSnapshot {
+                    event: EventSnapshot::capture(&i.event),
+                    rip: i.rip as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a stack from its snapshot, resolving events against
+    /// `registry`.
+    pub fn from_snapshot(snap: &StackSnapshot, registry: &SchemaRegistry) -> Result<Stack> {
+        let mut items = VecDeque::with_capacity(snap.instances.len());
+        for i in &snap.instances {
+            items.push_back(Instance {
+                event: i.event.rebuild(registry)?,
+                rip: i.rip as usize,
+            });
+        }
+        Ok(Stack {
+            base: snap.base as usize,
+            items,
+        })
+    }
+
     /// Iterate retained instances newest-first together with their absolute
     /// indexes, restricted to absolute index `< bound`.
     pub fn iter_below(&self, bound: usize) -> impl Iterator<Item = (usize, &Instance)> {
@@ -144,6 +177,21 @@ impl AisGroup {
     /// True when the group has no stacks (degenerate).
     pub fn is_empty(&self) -> bool {
         self.stacks.is_empty()
+    }
+
+    /// Serializable image of every stack, in component order.
+    pub fn snapshot(&self) -> Vec<StackSnapshot> {
+        self.stacks.iter().map(Stack::snapshot).collect()
+    }
+
+    /// Rebuild a group from per-stack snapshots.
+    pub fn from_snapshot(stacks: &[StackSnapshot], registry: &SchemaRegistry) -> Result<AisGroup> {
+        Ok(AisGroup {
+            stacks: stacks
+                .iter()
+                .map(|s| Stack::from_snapshot(s, registry))
+                .collect::<Result<_>>()?,
+        })
     }
 
     /// Prune every stack; returns total dropped.
@@ -216,6 +264,33 @@ mod tests {
         // Bound beyond total clamps.
         let got: Vec<usize> = s.iter_below(99).map(|(idx, _)| idx).collect();
         assert_eq!(got, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn stack_snapshot_round_trips_after_pruning() {
+        let mut s = Stack::new();
+        for ts in [1, 2, 3, 4, 5] {
+            s.push(Instance {
+                event: ev(ts),
+                rip: ts as usize - 1,
+            });
+        }
+        s.prune_before(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.base, 2);
+        assert_eq!(snap.instances.len(), 3);
+        let back = Stack::from_snapshot(&snap, &retail_registry()).unwrap();
+        assert_eq!(back.total(), s.total());
+        assert_eq!(back.first_index(), s.first_index());
+        let walked: Vec<(usize, u64, usize)> = back
+            .iter_below(99)
+            .map(|(i, inst)| (i, inst.event.timestamp(), inst.rip))
+            .collect();
+        let orig: Vec<(usize, u64, usize)> = s
+            .iter_below(99)
+            .map(|(i, inst)| (i, inst.event.timestamp(), inst.rip))
+            .collect();
+        assert_eq!(walked, orig);
     }
 
     #[test]

@@ -18,9 +18,10 @@ pub use binding::{MatchBinding, PositiveMatch};
 use std::sync::Arc;
 
 use crate::error::{Result, SaseError};
-use crate::event::Event;
+use crate::event::{Event, SchemaRegistry};
 use crate::output::ComplexEvent;
 use crate::plan::{QueryPlan, SequenceStrategy};
+use crate::snapshot::{mismatch, QuerySnapshot, SeqSnapshot};
 use crate::time::Timestamp;
 
 use naive::NaiveRunner;
@@ -29,7 +30,7 @@ use ssc::SscOperator;
 
 /// Counters exposed by a running query; these power the experiment tables
 /// (intermediate result sizes, pruning effectiveness, negation work).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RuntimeStats {
     /// Events offered to the query.
     pub events_processed: u64,
@@ -177,6 +178,65 @@ impl QueryRuntime {
             self.process(e, &mut out)?;
         }
         Ok(out)
+    }
+
+    /// Serializable image of this query's complete runtime state.
+    pub fn snapshot(&self) -> QuerySnapshot {
+        QuerySnapshot {
+            name: self.name.to_string(),
+            stats: self.stats.clone(),
+            last_ts: self.last_ts,
+            seq: match &self.seq {
+                SeqRunner::Ssc(op) => op.snapshot(),
+                SeqRunner::Naive(op) => op.snapshot(),
+            },
+            negations: self.negation.snapshot(),
+        }
+    }
+
+    /// Replace this runtime's state with a snapshot's.
+    ///
+    /// The runtime must have been built from the same query under the same
+    /// planner options as the snapshotted one (the engine restore protocol
+    /// guarantees this by re-registering queries before restoring);
+    /// mismatches are rejected with a typed error, never applied halfway —
+    /// nothing is modified unless every piece of the snapshot fits.
+    pub fn restore(&mut self, snap: &QuerySnapshot, registry: &SchemaRegistry) -> Result<()> {
+        if snap.name != self.name.as_ref() {
+            return Err(mismatch(format!(
+                "snapshot is of query `{}`, runtime is `{}`",
+                snap.name, self.name
+            )));
+        }
+        // Rebuild both operators from the snapshot before touching any
+        // state, so a mid-restore failure leaves the runtime unchanged.
+        let mut seq = match self.plan.options.strategy {
+            SequenceStrategy::Ssc => SeqRunner::Ssc(SscOperator::new(self.plan.clone())),
+            SequenceStrategy::Naive => SeqRunner::Naive(NaiveRunner::new(self.plan.clone())),
+        };
+        match (&mut seq, &snap.seq) {
+            (
+                SeqRunner::Ssc(op),
+                SeqSnapshot::Ssc {
+                    partitions,
+                    events_since_sweep,
+                },
+            ) => op.restore(partitions, *events_since_sweep, registry)?,
+            (SeqRunner::Naive(op), SeqSnapshot::Naive { runs }) => op.restore(runs, registry)?,
+            _ => {
+                return Err(mismatch(
+                    "snapshot sequence strategy differs from the plan's (SSC vs naive)",
+                ))
+            }
+        }
+        let mut negation = NegationOperator::new(self.plan.clone());
+        negation.restore(&snap.negations, registry)?;
+
+        self.seq = seq;
+        self.negation = negation;
+        self.stats = snap.stats.clone();
+        self.last_ts = snap.last_ts;
+        Ok(())
     }
 
     /// Memory footprint indicators: retained stack instances (SSC) or live

@@ -14,9 +14,10 @@
 //! same.
 
 use crate::error::Result;
-use crate::event::Event;
+use crate::event::{Event, SchemaRegistry};
 use crate::expr::SlotProbe;
 use crate::plan::QueryPlan;
+use crate::snapshot::{mismatch, EventSnapshot, SeqSnapshot};
 
 use super::binding::PositiveMatch;
 use super::RuntimeStats;
@@ -46,6 +47,44 @@ impl NaiveRunner {
     /// Number of live partial runs (the "intermediate result set" size).
     pub fn live_runs(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Serializable image of every live partial run.
+    pub fn snapshot(&self) -> SeqSnapshot {
+        SeqSnapshot::Naive {
+            runs: self
+                .runs
+                .iter()
+                .map(|r| r.bound.iter().map(EventSnapshot::capture).collect())
+                .collect(),
+        }
+    }
+
+    /// Replace the live runs with a snapshot's.
+    pub fn restore(
+        &mut self,
+        runs: &[Vec<EventSnapshot>],
+        registry: &SchemaRegistry,
+    ) -> Result<()> {
+        let n = self.plan.pattern.positive_len();
+        let mut rebuilt = Vec::with_capacity(runs.len());
+        for r in runs {
+            // A live partial run binds 1..n-1 components (complete runs
+            // are emitted immediately, never parked).
+            if r.is_empty() || r.len() >= n {
+                return Err(mismatch(format!(
+                    "naive run binds {} of {n} components",
+                    r.len()
+                )));
+            }
+            let bound = r
+                .iter()
+                .map(|e| e.rebuild(registry))
+                .collect::<Result<Vec<_>>>()?;
+            rebuilt.push(Run { bound });
+        }
+        self.runs = rebuilt;
+        Ok(())
     }
 
     /// Process one event; pushes completed positive matches to `out`.

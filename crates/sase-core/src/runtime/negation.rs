@@ -15,9 +15,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::error::Result;
-use crate::event::Event;
+use crate::event::{Event, SchemaRegistry};
 use crate::expr::SlotProbe;
 use crate::plan::QueryPlan;
+use crate::snapshot::{mismatch, EventSnapshot, NegationBufferSnapshot};
 use crate::time::Timestamp;
 use crate::value::ValueKey;
 
@@ -72,6 +73,69 @@ impl NegationOperator {
                 }
             })
             .sum()
+    }
+
+    /// Serializable image of every negation buffer, buckets sorted by key.
+    pub fn snapshot(&self) -> Vec<NegationBufferSnapshot> {
+        self.buffers
+            .iter()
+            .map(|b| {
+                let mut buckets: Vec<(Vec<ValueKey>, Vec<EventSnapshot>)> = b
+                    .buckets
+                    .iter()
+                    .map(|(k, q)| (k.clone(), q.iter().map(EventSnapshot::capture).collect()))
+                    .collect();
+                buckets.sort_by(|a, b| a.0.cmp(&b.0));
+                NegationBufferSnapshot {
+                    buckets,
+                    all: b.all.iter().map(EventSnapshot::capture).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Replace the buffered candidates with a snapshot's. The snapshot
+    /// must come from a plan with the same negations and the same
+    /// `indexed_negation` option (bucketed vs. flat buffering).
+    pub fn restore(
+        &mut self,
+        snaps: &[NegationBufferSnapshot],
+        registry: &SchemaRegistry,
+    ) -> Result<()> {
+        if snaps.len() != self.buffers.len() {
+            return Err(mismatch(format!(
+                "snapshot has {} negation buffers, plan has {}",
+                snaps.len(),
+                self.buffers.len()
+            )));
+        }
+        for (buf, snap) in self.buffers.iter_mut().zip(snaps) {
+            if buf.indexed && !snap.all.is_empty() {
+                return Err(mismatch(
+                    "snapshot buffered negation candidates flat, plan indexes them",
+                ));
+            }
+            if !buf.indexed && !snap.buckets.is_empty() {
+                return Err(mismatch(
+                    "snapshot bucketed negation candidates, plan buffers them flat",
+                ));
+            }
+            buf.buckets.clear();
+            buf.all.clear();
+            for (key, events) in &snap.buckets {
+                let mut queue = VecDeque::with_capacity(events.len());
+                for e in events {
+                    queue.push_back(e.rebuild(registry)?);
+                }
+                if buf.buckets.insert(key.clone(), queue).is_some() {
+                    return Err(mismatch("duplicate negation bucket key"));
+                }
+            }
+            for e in &snap.all {
+                buf.all.push_back(e.rebuild(registry)?);
+            }
+        }
+        Ok(())
     }
 
     /// Observe an arriving event, buffering it wherever it is a candidate

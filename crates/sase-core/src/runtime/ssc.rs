@@ -24,9 +24,10 @@
 use std::collections::HashMap;
 
 use crate::error::Result;
-use crate::event::Event;
+use crate::event::{Event, SchemaRegistry};
 use crate::expr::SlotProbe;
 use crate::plan::{ConstructionFilter, QueryPlan};
+use crate::snapshot::{mismatch, PartitionSnapshot, SeqSnapshot};
 use crate::value::ValueKey;
 
 use super::ais::{AisGroup, Instance};
@@ -74,6 +75,53 @@ impl SscOperator {
     /// Total retained stack instances across partitions.
     pub fn retained_instances(&self) -> usize {
         self.groups.values().map(|g| g.retained()).sum()
+    }
+
+    /// Serializable image of the operator's state, partitions sorted by
+    /// key so equal states snapshot identically.
+    pub fn snapshot(&self) -> SeqSnapshot {
+        let mut partitions: Vec<PartitionSnapshot> = self
+            .groups
+            .iter()
+            .map(|(key, group)| PartitionSnapshot {
+                key: key.clone(),
+                stacks: group.snapshot(),
+            })
+            .collect();
+        partitions.sort_by(|a, b| a.key.cmp(&b.key));
+        SeqSnapshot::Ssc {
+            partitions,
+            events_since_sweep: self.events_since_sweep as u64,
+        }
+    }
+
+    /// Replace the operator's state with a snapshot's (the plan this
+    /// operator was built from must match the snapshotted one).
+    pub fn restore(
+        &mut self,
+        partitions: &[PartitionSnapshot],
+        events_since_sweep: u64,
+        registry: &SchemaRegistry,
+    ) -> Result<()> {
+        let n = self.plan.pattern.positive_len();
+        let mut groups = HashMap::with_capacity(partitions.len());
+        for p in partitions {
+            if p.stacks.len() != n {
+                return Err(mismatch(format!(
+                    "partition has {} stacks, plan has {n} positive components",
+                    p.stacks.len()
+                )));
+            }
+            if groups
+                .insert(p.key.clone(), AisGroup::from_snapshot(&p.stacks, registry)?)
+                .is_some()
+            {
+                return Err(mismatch("duplicate partition key"));
+            }
+        }
+        self.groups = groups;
+        self.events_since_sweep = events_since_sweep as usize;
+        Ok(())
     }
 
     /// Process one event; pushes every completed positive match to `out`.

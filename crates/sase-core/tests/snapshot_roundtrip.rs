@@ -1,0 +1,297 @@
+//! Snapshot/restore round trips: an engine restored from a mid-stream
+//! snapshot must finish the stream *exactly* like the uninterrupted
+//! original — same emissions, same counters, same follow-up snapshot.
+//!
+//! This is the in-memory half of the durability story; `sase-store` adds
+//! the on-disk encoding and `sase-system` the log replay around it.
+
+use sase_core::engine::Engine;
+use sase_core::event::{retail_registry, Event, SchemaRegistry};
+use sase_core::plan::PlannerOptions;
+use sase_core::value::{Value, ValueType};
+
+/// A query set covering every kind of runtime state: PAIS stacks, indexed
+/// and (via options) flat negation buffers, naive NFA runs, derived INTO
+/// streams with a consumer, and partition-less plans.
+const QUERIES: [(&str, &str); 5] = [
+    (
+        "shoplifting",
+        "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+         WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 60 \
+         RETURN x.TagId AS tag, z.AreaId AS area",
+    ),
+    (
+        "moves_producer",
+        "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+         WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 80 \
+         RETURN y.TagId AS tag, y.AreaId AS area INTO Moves",
+    ),
+    (
+        "moves_consumer",
+        "FROM moves EVENT SEQ(MOVES a, MOVES b) WHERE a.tag = b.tag WITHIN 200 \
+         RETURN b.tag AS t",
+    ),
+    (
+        "naive_pairs",
+        "EVENT SEQ(SHELF_READING p, EXIT_READING q) WHERE p.TagId = q.TagId \
+         WITHIN 40 RETURN p.TagId AS tag",
+    ),
+    (
+        "flat_negation",
+        "EVENT SEQ(SHELF_READING a, !(COUNTER_READING c), EXIT_READING b) \
+         WHERE a.TagId = b.TagId AND a.TagId = c.TagId WITHIN 90 RETURN a.TagId AS t",
+    ),
+];
+
+fn options_for(name: &str) -> PlannerOptions {
+    match name {
+        "naive_pairs" => PlannerOptions::naive(),
+        "flat_negation" => PlannerOptions {
+            indexed_negation: false,
+            ..PlannerOptions::default()
+        },
+        _ => PlannerOptions::default(),
+    }
+}
+
+fn registry() -> SchemaRegistry {
+    // `moves` is pre-registered so the consumer can plan before the first
+    // derived emission; the producer then uses the user type.
+    let reg = retail_registry();
+    reg.register(
+        "moves",
+        &[("tag", ValueType::Int), ("area", ValueType::Int)],
+    )
+    .unwrap();
+    reg
+}
+
+fn build_engine(reg: &SchemaRegistry) -> Engine {
+    let mut engine = Engine::new(reg.clone());
+    for (name, src) in QUERIES {
+        engine.register_with(name, src, options_for(name)).unwrap();
+    }
+    engine
+}
+
+/// Deterministic pseudo-random workload with enough tag collisions to keep
+/// stacks, negation buffers, and derived streams all populated.
+fn workload(n: usize) -> Vec<(String, u64, i64, i64)> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for k in 0..n as u64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let ty = match state % 4 {
+            0 | 3 => "SHELF_READING",
+            1 => "COUNTER_READING",
+            _ => "EXIT_READING",
+        };
+        let tag = ((state >> 16) % 5) as i64;
+        let area = 1 + ((state >> 24) % 4) as i64;
+        out.push((ty.to_string(), k + 1, tag, area));
+    }
+    out
+}
+
+fn events_for(reg: &SchemaRegistry, raw: &[(String, u64, i64, i64)]) -> Vec<Event> {
+    raw.iter()
+        .map(|(ty, ts, tag, area)| {
+            reg.build_event(
+                ty,
+                *ts,
+                vec![Value::Int(*tag), Value::str("p"), Value::Int(*area)],
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn render(out: &[sase_core::ComplexEvent]) -> Vec<String> {
+    out.iter().map(|d| d.to_string()).collect()
+}
+
+#[test]
+fn restored_engine_finishes_stream_identically() {
+    let raw = workload(400);
+    let cut = 230;
+
+    // Uninterrupted reference.
+    let ref_reg = registry();
+    let mut reference = build_engine(&ref_reg);
+    let ref_events = events_for(&ref_reg, &raw);
+    let mut ref_out = Vec::new();
+    for chunk in ref_events.chunks(37) {
+        ref_out.extend(reference.process_batch(chunk).unwrap());
+    }
+
+    // Original run up to the cut, then snapshot.
+    let orig_reg = registry();
+    let mut original = build_engine(&orig_reg);
+    let orig_events = events_for(&orig_reg, &raw);
+    let mut live_out = Vec::new();
+    for chunk in orig_events[..cut].chunks(37) {
+        live_out.extend(original.process_batch(chunk).unwrap());
+    }
+    let snap = original.snapshot();
+    assert!(snap.retained_events() > 0, "workload must retain state");
+    assert_eq!(snap.queries.len(), QUERIES.len());
+
+    // Restore protocol on a fresh registry + engine.
+    let new_reg = registry();
+    snap.preregister_derived(&new_reg).unwrap();
+    let mut restored = build_engine(&new_reg);
+    restored.restore(&snap).unwrap();
+
+    // The restored engine's state image is indistinguishable.
+    assert_eq!(restored.snapshot(), snap);
+
+    // Both finish the stream; emissions and final snapshots agree.
+    let rest_events = events_for(&new_reg, &raw);
+    let mut orig_tail = Vec::new();
+    let mut rest_tail = Vec::new();
+    for (a, b) in orig_events[cut..]
+        .chunks(23)
+        .zip(rest_events[cut..].chunks(23))
+    {
+        orig_tail.extend(original.process_batch(a).unwrap());
+        rest_tail.extend(restored.process_batch(b).unwrap());
+    }
+    assert_eq!(render(&orig_tail), render(&rest_tail));
+    assert_eq!(original.snapshot(), restored.snapshot());
+
+    // And the stitched run equals the uninterrupted reference.
+    live_out.extend(rest_tail);
+    assert_eq!(render(&ref_out), render(&live_out));
+    assert!(!ref_out.is_empty(), "workload should produce emissions");
+
+    // Counters came along too.
+    for (name, _) in QUERIES {
+        assert_eq!(
+            reference.stats(name).unwrap(),
+            restored.stats(name).unwrap(),
+            "stats of `{name}`"
+        );
+    }
+}
+
+#[test]
+fn snapshot_preserves_derived_stream_lifecycle() {
+    // Producer emits into a derived stream, then leaves: the stream
+    // becomes reusable. A snapshot taken now must carry that, so a new
+    // producer after restore may redefine the schema exactly as the
+    // original engine would allow.
+    let reg = retail_registry();
+    let mut engine = Engine::new(reg.clone());
+    engine
+        .register(
+            "p1",
+            "EVENT EXIT_READING z RETURN z.TagId AS tag INTO alerts",
+        )
+        .unwrap();
+    let e = reg
+        .build_event(
+            "EXIT_READING",
+            1,
+            vec![Value::Int(7), Value::str("soap"), Value::Int(4)],
+        )
+        .unwrap();
+    engine.process(&e).unwrap();
+    assert!(engine.unregister("p1"));
+    let snap = engine.snapshot();
+    assert_eq!(snap.derived_streams.len(), 1);
+    assert!(snap.derived_streams[0].reusable);
+
+    let new_reg = retail_registry();
+    snap.preregister_derived(&new_reg).unwrap();
+    let mut restored = Engine::new(new_reg.clone());
+    restored.restore(&snap).unwrap();
+    restored
+        .register(
+            "p2",
+            "EVENT EXIT_READING z \
+             RETURN z.ProductName AS product, z.AreaId AS area INTO alerts",
+        )
+        .unwrap();
+    let e2 = new_reg
+        .build_event(
+            "EXIT_READING",
+            2,
+            vec![Value::Int(8), Value::str("soap"), Value::Int(4)],
+        )
+        .unwrap();
+    restored.process(&e2).unwrap();
+    let schema = new_reg.schema_by_name("alerts").unwrap();
+    assert_eq!(schema.arity(), 2, "new producer redefined the schema");
+}
+
+#[test]
+fn restore_rejects_mismatched_engines() {
+    let reg = registry();
+    let mut engine = build_engine(&reg);
+    let events = events_for(&reg, &workload(50));
+    engine.process_batch(&events).unwrap();
+    let snap = engine.snapshot();
+
+    // Missing queries.
+    let mut empty = Engine::new(registry());
+    assert!(empty.restore(&snap).is_err());
+
+    // Same queries, different registration order.
+    let other_reg = registry();
+    let mut reordered = Engine::new(other_reg.clone());
+    for (name, src) in QUERIES.iter().rev() {
+        reordered
+            .register_with(name, src, options_for(name))
+            .unwrap();
+    }
+    assert!(reordered.restore(&snap).is_err());
+
+    // Same order, wrong planner options (SSC snapshot into naive plan).
+    let strat_reg = registry();
+    let mut wrong_strategy = Engine::new(strat_reg.clone());
+    for (name, src) in QUERIES {
+        let opts = if name == "naive_pairs" {
+            PlannerOptions::default() // was naive in the snapshot
+        } else {
+            options_for(name)
+        };
+        wrong_strategy.register_with(name, src, opts).unwrap();
+    }
+    assert!(wrong_strategy.restore(&snap).is_err());
+}
+
+#[test]
+fn restore_requires_derived_types_preregistered() {
+    let reg = retail_registry();
+    let mut engine = Engine::new(reg.clone());
+    engine
+        .register(
+            "p",
+            "EVENT EXIT_READING z RETURN z.TagId AS tag INTO alerts",
+        )
+        .unwrap();
+    let e = reg
+        .build_event(
+            "EXIT_READING",
+            1,
+            vec![Value::Int(7), Value::str("soap"), Value::Int(4)],
+        )
+        .unwrap();
+    engine.process(&e).unwrap();
+    let snap = engine.snapshot();
+
+    // Fresh registry without preregister_derived: restore must fail with a
+    // typed engine error, not panic.
+    let new_reg = retail_registry();
+    let mut restored = Engine::new(new_reg);
+    restored
+        .register(
+            "p",
+            "EVENT EXIT_READING z RETURN z.TagId AS tag INTO alerts",
+        )
+        .unwrap();
+    let err = restored.restore(&snap).unwrap_err();
+    assert!(err.to_string().contains("preregister_derived"), "{err}");
+}

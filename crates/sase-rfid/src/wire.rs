@@ -39,6 +39,11 @@ pub enum WireError {
     BadKind(u8),
     /// The frame mixes ticks (readings must share the frame's tick).
     MixedTicks,
+    /// Garbage bytes follow the declared reading count. A frame must be
+    /// exactly as long as its header says: trailing bytes mean a framing
+    /// bug or corruption, and accepting them would let it go unnoticed
+    /// (the durable store reuses this framing discipline).
+    TrailingBytes(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -48,6 +53,9 @@ impl std::fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
             WireError::BadKind(k) => write!(f, "unknown tag kind {k}"),
             WireError::MixedTicks => write!(f, "frame mixes scan cycles"),
+            WireError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the declared readings")
+            }
         }
     }
 }
@@ -113,6 +121,9 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(Tick, Vec<RawReading>), WireErr
             k => return Err(WireError::BadKind(k)),
         };
         readings.push(RawReading { tag, reader, tick });
+    }
+    if frame.has_remaining() {
+        return Err(WireError::TrailingBytes(frame.remaining()));
     }
     Ok((tick, readings))
 }
@@ -181,8 +192,29 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_rejected() {
+        // Regression: frames with bytes after the declared reading count
+        // used to decode successfully, silently ignoring the garbage.
+        let frame = encode_frame(7, &sample(7)).unwrap();
+        for extra in 1..4usize {
+            let mut padded = BytesMut::from(&frame[..]);
+            padded.extend_from_slice(&vec![0xAB; extra]);
+            assert_eq!(
+                decode_frame(padded.freeze()),
+                Err(WireError::TrailingBytes(extra)),
+                "{extra} trailing bytes"
+            );
+        }
+        // An exact frame still round-trips.
+        assert!(decode_frame(frame).is_ok());
+    }
+
+    #[test]
     fn error_display() {
         assert!(WireError::Truncated.to_string().contains("truncated"));
         assert!(WireError::BadMagic(3).to_string().contains("magic"));
+        assert!(WireError::TrailingBytes(5)
+            .to_string()
+            .contains("5 trailing"));
     }
 }

@@ -1,0 +1,804 @@
+//! Hand-rolled binary codec for events and engine snapshots.
+//!
+//! The same framing discipline as `sase-rfid::wire` — length-prefixed
+//! big-endian frames, no self-describing metadata, strict rejection of
+//! trailing bytes — extended to the richer payloads the store persists:
+//! [`Value`]s, events, and complete [`EngineSnapshot`]s. There is no serde
+//! in this workspace (the vendor shims do not include it); every layout
+//! here is explicit and versioned by the containing file format.
+//!
+//! All integers are big-endian. Collections are `u32`-count-prefixed;
+//! strings are UTF-8 with a `u32` byte length.
+
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::runtime::RuntimeStats;
+use sase_core::snapshot::{
+    DerivedStreamSnapshot, EngineSnapshot, EventSnapshot, InstanceSnapshot, NegationBufferSnapshot,
+    PartitionSnapshot, QuerySnapshot, SeqSnapshot, StackSnapshot,
+};
+use sase_core::value::{Value, ValueKey, ValueType};
+
+use crate::error::{Result, StoreError};
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write raw bytes (no prefix).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked byte source for decoding; every underrun is a typed
+/// [`StoreError::Decode`], never a panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from a slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Fail unless every byte has been consumed — the store's equivalent
+    /// of `WireError::TrailingBytes`.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Decode(format!(
+                "{} trailing bytes after frame",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Decode(format!(
+                "unexpected end of frame: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Decode("string is not valid UTF-8".into()))
+    }
+
+    /// A collection count, sanity-bounded by the bytes actually available
+    /// (each element needs at least one byte) so a corrupt count cannot
+    /// trigger a huge allocation.
+    pub fn count(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(StoreError::Decode(format!(
+                "collection count {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values and events
+// ---------------------------------------------------------------------------
+
+fn put_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            w.u8(0);
+            w.i64(*i);
+        }
+        Value::Float(x) => {
+            w.u8(1);
+            w.u64(x.to_bits());
+        }
+        Value::Str(s) => {
+            w.u8(2);
+            w.str(s);
+        }
+        Value::Bool(b) => {
+            w.u8(3);
+            w.u8(u8::from(*b));
+        }
+    }
+}
+
+fn get_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Int(r.i64()?),
+        1 => Value::Float(f64::from_bits(r.u64()?)),
+        2 => Value::str(r.str()?),
+        3 => Value::Bool(r.u8()? != 0),
+        t => return Err(StoreError::Decode(format!("unknown value tag {t}"))),
+    })
+}
+
+fn put_value_key(w: &mut ByteWriter, k: &ValueKey) {
+    match k {
+        ValueKey::Int(i) => {
+            w.u8(0);
+            w.i64(*i);
+        }
+        ValueKey::Float(bits) => {
+            w.u8(1);
+            w.u64(*bits);
+        }
+        ValueKey::Str(s) => {
+            w.u8(2);
+            w.str(s);
+        }
+        ValueKey::Bool(b) => {
+            w.u8(3);
+            w.u8(u8::from(*b));
+        }
+    }
+}
+
+fn get_value_key(r: &mut ByteReader<'_>) -> Result<ValueKey> {
+    Ok(match r.u8()? {
+        0 => ValueKey::Int(r.i64()?),
+        1 => ValueKey::Float(r.u64()?),
+        2 => ValueKey::Str(r.str()?.into()),
+        3 => ValueKey::Bool(r.u8()? != 0),
+        t => return Err(StoreError::Decode(format!("unknown value-key tag {t}"))),
+    })
+}
+
+fn put_value_type(w: &mut ByteWriter, t: ValueType) {
+    w.u8(match t {
+        ValueType::Int => 0,
+        ValueType::Float => 1,
+        ValueType::Str => 2,
+        ValueType::Bool => 3,
+    });
+}
+
+fn get_value_type(r: &mut ByteReader<'_>) -> Result<ValueType> {
+    Ok(match r.u8()? {
+        0 => ValueType::Int,
+        1 => ValueType::Float,
+        2 => ValueType::Str,
+        3 => ValueType::Bool,
+        t => return Err(StoreError::Decode(format!("unknown value-type tag {t}"))),
+    })
+}
+
+/// Encode one live event (by type name, so the frame is portable across
+/// process restarts).
+pub fn put_event(w: &mut ByteWriter, e: &Event) {
+    w.str(e.type_name());
+    w.u64(e.timestamp());
+    w.u32(e.attrs().len() as u32);
+    for v in e.attrs() {
+        put_value(w, v);
+    }
+}
+
+/// Decode one event, resolving its type against `registry`.
+pub fn get_event(r: &mut ByteReader<'_>, registry: &SchemaRegistry) -> Result<Event> {
+    let type_name = r.str()?;
+    let ts = r.u64()?;
+    let n = r.count()?;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        attrs.push(get_value(r)?);
+    }
+    Ok(registry.build_event(&type_name, ts, attrs)?)
+}
+
+fn put_event_snapshot(w: &mut ByteWriter, e: &EventSnapshot) {
+    w.str(&e.type_name);
+    w.u64(e.timestamp);
+    w.u32(e.attrs.len() as u32);
+    for v in &e.attrs {
+        put_value(w, v);
+    }
+}
+
+fn get_event_snapshot(r: &mut ByteReader<'_>) -> Result<EventSnapshot> {
+    let type_name = r.str()?;
+    let timestamp = r.u64()?;
+    let n = r.count()?;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        attrs.push(get_value(r)?);
+    }
+    Ok(EventSnapshot {
+        type_name,
+        timestamp,
+        attrs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine snapshots
+// ---------------------------------------------------------------------------
+
+/// Number of counter fields in [`RuntimeStats`]; bump alongside the struct
+/// and the checkpoint version.
+const STATS_FIELDS: u32 = 11;
+
+fn put_stats(w: &mut ByteWriter, s: &RuntimeStats) {
+    w.u32(STATS_FIELDS);
+    for v in [
+        s.events_processed,
+        s.instances_appended,
+        s.instances_pruned,
+        s.sequences_constructed,
+        s.construction_filter_rejects,
+        s.dropped_by_window,
+        s.dropped_by_negation,
+        s.negation_candidates_buffered,
+        s.matches_emitted,
+        s.partial_runs_peak,
+        s.partitions,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn get_stats(r: &mut ByteReader<'_>) -> Result<RuntimeStats> {
+    let n = r.u32()?;
+    if n != STATS_FIELDS {
+        return Err(StoreError::Decode(format!(
+            "snapshot has {n} stat counters, this build expects {STATS_FIELDS}"
+        )));
+    }
+    Ok(RuntimeStats {
+        events_processed: r.u64()?,
+        instances_appended: r.u64()?,
+        instances_pruned: r.u64()?,
+        sequences_constructed: r.u64()?,
+        construction_filter_rejects: r.u64()?,
+        dropped_by_window: r.u64()?,
+        dropped_by_negation: r.u64()?,
+        negation_candidates_buffered: r.u64()?,
+        matches_emitted: r.u64()?,
+        partial_runs_peak: r.u64()?,
+        partitions: r.u64()?,
+    })
+}
+
+fn put_stack(w: &mut ByteWriter, s: &StackSnapshot) {
+    w.u64(s.base);
+    w.u32(s.instances.len() as u32);
+    for i in &s.instances {
+        put_event_snapshot(w, &i.event);
+        w.u64(i.rip);
+    }
+}
+
+fn get_stack(r: &mut ByteReader<'_>) -> Result<StackSnapshot> {
+    let base = r.u64()?;
+    let n = r.count()?;
+    let mut instances = Vec::with_capacity(n);
+    for _ in 0..n {
+        let event = get_event_snapshot(r)?;
+        let rip = r.u64()?;
+        instances.push(InstanceSnapshot { event, rip });
+    }
+    Ok(StackSnapshot { base, instances })
+}
+
+fn put_seq(w: &mut ByteWriter, seq: &SeqSnapshot) {
+    match seq {
+        SeqSnapshot::Ssc {
+            partitions,
+            events_since_sweep,
+        } => {
+            w.u8(0);
+            w.u64(*events_since_sweep);
+            w.u32(partitions.len() as u32);
+            for p in partitions {
+                w.u32(p.key.len() as u32);
+                for k in &p.key {
+                    put_value_key(w, k);
+                }
+                w.u32(p.stacks.len() as u32);
+                for s in &p.stacks {
+                    put_stack(w, s);
+                }
+            }
+        }
+        SeqSnapshot::Naive { runs } => {
+            w.u8(1);
+            w.u32(runs.len() as u32);
+            for run in runs {
+                w.u32(run.len() as u32);
+                for e in run {
+                    put_event_snapshot(w, e);
+                }
+            }
+        }
+    }
+}
+
+fn get_seq(r: &mut ByteReader<'_>) -> Result<SeqSnapshot> {
+    match r.u8()? {
+        0 => {
+            let events_since_sweep = r.u64()?;
+            let np = r.count()?;
+            let mut partitions = Vec::with_capacity(np);
+            for _ in 0..np {
+                let nk = r.count()?;
+                let mut key = Vec::with_capacity(nk);
+                for _ in 0..nk {
+                    key.push(get_value_key(r)?);
+                }
+                let ns = r.count()?;
+                let mut stacks = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    stacks.push(get_stack(r)?);
+                }
+                partitions.push(PartitionSnapshot { key, stacks });
+            }
+            Ok(SeqSnapshot::Ssc {
+                partitions,
+                events_since_sweep,
+            })
+        }
+        1 => {
+            let nr = r.count()?;
+            let mut runs = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                let ne = r.count()?;
+                let mut run = Vec::with_capacity(ne);
+                for _ in 0..ne {
+                    run.push(get_event_snapshot(r)?);
+                }
+                runs.push(run);
+            }
+            Ok(SeqSnapshot::Naive { runs })
+        }
+        t => Err(StoreError::Decode(format!(
+            "unknown sequence-snapshot tag {t}"
+        ))),
+    }
+}
+
+fn put_negation(w: &mut ByteWriter, n: &NegationBufferSnapshot) {
+    w.u32(n.buckets.len() as u32);
+    for (key, events) in &n.buckets {
+        w.u32(key.len() as u32);
+        for k in key {
+            put_value_key(w, k);
+        }
+        w.u32(events.len() as u32);
+        for e in events {
+            put_event_snapshot(w, e);
+        }
+    }
+    w.u32(n.all.len() as u32);
+    for e in &n.all {
+        put_event_snapshot(w, e);
+    }
+}
+
+fn get_negation(r: &mut ByteReader<'_>) -> Result<NegationBufferSnapshot> {
+    let nb = r.count()?;
+    let mut buckets = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        let nk = r.count()?;
+        let mut key = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            key.push(get_value_key(r)?);
+        }
+        let ne = r.count()?;
+        let mut events = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            events.push(get_event_snapshot(r)?);
+        }
+        buckets.push((key, events));
+    }
+    let na = r.count()?;
+    let mut all = Vec::with_capacity(na);
+    for _ in 0..na {
+        all.push(get_event_snapshot(r)?);
+    }
+    Ok(NegationBufferSnapshot { buckets, all })
+}
+
+/// Encode a complete engine snapshot into `w`.
+pub fn put_engine_snapshot(w: &mut ByteWriter, snap: &EngineSnapshot) {
+    w.u32(snap.queries.len() as u32);
+    for q in &snap.queries {
+        w.str(&q.name);
+        put_stats(w, &q.stats);
+        match q.last_ts {
+            None => w.u8(0),
+            Some(ts) => {
+                w.u8(1);
+                w.u64(ts);
+            }
+        }
+        put_seq(w, &q.seq);
+        w.u32(q.negations.len() as u32);
+        for n in &q.negations {
+            put_negation(w, n);
+        }
+    }
+    w.u32(snap.stream_clocks.len() as u32);
+    for (stream, ts) in &snap.stream_clocks {
+        match stream {
+            None => w.u8(0),
+            Some(s) => {
+                w.u8(1);
+                w.str(s);
+            }
+        }
+        w.u64(*ts);
+    }
+    w.u32(snap.derived_streams.len() as u32);
+    for d in &snap.derived_streams {
+        w.str(&d.type_name);
+        w.u32(d.attrs.len() as u32);
+        for (name, ty) in &d.attrs {
+            w.str(name);
+            put_value_type(w, *ty);
+        }
+        w.u8(u8::from(d.engine_registered));
+        w.u8(u8::from(d.reusable));
+    }
+}
+
+/// Decode a complete engine snapshot from `r`.
+pub fn get_engine_snapshot(r: &mut ByteReader<'_>) -> Result<EngineSnapshot> {
+    let nq = r.count()?;
+    let mut queries = Vec::with_capacity(nq);
+    for _ in 0..nq {
+        let name = r.str()?;
+        let stats = get_stats(r)?;
+        let last_ts = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            t => return Err(StoreError::Decode(format!("unknown option tag {t}"))),
+        };
+        let seq = get_seq(r)?;
+        let nn = r.count()?;
+        let mut negations = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            negations.push(get_negation(r)?);
+        }
+        queries.push(QuerySnapshot {
+            name,
+            stats,
+            last_ts,
+            seq,
+            negations,
+        });
+    }
+    let nc = r.count()?;
+    let mut stream_clocks = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        let stream = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            t => return Err(StoreError::Decode(format!("unknown option tag {t}"))),
+        };
+        stream_clocks.push((stream, r.u64()?));
+    }
+    let nd = r.count()?;
+    let mut derived_streams = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        let type_name = r.str()?;
+        let na = r.count()?;
+        let mut attrs = Vec::with_capacity(na);
+        for _ in 0..na {
+            let name = r.str()?;
+            let ty = get_value_type(r)?;
+            attrs.push((name, ty));
+        }
+        let engine_registered = r.u8()? != 0;
+        let reusable = r.u8()? != 0;
+        derived_streams.push(DerivedStreamSnapshot {
+            type_name,
+            attrs,
+            engine_registered,
+            reusable,
+        });
+    }
+    Ok(EngineSnapshot {
+        queries,
+        stream_clocks,
+        derived_streams,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sase_core::event::retail_registry;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_underrun_and_trailing() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        r.u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+
+    #[test]
+    fn count_bounds_allocation() {
+        // A corrupt count of u32::MAX must not try to allocate.
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.count().is_err());
+    }
+
+    #[test]
+    fn values_round_trip_including_nan() {
+        let values = [
+            Value::Int(-7),
+            Value::Float(3.25),
+            Value::Float(f64::NAN),
+            Value::str("milk"),
+            Value::Bool(true),
+        ];
+        let mut w = ByteWriter::new();
+        for v in &values {
+            put_value(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for v in &values {
+            let back = get_value(&mut r).unwrap();
+            // Bit-exact for floats (NaN included), semantic for the rest.
+            match (v, &back) {
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert!(v.sase_eq(&back), "{v:?} vs {back:?}"),
+            }
+        }
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let reg = retail_registry();
+        let e = reg
+            .build_event(
+                "EXIT_READING",
+                44,
+                vec![Value::Int(9), Value::str("soap"), Value::Int(4)],
+            )
+            .unwrap();
+        let mut w = ByteWriter::new();
+        put_event(&mut w, &e);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_event(&mut r, &reg).unwrap();
+        assert_eq!(back.to_string(), e.to_string());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn unknown_event_type_is_typed_error() {
+        let reg = retail_registry();
+        let mut w = ByteWriter::new();
+        w.str("VANISHED");
+        w.u64(1);
+        w.u32(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(get_event(&mut r, &reg), Err(StoreError::Core(_))));
+    }
+
+    #[test]
+    fn engine_snapshot_round_trips() {
+        use sase_core::engine::Engine;
+        let reg = retail_registry();
+        let mut engine = Engine::new(reg.clone());
+        engine
+            .register(
+                "q1",
+                "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+                 WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100 \
+                 RETURN x.TagId AS tag INTO alerts",
+            )
+            .unwrap();
+        for (ty, ts, tag) in [
+            ("SHELF_READING", 1u64, 3i64),
+            ("COUNTER_READING", 2, 4),
+            ("SHELF_READING", 3, 4),
+            ("EXIT_READING", 5, 3),
+        ] {
+            let e = reg
+                .build_event(
+                    ty,
+                    ts,
+                    vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+                )
+                .unwrap();
+            engine.process(&e).unwrap();
+        }
+        let snap = engine.snapshot();
+        assert!(snap.retained_events() > 0);
+        assert!(!snap.derived_streams.is_empty());
+
+        let mut w = ByteWriter::new();
+        put_engine_snapshot(&mut w, &snap);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_engine_snapshot(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, snap);
+
+        // Determinism: encoding twice yields identical bytes.
+        let mut w2 = ByteWriter::new();
+        put_engine_snapshot(&mut w2, &engine.snapshot());
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        for bytes in [&[][..], &[0xFF; 3][..], &[0, 0, 0, 9][..]] {
+            let mut r = ByteReader::new(bytes);
+            assert!(get_engine_snapshot(&mut r).is_err());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Typed errors for the durable store.
+//!
+//! Recovery code branches on these: a [`StoreError::Corrupt`] checkpoint is
+//! skipped in favor of an older one, a torn log tail is truncated silently
+//! (not an error at all), while [`StoreError::Io`] aborts — retrying cannot
+//! make a full disk readable.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use sase_core::error::SaseError;
+
+/// Any failure of the log, checkpoint, or codec layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// What was being attempted (`open`, `write`, `fsync`, ...).
+        op: &'static str,
+        /// The OS error rendered to text.
+        message: String,
+    },
+    /// A file's contents are not what the store wrote: bad magic, CRC
+    /// mismatch, out-of-sequence record, or an undecodable frame.
+    Corrupt {
+        /// The corrupt file.
+        path: PathBuf,
+        /// Byte offset of the offending frame (0 for whole-file problems).
+        offset: u64,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A snapshot or record decoded structurally but could not be decoded
+    /// into domain values (unknown enum tag, bad UTF-8, ...).
+    Decode(String),
+    /// The engine layer rejected rebuilt state (unknown event type, schema
+    /// mismatch, snapshot/plan mismatch, ...).
+    Core(SaseError),
+    /// API misuse: non-monotonic ticks, appending to a closed log, ...
+    InvalidArgument(String),
+}
+
+impl StoreError {
+    pub(crate) fn io(path: impl Into<PathBuf>, op: &'static str, e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.into(),
+            op,
+            message: e.to_string(),
+        }
+    }
+
+    pub(crate) fn corrupt(
+        path: impl Into<PathBuf>,
+        offset: u64,
+        detail: impl Into<String>,
+    ) -> StoreError {
+        StoreError::Corrupt {
+            path: path.into(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, op, message } => {
+                write!(f, "i/o error during {op} on {}: {message}", path.display())
+            }
+            StoreError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt store file {} at offset {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::Decode(m) => write!(f, "decode error: {m}"),
+            StoreError::Core(e) => write!(f, "engine error during recovery: {e}"),
+            StoreError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<SaseError> for StoreError {
+    fn from(e: SaseError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io = StoreError::io("/tmp/x", "open", std::io::Error::other("boom"));
+        assert!(io.to_string().contains("open"));
+        assert!(io.to_string().contains("boom"));
+        let c = StoreError::corrupt("/tmp/y", 12, "bad magic");
+        assert!(c.to_string().contains("offset 12"));
+        assert!(StoreError::Decode("tag 9".into())
+            .to_string()
+            .contains("tag 9"));
+        let core: StoreError = SaseError::engine("nope").into();
+        assert!(core.to_string().contains("nope"));
+        assert!(StoreError::InvalidArgument("tick".into())
+            .to_string()
+            .contains("tick"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # sase-store — durability for the SASE reproduction
+//!
+//! The paper's system keeps the event stream and all NFA runtime state in
+//! volatile memory; this crate adds the persistence layer a production
+//! deployment needs:
+//!
+//! * [`log`] — a durable, segmented, append-only event log: events are
+//!   framed with per-record CRCs into fixed-size segment files, appends are
+//!   batched behind one fsync per [`log::EventLog::commit`], and any tick
+//!   range replays in order through an iterator that skips whole segments
+//!   via the per-segment index.
+//! * [`checkpoint`] — atomic checkpoint files pairing a log position with
+//!   serialized engine state ([`sase_core::snapshot::EngineSnapshot`]), so
+//!   a restart restores the engines and replays only the log tail.
+//! * [`codec`] — the hand-rolled binary codec behind both (no serde in
+//!   this workspace; the framing discipline follows `sase-rfid::wire`).
+//!
+//! Torn log tails (the normal artifact of a crash mid-write) are truncated
+//! on reopen; everything else that fails validation is a typed
+//! [`StoreError`] — recovery never panics and never silently drops
+//! committed records. The full recovery orchestration (restore + replay +
+//! resume) lives in `sase-system::durable`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod log;
+
+pub use checkpoint::{
+    list_checkpoints, load_latest_checkpoint, prune_checkpoints, write_checkpoint, Checkpoint,
+};
+pub use error::{Result, StoreError};
+pub use log::{EventLog, LogIter, LogOptions, Record, SegmentInfo};

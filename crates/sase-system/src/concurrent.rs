@@ -385,6 +385,39 @@ impl ShardedEngine {
         self.shards[shard].stats(name)
     }
 
+    /// The shared schema registry (all shards hold handles to one
+    /// registry, so derived `INTO` types registered by any shard are
+    /// visible to every other).
+    pub fn schemas(&self) -> &sase_core::event::SchemaRegistry {
+        self.shards[0].schemas()
+    }
+
+    /// Serializable image of every shard's engine state, in shard order.
+    ///
+    /// Together with the builder's deterministic partitioning (same
+    /// queries in the same order always produce the same assignment), this
+    /// makes a sharded deployment checkpointable: rebuild the deployment,
+    /// re-register the queries, restore the snapshots.
+    pub fn snapshot(&self) -> Vec<sase_core::snapshot::EngineSnapshot> {
+        self.shards.iter().map(Engine::snapshot).collect()
+    }
+
+    /// Restore per-shard snapshots (one per shard, in shard order) onto a
+    /// freshly rebuilt deployment with the same queries.
+    pub fn restore(&mut self, snaps: &[sase_core::snapshot::EngineSnapshot]) -> CoreResult<()> {
+        if snaps.len() != self.shards.len() {
+            return Err(SaseError::engine(format!(
+                "snapshot mismatch: snapshot has {} shards, deployment has {}",
+                snaps.len(),
+                self.shards.len()
+            )));
+        }
+        for (shard, snap) in self.shards.iter_mut().zip(snaps) {
+            shard.restore(snap)?;
+        }
+        Ok(())
+    }
+
     /// Shard index hosting a query, for inspection.
     pub fn shard_of(&self, name: &str) -> Option<usize> {
         let global = self.names.iter().position(|n| n == name)? as u32;

@@ -1,0 +1,909 @@
+//! Durable deployments: write-ahead event logging, engine checkpoints,
+//! crash recovery, and full-speed historical replay.
+//!
+//! The durability boundary is the *complex event processor*: the cleaned
+//! event stream is the canonical record (appended to a
+//! [`sase_store::EventLog`] before the engine sees each batch), and engine
+//! state is checkpointed as [`EngineSnapshot`]s referencing a log
+//! position. On restart, [`DurableEngine::recover`] loads the newest valid
+//! checkpoint, restores the engines, and replays only the log tail —
+//! resuming exactly where the crashed process left off, provably: replay
+//! re-emits byte-for-byte the composite events the crashed process emitted
+//! after its last checkpoint (the recovery tests assert this against an
+//! uninterrupted reference run).
+//!
+//! Delivery semantics are the standard WAL contract: inputs are durable
+//! once [`EventLog::commit`] returns (`sync_each_batch` commits on every
+//! ingest); emissions after the last checkpoint are re-emitted during
+//! replay (at-least-once), and deterministically identical to the
+//! originals, so downstream consumers dedup by log position.
+//!
+//! Two wrappers share the machinery:
+//!
+//! * [`DurableEngine`] wraps any [`CheckpointableEngine`] — a single
+//!   [`Engine`] or a [`ShardedEngine`] (whose checkpoint stores one
+//!   snapshot per shard, atomically in one file).
+//! * [`DurableSystem`] wraps the full [`SaseSystem`]: each tick's cleaned
+//!   events are logged before ingest, and the engine can be crashed and
+//!   recovered in place while the device and cleaning layers keep running
+//!   (the deployment shape of Figure 1, where those layers are separate
+//!   processes).
+
+use std::path::{Path, PathBuf};
+
+use sase_core::engine::Engine;
+use sase_core::error::{Result as CoreResult, SaseError};
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::output::ComplexEvent;
+use sase_core::snapshot::EngineSnapshot;
+use sase_core::time::Timestamp;
+
+use sase_store::{
+    load_latest_checkpoint, prune_checkpoints, write_checkpoint, Checkpoint, EventLog, LogOptions,
+    StoreError,
+};
+
+use crate::concurrent::{IngestStage, ShardedEngine};
+use crate::system::{SaseSystem, TickResult};
+
+/// Errors from the durable layer: either the store failed (I/O,
+/// corruption) or the engine rejected replayed state/events.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Log or checkpoint failure.
+    Store(StoreError),
+    /// Engine failure during ingest, restore, or replay.
+    Core(SaseError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Store(e) => write!(f, "{e}"),
+            DurableError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<StoreError> for DurableError {
+    fn from(e: StoreError) -> Self {
+        DurableError::Store(e)
+    }
+}
+
+impl From<SaseError> for DurableError {
+    fn from(e: SaseError) -> Self {
+        DurableError::Core(e)
+    }
+}
+
+/// Result alias for durable operations.
+pub type Result<T> = std::result::Result<T, DurableError>;
+
+/// Tuning knobs for durable deployments.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Event-log segment size (see [`LogOptions::segment_bytes`]).
+    pub segment_bytes: u64,
+    /// Commit (flush + fsync) the log on every ingested batch. Off, the
+    /// host owns the commit cadence via [`DurableEngine::commit`] —
+    /// higher throughput, wider crash window.
+    pub sync_each_batch: bool,
+    /// Checkpoints retained on disk (older ones are pruned; the newest
+    /// valid one wins at recovery, corrupt ones fall back).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            segment_bytes: 4 << 20,
+            sync_each_batch: true,
+            keep_checkpoints: 4,
+        }
+    }
+}
+
+impl DurableOptions {
+    fn log(&self) -> LogOptions {
+        LogOptions {
+            segment_bytes: self.segment_bytes,
+        }
+    }
+}
+
+/// What recovery did: which checkpoint it started from, how much log tail
+/// it replayed, and the emissions that replay produced (byte-identical
+/// re-emissions of whatever the crashed process emitted after the
+/// checkpoint, plus anything it logged but never processed).
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Log position of the checkpoint recovery started from; `None` when
+    /// no valid checkpoint existed and the whole log was replayed.
+    pub checkpoint_seq: Option<u64>,
+    /// Log records replayed.
+    pub records_replayed: u64,
+    /// Events replayed.
+    pub events_replayed: u64,
+    /// Composite events emitted during replay, in emission order.
+    pub emissions: Vec<ComplexEvent>,
+    /// Records the engine rejected during replay, as `(seq, error)`.
+    /// Engine rejections are deterministic — the live run rejected the
+    /// same record with the same error — so they are reported, not fatal:
+    /// a poisoned record can never make a deployment unrecoverable.
+    pub replay_errors: Vec<(u64, String)>,
+    /// Checkpoint files skipped because they failed validation.
+    pub corrupt_checkpoints: Vec<PathBuf>,
+}
+
+/// Result of a historical replay run ([`DurableEngine::replay_range`]).
+#[derive(Debug)]
+pub struct ReplayRun {
+    /// Records re-driven.
+    pub records: u64,
+    /// Events re-driven.
+    pub events: u64,
+    /// Composite events emitted, in emission order.
+    pub emissions: Vec<ComplexEvent>,
+    /// Records the engine rejected, as `(seq, error)` (see
+    /// [`RecoveryReport::replay_errors`]).
+    pub errors: Vec<(u64, String)>,
+}
+
+/// Drive log records through an ingest function, accumulating emissions.
+///
+/// Store-level failures (I/O, corruption) abort; *engine* rejections are
+/// collected per record and replay continues — the rejection is
+/// deterministic (the live path rejected the identical record identically,
+/// leaving the engine usable), so surfacing it as data instead of an error
+/// keeps every committed record after a poisoned one reachable.
+fn drive_replay(
+    records: sase_store::LogIter,
+    mut ingest: impl FnMut(&[Event]) -> CoreResult<Vec<ComplexEvent>>,
+) -> Result<ReplayRun> {
+    let mut run = ReplayRun {
+        records: 0,
+        events: 0,
+        emissions: Vec::new(),
+        errors: Vec::new(),
+    };
+    for record in records {
+        let record = record?;
+        run.records += 1;
+        run.events += record.events.len() as u64;
+        match ingest(&record.events) {
+            Ok(out) => run.emissions.extend(out),
+            Err(e) => run.errors.push((record.seq, e.to_string())),
+        }
+    }
+    Ok(run)
+}
+
+/// Reject recovery when a checkpoint references log records that no
+/// longer exist (e.g. a segment was deleted or truncated below the
+/// checkpoint): replaying from thin air would silently lose state.
+fn ensure_log_covers(dir: &Path, log: &EventLog, replay_from: u64) -> Result<()> {
+    if replay_from > log.next_seq() {
+        return Err(StoreError::Corrupt {
+            path: dir.to_path_buf(),
+            offset: 0,
+            detail: format!(
+                "checkpoint references log seq {replay_from} but the log ends at {}; \
+                 committed records are missing",
+                log.next_seq()
+            ),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Commit the log, write an atomic checkpoint of `engines` at the current
+/// log position, prune old checkpoints; returns the checkpoint position.
+fn write_engine_checkpoint(
+    dir: &Path,
+    keep: usize,
+    log: &mut EventLog,
+    engines: Vec<EngineSnapshot>,
+) -> Result<u64> {
+    log.commit()?;
+    let seq = log.next_seq();
+    write_checkpoint(
+        dir,
+        &Checkpoint {
+            replay_from_seq: seq,
+            engines,
+        },
+    )?;
+    prune_checkpoints(dir, keep)?;
+    Ok(seq)
+}
+
+/// An engine deployment whose state can be checkpointed and restored —
+/// the contract [`DurableEngine`] builds on. One snapshot per constituent
+/// engine (a plain [`Engine`] has one, a [`ShardedEngine`] one per shard).
+pub trait CheckpointableEngine: IngestStage {
+    /// The schema registry events are decoded against during replay.
+    fn registry(&self) -> &SchemaRegistry;
+    /// Snapshot every constituent engine, in deterministic order.
+    fn state_snapshot(&self) -> Vec<EngineSnapshot>;
+    /// Restore snapshots produced by [`Self::state_snapshot`] onto a
+    /// freshly configured deployment with the same queries.
+    fn state_restore(&mut self, snaps: &[EngineSnapshot]) -> CoreResult<()>;
+}
+
+impl CheckpointableEngine for Engine {
+    fn registry(&self) -> &SchemaRegistry {
+        self.schemas()
+    }
+
+    fn state_snapshot(&self) -> Vec<EngineSnapshot> {
+        vec![self.snapshot()]
+    }
+
+    fn state_restore(&mut self, snaps: &[EngineSnapshot]) -> CoreResult<()> {
+        match snaps {
+            [one] => self.restore(one),
+            _ => Err(SaseError::engine(format!(
+                "snapshot mismatch: checkpoint holds {} engines, deployment is a single engine",
+                snaps.len()
+            ))),
+        }
+    }
+}
+
+impl CheckpointableEngine for ShardedEngine {
+    fn registry(&self) -> &SchemaRegistry {
+        self.schemas()
+    }
+
+    fn state_snapshot(&self) -> Vec<EngineSnapshot> {
+        self.snapshot()
+    }
+
+    fn state_restore(&mut self, snaps: &[EngineSnapshot]) -> CoreResult<()> {
+        self.restore(snaps)
+    }
+}
+
+/// Register every derived (`INTO`) stream type recorded in a checkpoint's
+/// snapshots on a fresh registry — step 1 of the restore protocol, before
+/// queries consuming those streams can be re-registered.
+pub fn preregister_derived(registry: &SchemaRegistry, snaps: &[EngineSnapshot]) -> CoreResult<()> {
+    for s in snaps {
+        s.preregister_derived(registry)?;
+    }
+    Ok(())
+}
+
+/// A checkpointable engine behind a write-ahead event log.
+///
+/// Ingest order is log-first: the batch is appended (and, by default,
+/// committed) before the engine processes it, so a crash at any point
+/// between loses nothing — recovery replays the batch. The log covers the
+/// default input stream, the one the system deployments feed.
+pub struct DurableEngine<E: CheckpointableEngine> {
+    dir: PathBuf,
+    opts: DurableOptions,
+    log: EventLog,
+    engine: E,
+}
+
+impl<E: CheckpointableEngine> DurableEngine<E> {
+    /// Stand up a *new* durable deployment in `dir` around a freshly
+    /// configured engine. Fails if `dir` already holds log records or
+    /// checkpoints — recovering an existing deployment must go through
+    /// [`DurableEngine::recover`], silently restarting over history would
+    /// desynchronize engine state from the log.
+    pub fn create(dir: impl Into<PathBuf>, engine: E, opts: DurableOptions) -> Result<Self> {
+        let dir = dir.into();
+        let log = EventLog::open(&dir, opts.log())?;
+        if log.next_seq() > 0 {
+            return Err(StoreError::InvalidArgument(format!(
+                "{} already holds {} log records; use DurableEngine::recover",
+                dir.display(),
+                log.next_seq()
+            ))
+            .into());
+        }
+        if !sase_store::list_checkpoints(&dir)?.is_empty() {
+            return Err(StoreError::InvalidArgument(format!(
+                "{} already holds checkpoints; use DurableEngine::recover",
+                dir.display()
+            ))
+            .into());
+        }
+        Ok(DurableEngine {
+            dir,
+            opts,
+            log,
+            engine,
+        })
+    }
+
+    /// Recover a deployment from `dir`: load the newest valid checkpoint,
+    /// build the engine (the `make_engine` callback receives the
+    /// checkpoint's snapshots so it can [`preregister_derived`] before
+    /// re-registering the same queries in the same order), restore the
+    /// state, and replay the log tail.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        opts: DurableOptions,
+        make_engine: impl FnOnce(Option<&[EngineSnapshot]>) -> CoreResult<E>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.into();
+        let (ckpt, corrupt_checkpoints) = load_latest_checkpoint(&dir)?;
+        let mut engine = make_engine(ckpt.as_ref().map(|c| c.engines.as_slice()))?;
+        let replay_from = match &ckpt {
+            Some(c) => {
+                engine.state_restore(&c.engines)?;
+                c.replay_from_seq
+            }
+            None => 0,
+        };
+        let mut log = EventLog::open(&dir, opts.log())?;
+        ensure_log_covers(&dir, &log, replay_from)?;
+        let registry = engine.registry().clone();
+        let records = log.replay_from(&registry, replay_from)?;
+        let run = drive_replay(records, |events| engine.ingest_batch(events))?;
+        let report = RecoveryReport {
+            checkpoint_seq: ckpt.map(|c| c.replay_from_seq),
+            records_replayed: run.records,
+            events_replayed: run.events,
+            emissions: run.emissions,
+            replay_errors: run.errors,
+            corrupt_checkpoints,
+        };
+        Ok((
+            DurableEngine {
+                dir,
+                opts,
+                log,
+                engine,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine (e.g. to attach sinks).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// The underlying event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The deployment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Log, then process, one batch of events at `tick` (ticks
+    /// non-decreasing). With `sync_each_batch` the batch is durable before
+    /// the engine sees it; otherwise call [`DurableEngine::commit`] at
+    /// your own cadence.
+    ///
+    /// If the *engine* rejects the batch (a [`DurableError::Core`]), the
+    /// batch stays logged — the rejection is deterministic, so replay
+    /// reports the same rejection for that record
+    /// ([`RecoveryReport::replay_errors`]) and recovery proceeds past it.
+    pub fn ingest(&mut self, tick: Timestamp, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        self.log.append(tick, events)?;
+        if self.opts.sync_each_batch {
+            self.log.commit()?;
+        }
+        Ok(self.engine.ingest_batch(events)?)
+    }
+
+    /// Make every ingested batch durable (one fsync).
+    pub fn commit(&mut self) -> Result<()> {
+        Ok(self.log.commit()?)
+    }
+
+    /// Write an atomic checkpoint of the engine state referencing the
+    /// current log position, then prune old checkpoints. Returns the
+    /// checkpoint's log position.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        write_engine_checkpoint(
+            &self.dir,
+            self.opts.keep_checkpoints,
+            &mut self.log,
+            self.engine.state_snapshot(),
+        )
+    }
+
+    /// Replay mode: re-drive the logged tick range `[min_tick, max_tick]`
+    /// at full speed through a *separate* engine (typically a fresh one
+    /// with analytical queries), without touching this deployment's live
+    /// engine state.
+    pub fn replay_range<R: CheckpointableEngine>(
+        &mut self,
+        engine: &mut R,
+        min_tick: Timestamp,
+        max_tick: Timestamp,
+    ) -> Result<ReplayRun> {
+        let registry = engine.registry().clone();
+        let records = self.log.replay_ticks(&registry, min_tick, max_tick)?;
+        drive_replay(records, |events| engine.ingest_batch(events))
+    }
+}
+
+impl<E: CheckpointableEngine> std::fmt::Debug for DurableEngine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableEngine")
+            .field("dir", &self.dir)
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+/// The full retail system with a durable event processor: every tick's
+/// cleaned events are write-ahead logged, the engine checkpoints on
+/// demand, and an engine crash recovers in place while the device and
+/// cleaning layers keep running (they are separate components in the
+/// paper's deployment; their in-flight state is upstream of the
+/// durability boundary).
+pub struct DurableSystem {
+    sys: SaseSystem,
+    dir: PathBuf,
+    opts: DurableOptions,
+    log: EventLog,
+    /// A tick's cleaned events whose WAL append failed: the simulator has
+    /// already advanced past them, so they are parked here and retried at
+    /// the start of the next [`DurableSystem::tick`] instead of being
+    /// dropped.
+    pending: Option<(Timestamp, Vec<Event>)>,
+}
+
+impl DurableSystem {
+    /// Wrap a freshly built [`SaseSystem`] (no ticks run yet) with a new
+    /// durable deployment in `dir`.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        sys: SaseSystem,
+        opts: DurableOptions,
+    ) -> Result<DurableSystem> {
+        let dir = dir.into();
+        let log = EventLog::open(&dir, opts.log())?;
+        if log.next_seq() > 0 || !sase_store::list_checkpoints(&dir)?.is_empty() {
+            return Err(StoreError::InvalidArgument(format!(
+                "{} already holds a durable deployment; recover the engine instead",
+                dir.display()
+            ))
+            .into());
+        }
+        Ok(DurableSystem {
+            sys,
+            dir,
+            opts,
+            log,
+            pending: None,
+        })
+    }
+
+    /// Reattach a freshly built [`SaseSystem`] (new process, no ticks run
+    /// yet) to an *existing* deployment in `dir`: re-register queries via
+    /// `register` (same queries, same order as the checkpointed run),
+    /// restore the newest valid checkpoint, and replay the log tail.
+    ///
+    /// The engine resumes exactly; the device and cleaning layers are the
+    /// host's to resume (they are upstream of the durability boundary).
+    /// With the deterministic simulator, calling
+    /// [`SaseSystem::advance_upstream`] once per tick up to the crash
+    /// point reproduces both the device clock and the cleaning layers'
+    /// in-flight state (smoothing windows, dedup history, the
+    /// event-generation logical clock), after which [`DurableSystem::tick`]
+    /// continues the logical-time stream exactly where the dead process
+    /// left it.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        sys: SaseSystem,
+        opts: DurableOptions,
+        register: impl FnOnce(&mut SaseSystem) -> CoreResult<()>,
+    ) -> Result<(DurableSystem, RecoveryReport)> {
+        let dir = dir.into();
+        let log = EventLog::open(&dir, opts.log())?;
+        let mut durable = DurableSystem {
+            sys,
+            dir,
+            opts,
+            log,
+            pending: None,
+        };
+        let report = durable.recover_engine(register)?;
+        Ok((durable, report))
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &SaseSystem {
+        &self.sys
+    }
+
+    /// Mutable access to the wrapped system (register queries here).
+    pub fn system_mut(&mut self) -> &mut SaseSystem {
+        &mut self.sys
+    }
+
+    /// The underlying event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Make every logged tick durable (one fsync) — the host's commit
+    /// cadence when `sync_each_batch` is off.
+    pub fn commit(&mut self) -> Result<()> {
+        Ok(self.log.commit()?)
+    }
+
+    /// Run one scan cycle, write-ahead logging the cleaned events before
+    /// the engine ingests them. Log failures surface as
+    /// [`DurableError::Store`] with their store typing intact; the cycle's
+    /// events are parked and retried (log first, then process) at the next
+    /// call, so a transient write failure delays them without losing them.
+    pub fn tick(
+        &mut self,
+        scenario: Option<&sase_rfid::scenario::RetailScenario>,
+    ) -> Result<TickResult> {
+        // Retry a previously failed append first: its events are older
+        // than this cycle's, so log-and-process order is preserved.
+        let mut carried = Vec::new();
+        if let Some((tick, events)) = self.pending.take() {
+            if let Err(e) = Self::log_batch(&mut self.log, self.opts.sync_each_batch, tick, &events)
+            {
+                self.pending = Some((tick, events));
+                return Err(e.into());
+            }
+            let detections = self.sys.engine().process_batch(&events)?;
+            self.sys.archive_detections(&detections);
+            carried = detections;
+        }
+
+        let log = &mut self.log;
+        let sync = self.opts.sync_each_batch;
+        // The observer channel only carries `SaseError`; stash the typed
+        // store error (and the unlogged batch) on the side.
+        let mut store_err: Option<(StoreError, Timestamp, Vec<Event>)> = None;
+        let result = self.sys.tick_observed(scenario, &mut |tick, events| {
+            Self::log_batch(log, sync, tick, events).map_err(|e| {
+                let wrapped = SaseError::engine(format!("event log: {e}"));
+                store_err = Some((e, tick, events.to_vec()));
+                wrapped
+            })
+        });
+        match result {
+            Ok(mut r) => {
+                if !carried.is_empty() {
+                    carried.extend(r.detections);
+                    r.detections = carried;
+                }
+                Ok(r)
+            }
+            Err(e) => Err(match store_err {
+                Some((s, tick, events)) => {
+                    self.pending = Some((tick, events));
+                    DurableError::Store(s)
+                }
+                None => DurableError::Core(e),
+            }),
+        }
+    }
+
+    fn log_batch(
+        log: &mut EventLog,
+        sync: bool,
+        tick: Timestamp,
+        events: &[Event],
+    ) -> sase_store::Result<()> {
+        log.append(tick, events)?;
+        if sync {
+            log.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint the engine against the current log position.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        write_engine_checkpoint(
+            &self.dir,
+            self.opts.keep_checkpoints,
+            &mut self.log,
+            vec![self.sys.engine().snapshot()],
+        )
+    }
+
+    /// Simulate an engine crash: all queries, runtime state, and stream
+    /// clocks are dropped (the upstream layers keep running). Follow with
+    /// [`DurableSystem::recover_engine`].
+    pub fn crash_engine(&mut self) {
+        self.sys.reset_engine();
+    }
+
+    /// Recover the engine: re-register queries via `register` (same
+    /// queries, same order as the checkpointed run — derived stream types
+    /// are preregistered first), restore the newest valid checkpoint, and
+    /// replay the log tail. Replayed emissions are returned in the report,
+    /// not appended to the system's detection archive (in a real restart
+    /// the archive starts empty; in-place the live copies are already
+    /// there).
+    pub fn recover_engine(
+        &mut self,
+        register: impl FnOnce(&mut SaseSystem) -> CoreResult<()>,
+    ) -> Result<RecoveryReport> {
+        self.sys.reset_engine();
+        let (ckpt, corrupt_checkpoints) = load_latest_checkpoint(&self.dir)?;
+        if let Some(c) = &ckpt {
+            preregister_derived(self.sys.schemas(), &c.engines)?;
+        }
+        register(&mut self.sys)?;
+        let replay_from = match &ckpt {
+            Some(c) => {
+                self.sys.engine().state_restore(&c.engines)?;
+                c.replay_from_seq
+            }
+            None => 0,
+        };
+        ensure_log_covers(&self.dir, &self.log, replay_from)?;
+        let registry = self.sys.schemas().clone();
+        let records = self.log.replay_from(&registry, replay_from)?;
+        let sys = &mut self.sys;
+        let run = drive_replay(records, |events| sys.engine().process_batch(events))?;
+        Ok(RecoveryReport {
+            checkpoint_seq: ckpt.map(|c| c.replay_from_seq),
+            records_replayed: run.records,
+            events_replayed: run.events,
+            emissions: run.emissions,
+            replay_errors: run.errors,
+            corrupt_checkpoints,
+        })
+    }
+}
+
+impl std::fmt::Debug for DurableSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableSystem")
+            .field("dir", &self.dir)
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sase_core::event::retail_registry;
+    use sase_core::value::Value;
+
+    const Q: &str = "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                     WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId AS tag";
+
+    fn tmp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sase-durable-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine_with_q() -> Engine {
+        let mut e = Engine::new(retail_registry());
+        e.register("q", Q).unwrap();
+        e
+    }
+
+    fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64) -> Event {
+        reg.build_event(
+            ty,
+            ts,
+            vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_ingest_checkpoint_recover_resumes() {
+        let dir = tmp_dir("basic");
+        let mut durable =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().registry().clone();
+
+        // Two shelf readings land in stacks; checkpoint; one more batch
+        // after the checkpoint stays only in the log.
+        durable
+            .ingest(0, &[ev(&reg, "SHELF_READING", 1, 7)])
+            .unwrap();
+        let seq = durable.checkpoint().unwrap();
+        assert_eq!(seq, 1);
+        let out = durable
+            .ingest(1, &[ev(&reg, "SHELF_READING", 2, 8)])
+            .unwrap();
+        assert!(out.is_empty());
+        drop(durable);
+
+        let (mut recovered, report) =
+            DurableEngine::recover(&dir, DurableOptions::default(), |snaps| {
+                let reg = retail_registry();
+                if let Some(snaps) = snaps {
+                    preregister_derived(&reg, snaps)?;
+                }
+                let mut e = Engine::new(reg);
+                e.register("q", Q)?;
+                Ok(e)
+            })
+            .unwrap();
+        assert_eq!(report.checkpoint_seq, Some(1));
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(report.events_replayed, 1);
+        assert!(report.emissions.is_empty());
+        assert!(report.corrupt_checkpoints.is_empty());
+
+        // Both pending shelf readings must pair with the exit.
+        let reg = recovered.engine().registry().clone();
+        let out = recovered
+            .ingest(
+                2,
+                &[
+                    ev(&reg, "EXIT_READING", 3, 7),
+                    ev(&reg, "EXIT_READING", 3, 8),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_without_checkpoint_replays_everything() {
+        let dir = tmp_dir("nockpt");
+        let mut durable =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().registry().clone();
+        let live = durable
+            .ingest(
+                0,
+                &[
+                    ev(&reg, "SHELF_READING", 1, 7),
+                    ev(&reg, "EXIT_READING", 2, 7),
+                ],
+            )
+            .unwrap();
+        assert_eq!(live.len(), 1);
+        drop(durable);
+
+        let (_, report) = DurableEngine::recover(&dir, DurableOptions::default(), |_| {
+            let mut e = Engine::new(retail_registry());
+            e.register("q", Q)?;
+            Ok(e)
+        })
+        .unwrap();
+        assert_eq!(report.checkpoint_seq, None);
+        assert_eq!(report.records_replayed, 1);
+        // Deterministic replay: the match is re-emitted byte-for-byte.
+        assert_eq!(report.emissions.len(), 1);
+        assert_eq!(report.emissions[0].to_string(), live[0].to_string());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_deployment() {
+        let dir = tmp_dir("refuse");
+        let mut durable =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().registry().clone();
+        durable
+            .ingest(0, &[ev(&reg, "SHELF_READING", 1, 7)])
+            .unwrap();
+        drop(durable);
+        let err =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            DurableError::Store(StoreError::InvalidArgument(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_ahead_of_truncated_log_is_detected() {
+        let dir = tmp_dir("ahead");
+        let mut durable =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().registry().clone();
+        for tick in 0..5u64 {
+            durable
+                .ingest(tick, &[ev(&reg, "SHELF_READING", tick + 1, 7)])
+                .unwrap();
+        }
+        durable.checkpoint().unwrap();
+        let seg = durable.log().segments()[0].clone();
+        drop(durable);
+        // Cut away two committed records the checkpoint depends on.
+        let bytes = std::fs::read(&seg.path).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg.path)
+            .unwrap();
+        f.set_len(bytes.len() as u64 / 2).unwrap();
+        drop(f);
+
+        let err = DurableEngine::<Engine>::recover(&dir, DurableOptions::default(), |_| {
+            let mut e = Engine::new(retail_registry());
+            e.register("q", Q)?;
+            Ok(e)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, DurableError::Store(StoreError::Corrupt { .. })),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_rejected_batch_cannot_poison_recovery() {
+        // A batch the engine rejects (timestamp regression) is already
+        // durably logged. Recovery must report the deterministic
+        // re-rejection and keep going — every record after the poisoned
+        // one stays reachable.
+        let dir = tmp_dir("poison");
+        let mut durable =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().registry().clone();
+        durable
+            .ingest(0, &[ev(&reg, "SHELF_READING", 10, 7)])
+            .unwrap();
+        // Same tick, regressed event timestamp: log accepts, engine rejects.
+        let err = durable
+            .ingest(0, &[ev(&reg, "SHELF_READING", 5, 7)])
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Core(_)));
+        // The system keeps running past the bad batch.
+        let live = durable
+            .ingest(1, &[ev(&reg, "EXIT_READING", 11, 7)])
+            .unwrap();
+        assert_eq!(live.len(), 1);
+        drop(durable);
+
+        let (mut recovered, report) =
+            DurableEngine::recover(&dir, DurableOptions::default(), |_| {
+                let mut e = Engine::new(retail_registry());
+                e.register("q", Q)?;
+                Ok(e)
+            })
+            .unwrap();
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.replay_errors.len(), 1);
+        assert_eq!(report.replay_errors[0].0, 1, "the poisoned record's seq");
+        assert!(report.replay_errors[0].1.contains("out-of-order"));
+        // The record after the poison replayed: its match was re-emitted
+        // and the engine resumed with live state intact.
+        assert_eq!(report.emissions.len(), 1);
+        assert_eq!(report.emissions[0].to_string(), live[0].to_string());
+        let reg = recovered.engine().registry().clone();
+        let out = recovered
+            .ingest(2, &[ev(&reg, "EXIT_READING", 12, 7)])
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_restore_rejects_wrong_shard_count() {
+        let mut builder = crate::ShardedEngineBuilder::new(retail_registry());
+        builder.register("a", Q).unwrap();
+        builder
+            .register("b", "EVENT COUNTER_READING c RETURN c.TagId AS t")
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+        let snaps = sharded.state_snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert!(sharded.state_restore(&snaps[..1]).is_err());
+        assert!(sharded.state_restore(&snaps).is_ok());
+    }
+}

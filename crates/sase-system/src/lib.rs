@@ -24,6 +24,7 @@
 
 pub mod builtins;
 pub mod concurrent;
+pub mod durable;
 pub mod queries;
 pub mod report;
 pub mod system;
@@ -31,6 +32,10 @@ pub mod system;
 pub use builtins::{register_db_builtins, retail_area_descriptions, seed_area_info};
 pub use concurrent::{
     run_pipelined, IngestStage, PipelinedRun, ShardedEngine, ShardedEngineBuilder,
+};
+pub use durable::{
+    CheckpointableEngine, DurableEngine, DurableError, DurableOptions, DurableSystem,
+    RecoveryReport, ReplayRun,
 };
 pub use report::UiReport;
 pub use system::{SaseSystem, TickResult};

@@ -152,6 +152,17 @@ impl SaseSystem {
         &mut self.engine
     }
 
+    /// Replace the engine with a fresh, empty one sharing the same schema
+    /// and function registries — the "crash" half of engine-boundary
+    /// recovery: every registered query, all NFA runtime state, and the
+    /// stream clocks are gone, while the upstream layers (devices,
+    /// cleaning, database) keep running. Recovery re-registers queries and
+    /// restores a checkpoint (see [`crate::durable::DurableSystem`]).
+    pub fn reset_engine(&mut self) {
+        self.engine =
+            Engine::with_functions(self.registry.clone(), self.engine.functions().clone());
+    }
+
     /// The device simulator.
     pub fn simulator(&mut self) -> &mut RfidSimulator {
         &mut self.sim
@@ -211,17 +222,60 @@ impl SaseSystem {
         )
     }
 
+    /// Archive detections produced outside the tick path (the durable
+    /// wrapper's retried batches) so the "Message Results" window stays
+    /// complete.
+    pub(crate) fn archive_detections(&mut self, detections: &[ComplexEvent]) {
+        self.detections.extend(detections.iter().cloned());
+    }
+
+    /// Advance the device and cleaning layers by one scan cycle *without*
+    /// feeding the engine (the cycle's events are dropped).
+    ///
+    /// This is the upstream fast-forward for full-process recovery: the
+    /// simulator and the cleaning layers (smoothing windows, dedup
+    /// history, event-generation clock) are deterministic, so re-driving
+    /// them to the crash tick reproduces their in-flight state exactly —
+    /// after which live ticks continue the logical-time stream where the
+    /// dead process left it. The engine's own state comes from the
+    /// checkpoint + log instead (see `crate::durable::DurableSystem`).
+    pub fn advance_upstream(&mut self, scenario: Option<&RetailScenario>) -> CoreResult<()> {
+        let tick: Tick = self.sim.now();
+        if let Some(s) = scenario {
+            s.apply_tick(&mut self.sim, tick);
+        }
+        let readings = self.sim.tick();
+        self.pipeline.process_tick(tick, &readings)?;
+        Ok(())
+    }
+
     /// Capacity of the bounded cleaned-event tap backing the UI window.
     const TAP_CAPACITY: usize = 256;
 
     /// Run one scan cycle: simulator → cleaning → event processor.
     pub fn tick(&mut self, scenario: Option<&RetailScenario>) -> CoreResult<TickResult> {
+        self.tick_observed(scenario, &mut |_, _| Ok(()))
+    }
+
+    /// Like [`SaseSystem::tick`], but `observer` sees the tick's cleaned
+    /// events *before* the engine ingests them. The durable deployment
+    /// ([`crate::durable::DurableSystem`]) uses this as its write-ahead
+    /// hook: the batch is appended to the event log first, so a crash
+    /// between logging and processing replays the batch instead of losing
+    /// it. An observer error aborts the tick before the engine sees the
+    /// batch.
+    pub fn tick_observed(
+        &mut self,
+        scenario: Option<&RetailScenario>,
+        observer: &mut dyn FnMut(Tick, &[Event]) -> CoreResult<()>,
+    ) -> CoreResult<TickResult> {
         let tick: Tick = self.sim.now();
         if let Some(s) = scenario {
             s.apply_tick(&mut self.sim, tick);
         }
         let readings = self.sim.tick();
         let events = self.pipeline.process_tick(tick, &readings)?;
+        observer(tick, &events)?;
         // One batched ingest per tick instead of per-event engine calls.
         let detections = self.engine.process_batch(&events)?;
         // Bounded UI tap: make room first so only surviving events are

@@ -10,11 +10,15 @@
 //!   synthetic workload generators.
 //! * [`db`] — the event database (in-memory relational store, SQL subset,
 //!   location/containment history, track-and-trace).
+//! * [`store`] — durability: the segmented event log and engine
+//!   checkpoint files.
 //! * [`system`] — full-system wiring: devices → cleaning → event processor
-//!   → database, plus the paper's built-in DB functions and the textual UI.
+//!   → database, plus the paper's built-in DB functions, durable
+//!   deployments with crash recovery, and the textual UI.
 
 pub use sase_core as core;
 pub use sase_db as db;
 pub use sase_rfid as rfid;
+pub use sase_store as store;
 pub use sase_stream as stream;
 pub use sase_system as system;

@@ -45,7 +45,7 @@ fn two_stage_pipeline_with_lazy_schema() {
         ev(&registry, "SHELF_READING", 10, 7, 1),
         ev(&registry, "SHELF_READING", 20, 7, 2),
     ];
-    let out = engine.process_all(&stream).unwrap();
+    let out = engine.process_batch(&stream).unwrap();
     assert_eq!(out.len(), 1);
     assert!(
         registry.type_id("moves").is_some(),
@@ -68,7 +68,7 @@ fn two_stage_pipeline_with_lazy_schema() {
         ev(&registry, "SHELF_READING", 30, 7, 1),
         ev(&registry, "SHELF_READING", 40, 7, 2),
     ];
-    let out = engine.process_all(&stream2).unwrap();
+    let out = engine.process_batch(&stream2).unwrap();
     let stage2_hits: Vec<_> = out
         .iter()
         .filter(|d| d.query.as_ref() == "stage2")

@@ -63,7 +63,7 @@ fn q1_parses_verbatim_and_detects_shoplifting() {
         ev(&registry, "SHELF_READING", 10_000, 9, "bread", 1),
         ev(&registry, "EXIT_READING", 60_000, 9, "bread", 4),
     ];
-    let out = engine.process_all(&stream).unwrap();
+    let out = engine.process_batch(&stream).unwrap();
     assert_eq!(out.len(), 1, "only the soap shoplifting fires");
     let d = &out[0];
     assert_eq!(d.value("x.TagId"), Some(&Value::Int(42)));
@@ -100,7 +100,7 @@ fn q2_parses_verbatim_and_triggers_updates() {
         ev(&registry, "SHELF_READING", 20, 5, "soap", 1), // same area: no fire
         ev(&registry, "SHELF_READING", 30, 5, "soap", 2), // moved
     ];
-    let out = engine.process_all(&stream).unwrap();
+    let out = engine.process_batch(&stream).unwrap();
     // Both the ts=10 and ts=20 readings pair with the ts=30 one.
     assert_eq!(out.len(), 2);
     assert_eq!(last_area.load(Ordering::SeqCst), 2);
@@ -123,7 +123,7 @@ fn q1_window_boundary_is_inclusive() {
         ev(&registry, "SHELF_READING", 43_201, 2, "soap", 1),
         ev(&registry, "EXIT_READING", 86_402, 2, "soap", 4), // 12h + 1
     ];
-    let out = engine.process_all(&stream).unwrap();
+    let out = engine.process_batch(&stream).unwrap();
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].value("x.TagId"), Some(&Value::Int(1)));
 }
@@ -145,7 +145,7 @@ fn negation_counterexample_must_be_strictly_between() {
         ev(&registry, "SHELF_READING", 10, 1, "soap", 1),
         ev(&registry, "EXIT_READING", 20, 1, "soap", 4),
     ];
-    let out = engine.process_all(&stream).unwrap();
+    let out = engine.process_batch(&stream).unwrap();
     assert_eq!(out.len(), 1, "prior counter reading is out of scope");
 
     // A counter reading for a different tag does not save the thief either.
@@ -162,7 +162,7 @@ fn negation_counterexample_must_be_strictly_between() {
         ev(&registry, "COUNTER_READING", 15, 2, "milk", 3),
         ev(&registry, "EXIT_READING", 20, 1, "soap", 4),
     ];
-    let out = engine2.process_all(&stream).unwrap();
+    let out = engine2.process_batch(&stream).unwrap();
     assert_eq!(out.len(), 1);
 }
 
