@@ -1,0 +1,46 @@
+//! Emit `BENCH_eval.json`: predicate-program vs tree-interpreter
+//! evaluation latency per predicate shape, plus a re-run of the 128-query
+//! indexed ingest workload on the new evaluation path.
+//!
+//! ```text
+//! cargo run --release -p sase-bench --bin eval            # full run
+//! cargo run --release -p sase-bench --bin eval -- --test  # CI smoke
+//! ```
+//!
+//! Flags: `--test` (tiny sizes, shape-check only), `--iters N`,
+//! `--events N` (ingest re-run stream), `--out PATH` (default
+//! `BENCH_eval.json`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test = args.iter().any(|a| a == "--test");
+    let mut out_path = "BENCH_eval.json".to_string();
+    let mut iters: usize = if test { 4 } else { 2_000 };
+    let mut events: usize = if test { 2_000 } else { 120_000 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--iters" if i + 1 < args.len() => {
+                iters = args[i + 1].parse().expect("--iters takes a count");
+                i += 1;
+            }
+            "--events" if i + 1 < args.len() => {
+                events = args[i + 1].parse().expect("--events takes a count");
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let mode = if test { "test" } else { "full" };
+    let json = sase_bench::evalbench::eval_report(iters, events, mode);
+    sase_bench::minijson::validate(&json).expect("report must be well-formed JSON");
+    std::fs::write(&out_path, json.as_bytes()).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path} (iters {iters}, ingest events {events}, mode {mode})");
+}

@@ -1,0 +1,285 @@
+//! The predicate-evaluation benchmark: flat [`PredicateProgram`] bytecode
+//! vs the retained [`CompiledExpr`] tree interpreter, per predicate shape,
+//! plus a re-run of the ingest workload so `BENCH_eval.json` records the
+//! end-to-end effect of the zero-allocation evaluation path.
+//!
+//! The `eval` binary renders the measurements as `BENCH_eval.json`.
+
+use std::time::Instant;
+
+use sase_core::engine::RoutingMode;
+use sase_core::event::{retail_registry, Event, SchemaRegistry};
+use sase_core::expr::CompiledExpr;
+use sase_core::functions::FunctionRegistry;
+use sase_core::lang::{parse_expr, parse_query};
+use sase_core::pattern::CompiledPattern;
+use sase_core::program::PredicateProgram;
+use sase_core::value::Value;
+
+use crate::ingest;
+
+/// The indexed-engine throughput at 128 queries recorded by the ingest
+/// bench *before* the predicate-program work landed — the baseline the
+/// ISSUE's ≥1.3x end-to-end criterion measures against.
+pub const INGEST_BASELINE_128Q_EV_PER_SEC: f64 = 1_548_712.5;
+
+/// One measured predicate shape.
+#[derive(Debug, Clone)]
+pub struct EvalRun {
+    /// Shape label.
+    pub shape: String,
+    /// The predicate source text.
+    pub src: String,
+    /// Nanoseconds per evaluation, tree interpreter.
+    pub tree_ns: f64,
+    /// Nanoseconds per evaluation, predicate program.
+    pub program_ns: f64,
+    /// `tree_ns / program_ns`.
+    pub speedup: f64,
+}
+
+/// The measured shapes: label, predicate source. `equiv` is the
+/// equivalence-heavy workload the acceptance criterion names.
+pub fn shapes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "equiv",
+            "x.TagId = y.TagId AND y.TagId = z.TagId AND x.TagId = z.TagId",
+        ),
+        ("attr_lit", "x.AreaId > 1 AND x.TagId != 9999"),
+        ("window_arith", "z.Timestamp - x.ts < 40"),
+        ("mixed_or", "x.TagId = z.TagId OR x.AreaId < y.AreaId"),
+        ("call_fn", "_abs(x.AreaId - y.AreaId) >= 1"),
+    ]
+}
+
+/// A three-slot pattern over the retail types (x: SHELF, y: COUNTER,
+/// z: EXIT).
+fn bench_pattern(reg: &SchemaRegistry) -> CompiledPattern {
+    let q = parse_query("EVENT SEQ(SHELF_READING x, COUNTER_READING y, EXIT_READING z) WITHIN 100")
+        .unwrap();
+    CompiledPattern::compile(&q.pattern, reg).unwrap()
+}
+
+/// Deterministic pool of fully-bound three-event matches.
+fn bindings(reg: &SchemaRegistry, n: usize) -> Vec<Vec<Event>> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|i| {
+            let tag = (next() % 16) as i64;
+            let same = next() % 2 == 0;
+            let tag2 = if same { tag } else { (next() % 16) as i64 };
+            let mk = |ty: &str, ts: u64, tag: i64, area: i64| {
+                reg.build_event(
+                    ty,
+                    ts,
+                    vec![Value::Int(tag), Value::str("p"), Value::Int(area)],
+                )
+                .unwrap()
+            };
+            let base = i as u64 * 3 + 1;
+            vec![
+                mk("SHELF_READING", base, tag, 1 + (next() % 4) as i64),
+                mk("COUNTER_READING", base + 1, tag2, 3),
+                mk("EXIT_READING", base + 2, tag, 4),
+            ]
+        })
+        .collect()
+}
+
+/// Measure one shape: `iters` passes over the binding pool for each
+/// evaluator.
+pub fn run_shape(
+    reg: &SchemaRegistry,
+    pattern: &CompiledPattern,
+    shape: &str,
+    src: &str,
+    pool: &[Vec<Event>],
+    iters: usize,
+) -> EvalRun {
+    let slots = pattern.slot_table();
+    let ast = parse_expr(src).expect("bench predicate parses");
+    let tree = CompiledExpr::compile(&ast, &slots[..], &FunctionRegistry::with_stdlib())
+        .expect("bench predicate compiles");
+    let program =
+        PredicateProgram::from_expr(tree.clone(), pattern, reg).expect("program compiles");
+
+    // Warm both paths (dynamic-resolution memos, branch predictors).
+    let mut hits = 0usize;
+    for m in pool {
+        hits += tree.eval_bool(&m[..]).unwrap() as usize;
+        hits += program.eval_bool(&m[..]).unwrap() as usize;
+    }
+
+    let evals = (iters * pool.len()) as f64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for m in pool {
+            hits += tree.eval_bool(&m[..]).unwrap() as usize;
+        }
+    }
+    let tree_ns = start.elapsed().as_nanos() as f64 / evals;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        for m in pool {
+            hits += program.eval_bool(&m[..]).unwrap() as usize;
+        }
+    }
+    let program_ns = start.elapsed().as_nanos() as f64 / evals;
+    std::hint::black_box(hits);
+
+    EvalRun {
+        shape: shape.to_string(),
+        src: src.to_string(),
+        tree_ns,
+        program_ns,
+        speedup: tree_ns / program_ns.max(1e-9),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Run the full measurement matrix and render `BENCH_eval.json`.
+///
+/// `iters` scales the per-shape work; `ingest_events` the re-run ingest
+/// stream (the `--test` smoke run uses tiny sizes, so only the full run's
+/// numbers are meaningful).
+pub fn eval_report(iters: usize, ingest_events: usize, mode_label: &str) -> String {
+    let reg = retail_registry();
+    let pattern = bench_pattern(&reg);
+    let pool = bindings(&reg, 512);
+
+    let runs: Vec<EvalRun> = shapes()
+        .into_iter()
+        .map(|(shape, src)| run_shape(&reg, &pattern, shape, src, &pool, iters))
+        .collect();
+    let equiv_speedup = runs
+        .iter()
+        .find(|r| r.shape == "equiv")
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
+
+    // Re-run the ingest workload (indexed routing, 128 standing queries)
+    // on the new evaluation path. Best of two passes: the first pass pays
+    // cold caches and allocator warm-up for the whole stream.
+    let (ingest_registry, events) = ingest::ingest_stream(ingest_events, 7);
+    let measure = || {
+        ingest::run_ingest_engine(
+            &ingest_registry,
+            &events,
+            128,
+            RoutingMode::Indexed,
+            ingest::INGEST_BATCH,
+        )
+    };
+    let (first, second) = (measure(), measure());
+    assert_eq!(
+        first.matches, second.matches,
+        "ingest runs are deterministic"
+    );
+    let ingest_run = if second.events_per_sec > first.events_per_sec {
+        second
+    } else {
+        first
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"eval\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode_label)));
+    out.push_str(&format!("  \"bindings\": {},\n", pool.len()));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str("  \"shapes\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"predicate\": \"{}\", \"tree_ns_per_eval\": {:.1}, \
+             \"program_ns_per_eval\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            json_escape(&r.shape),
+            json_escape(&r.src),
+            r.tree_ns,
+            r.program_ns,
+            r.speedup,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_program_vs_tree_equiv\": {equiv_speedup:.2},\n"
+    ));
+    out.push_str("  \"speedup_target\": 2.5,\n");
+    out.push_str(&format!(
+        "  \"ingest_rerun\": {{\"queries\": 128, \"routing\": \"indexed\", \
+         \"events\": {}, \"events_per_sec\": {:.1}, \"matches\": {}, \
+         \"baseline_events_per_sec\": {INGEST_BASELINE_128Q_EV_PER_SEC:.1}, \
+         \"speedup_vs_baseline\": {:.2}}}\n",
+        events.len(),
+        ingest_run.events_per_sec,
+        ingest_run.matches,
+        ingest_run.events_per_sec / INGEST_BASELINE_128Q_EV_PER_SEC,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minijson;
+
+    #[test]
+    fn report_is_wellformed_json() {
+        let json = eval_report(2, 400, "test");
+        minijson::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"bench\": \"eval\""));
+        assert!(json.contains("\"speedup_program_vs_tree_equiv\""));
+        assert!(json.contains("\"ingest_rerun\""));
+        for (shape, _) in shapes() {
+            assert!(json.contains(&format!("\"shape\": \"{shape}\"")), "{shape}");
+        }
+    }
+
+    /// Program and tree agree on every pooled binding for every shape (the
+    /// bench's own sanity differential; the exhaustive one is a property
+    /// test in sase-core).
+    #[test]
+    fn program_and_tree_agree_on_pool() {
+        let reg = retail_registry();
+        let pattern = bench_pattern(&reg);
+        let pool = bindings(&reg, 64);
+        let slots = pattern.slot_table();
+        for (_, src) in shapes() {
+            let ast = parse_expr(src).unwrap();
+            let tree =
+                CompiledExpr::compile(&ast, &slots[..], &FunctionRegistry::with_stdlib()).unwrap();
+            let program = PredicateProgram::from_expr(tree.clone(), &pattern, &reg).unwrap();
+            for m in &pool {
+                assert_eq!(
+                    tree.eval_bool(&m[..]).unwrap(),
+                    program.eval_bool(&m[..]).unwrap(),
+                    "{src}"
+                );
+            }
+        }
+    }
+}

@@ -234,7 +234,22 @@ pub fn ingest_report(events_n: usize, shards: usize, batch: usize, mode_label: &
         "  \"speedup_indexed_vs_scan_all_at_{max_q}_queries\": {speedup:.2},\n"
     ));
     out.push_str(&format!(
-        "  \"speedup_target\": {INGEST_SPEEDUP_TARGET:.1}\n"
+        "  \"speedup_target\": {INGEST_SPEEDUP_TARGET:.1},\n"
+    ));
+    let sharded_rate = runs
+        .iter()
+        .rev()
+        .find(|r| r.label.starts_with("sharded") && r.queries == max_q)
+        .map(|r| r.events_per_sec)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  \"sharded_note\": \"persistent per-shard worker threads replaced the \
+         per-batch scoped spawn/join (plus FxHash maps and zero-alloc predicate \
+         programs): sharded-{shards} at {max_q} queries was 874,620 ev/s before the fix \
+         (slower than single-shard indexed) and is {sharded_rate:.0} ev/s in this \
+         report's runs; the indexed single engine remains faster on this workload \
+         because its per-query work is tiny while every shard pays the full \
+         per-event routing loop\"\n",
     ));
     out.push_str("}\n");
     out

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod evalbench;
 pub mod ingest;
 pub mod minijson;
 pub mod replay;

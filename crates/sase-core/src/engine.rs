@@ -28,7 +28,9 @@
 //! registration and once per ingest call, so `RETURN ... INTO Foo` feeds
 //! `FROM foo`.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+
+use crate::hash::{FxHashMap, FxHashSet};
 
 use crate::error::{Result, SaseError};
 use crate::event::{Event, EventTypeId, SchemaRegistry};
@@ -109,9 +111,9 @@ struct Registered {
 #[derive(Debug, Default)]
 struct RouterIndex {
     /// Routes for the default (unnamed) input stream.
-    default_stream: HashMap<EventTypeId, Vec<usize>>,
+    default_stream: FxHashMap<EventTypeId, Vec<usize>>,
     /// Routes per named stream (keys normalized to lowercase).
-    named: HashMap<String, HashMap<EventTypeId, Vec<usize>>>,
+    named: FxHashMap<String, FxHashMap<EventTypeId, Vec<usize>>>,
 }
 
 impl RouterIndex {
@@ -161,17 +163,17 @@ pub struct Engine {
     router: RouterIndex,
     /// Lazily-registered event types of derived (`INTO`) output streams,
     /// keyed by normalized stream name.
-    derived_types: HashMap<String, DerivedEntry>,
+    derived_types: FxHashMap<String, DerivedEntry>,
     /// Streams whose event type the engine registered but whose producers
     /// are all gone: the next producer may redefine the schema.
-    reusable_derived: HashSet<String>,
+    reusable_derived: FxHashSet<String>,
     /// Per-stream monotonicity clocks (key = normalized stream name,
     /// `None` = default stream). Events must arrive in non-decreasing
     /// timestamp order per stream; the engine enforces this once, before
     /// routing, so both routing modes reject regressions identically
     /// (per-query runtimes repeat the check for defense in depth, but
     /// under indexed routing they only see their relevant events).
-    stream_clocks: HashMap<Option<String>, crate::time::Timestamp>,
+    stream_clocks: FxHashMap<Option<String>, crate::time::Timestamp>,
 }
 
 /// Maximum chain of query-to-query derivations one input event may cause;
@@ -204,9 +206,9 @@ impl Engine {
             by_name: HashMap::new(),
             routing: RoutingMode::default(),
             router: RouterIndex::default(),
-            derived_types: HashMap::new(),
-            reusable_derived: HashSet::new(),
-            stream_clocks: HashMap::new(),
+            derived_types: FxHashMap::default(),
+            reusable_derived: FxHashSet::default(),
+            stream_clocks: FxHashMap::default(),
         }
     }
 
@@ -649,8 +651,8 @@ impl Engine {
             q.runtime.restore(qs, &self.registry)?;
         }
 
-        let mut derived_types = HashMap::new();
-        let mut reusable_derived = HashSet::new();
+        let mut derived_types = FxHashMap::default();
+        let mut reusable_derived = FxHashSet::default();
         for d in &snap.derived_streams {
             let key = d.type_name.to_ascii_lowercase();
             let id = self.registry.type_id(&d.type_name).ok_or_else(|| {

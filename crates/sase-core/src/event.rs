@@ -9,15 +9,40 @@
 //! `TagId` in Q1 and `id` / `area_id` in Q2), and every event exposes the
 //! pseudo-attribute `timestamp` (also reachable as `ts`).
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use crate::error::{Result, SaseError};
+use crate::hash::FxHashMap;
 use crate::time::Timestamp;
 use crate::value::{Value, ValueType};
+
+/// Run `f` over the ASCII-lowercased form of `name` without heap-allocating
+/// in the common cases: names that are already lowercase are passed through
+/// untouched, and mixed-case names up to 64 bytes are lowercased into a
+/// stack buffer. Only pathological (>64-byte, mixed-case) names fall back
+/// to an owned `String`.
+///
+/// Every case-insensitive lookup on the ingest/wire path funnels through
+/// this, so schema and attribute resolution never allocates per event.
+pub(crate) fn with_ascii_lowercase<R>(name: &str, f: impl FnOnce(&str) -> R) -> R {
+    if !name.bytes().any(|b| b.is_ascii_uppercase()) {
+        return f(name);
+    }
+    let bytes = name.as_bytes();
+    if bytes.len() <= 64 {
+        let mut buf = [0u8; 64];
+        let slice = &mut buf[..bytes.len()];
+        slice.copy_from_slice(bytes);
+        slice.make_ascii_lowercase();
+        // Lowercasing only rewrites ASCII bytes, so UTF-8 validity holds.
+        f(std::str::from_utf8(slice).expect("ascii-lowercasing preserves utf-8"))
+    } else {
+        f(&name.to_ascii_lowercase())
+    }
+}
 
 /// Interned identifier of an event type within a [`SchemaRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,7 +62,7 @@ pub struct Schema {
     /// Ordered attribute declarations.
     pub attributes: Vec<AttributeDecl>,
     /// Lowercased attribute name -> position, for case-insensitive lookup.
-    index: HashMap<String, usize>,
+    index: FxHashMap<String, usize>,
 }
 
 /// A single attribute declaration inside a [`Schema`].
@@ -55,7 +80,8 @@ impl Schema {
     /// Fails if two attributes collide case-insensitively or an attribute
     /// shadows the `timestamp`/`ts` pseudo-attributes.
     pub fn new(name: impl AsRef<str>, attrs: &[(&str, ValueType)]) -> Result<Schema> {
-        let mut index = HashMap::with_capacity(attrs.len());
+        let mut index = FxHashMap::default();
+        index.reserve(attrs.len());
         let mut attributes = Vec::with_capacity(attrs.len());
         for (pos, (attr, ty)) in attrs.iter().enumerate() {
             let key = attr.to_ascii_lowercase();
@@ -87,9 +113,18 @@ impl Schema {
         self.attributes.len()
     }
 
-    /// Case-insensitive position lookup.
+    /// Case-insensitive position lookup (allocation-free for names up to
+    /// 64 bytes).
     pub fn attr_position(&self, attr: &str) -> Option<usize> {
-        self.index.get(&attr.to_ascii_lowercase()).copied()
+        with_ascii_lowercase(attr, |lc| self.index.get(lc).copied())
+    }
+
+    /// Position lookup for an *already-lowercased* attribute name. The
+    /// compiled-predicate fast path lowercases names once at plan time and
+    /// resolves through this at eval time — one hash probe, no allocation,
+    /// no byte scan.
+    pub fn attr_position_lc(&self, attr_lc: &str) -> Option<usize> {
+        self.index.get(attr_lc).copied()
     }
 
     /// Declared type of an attribute.
@@ -109,7 +144,7 @@ pub struct SchemaRegistry {
 #[derive(Debug, Default)]
 struct RegistryInner {
     schemas: Vec<Arc<Schema>>,
-    by_name: HashMap<String, EventTypeId>,
+    by_name: FxHashMap<String, EventTypeId>,
 }
 
 impl SchemaRegistry {
@@ -157,13 +192,11 @@ impl SchemaRegistry {
         Ok(id)
     }
 
-    /// Look up a type id by name (case-insensitive).
+    /// Look up a type id by name (case-insensitive). The registry stores
+    /// pre-lowercased keys, so the lookup itself never heap-allocates —
+    /// this sits on the ingest/wire path and runs once per decoded frame.
     pub fn type_id(&self, name: &str) -> Option<EventTypeId> {
-        self.inner
-            .read()
-            .by_name
-            .get(&name.to_ascii_lowercase())
-            .copied()
+        with_ascii_lowercase(name, |lc| self.inner.read().by_name.get(lc).copied())
     }
 
     /// Fetch the schema for a type id.
@@ -446,6 +479,51 @@ mod tests {
         assert!(s.starts_with("EXIT_READING@9("));
         assert!(s.contains("TagId=1"));
         assert!(s.contains("ProductName='soap'"));
+    }
+
+    #[test]
+    fn case_insensitive_lookup_in_every_spelling() {
+        // Regression: `type_id` / `attr_position` must keep resolving all
+        // case spellings now that the lookup no longer builds a lowercased
+        // `String` per call (pre-lowercased keys + stack-buffer compare).
+        let r = reg();
+        let id = r.type_id("SHELF_READING").unwrap();
+        for spelling in [
+            "shelf_reading",
+            "Shelf_Reading",
+            "SHELF_reading",
+            "sHeLf_ReAdInG",
+        ] {
+            assert_eq!(r.type_id(spelling), Some(id), "spelling {spelling}");
+            assert!(r.schema_by_name(spelling).is_some());
+        }
+        let s = r.schema(id).unwrap();
+        for spelling in ["TagId", "tagid", "TAGID", "tagId"] {
+            assert_eq!(s.attr_position(spelling), Some(0), "spelling {spelling}");
+        }
+        assert_eq!(s.attr_position_lc("tagid"), Some(0));
+        // Pre-lowercased lookup is exact: it does not re-fold case.
+        assert_eq!(s.attr_position_lc("TagId"), None);
+
+        // Names longer than the 64-byte stack buffer still resolve (the
+        // rare heap fallback).
+        let long = "X".repeat(80);
+        let r2 = SchemaRegistry::new();
+        r2.register(&long, &[("A", ValueType::Int)]).unwrap();
+        assert!(r2.type_id(&long.to_ascii_lowercase()).is_some());
+        assert!(r2.type_id(&long).is_some());
+        // Non-ASCII names survive the byte-wise lowercase fold (`ë` is
+        // untouched; only ASCII letters fold).
+        let r3 = SchemaRegistry::new();
+        r3.register("Tëmp", &[("Grad°C", ValueType::Float)])
+            .unwrap();
+        assert!(r3.type_id("tëmp").is_some());
+        assert!(r3.type_id("Tëmp").is_some());
+        assert!(r3
+            .schema_by_name("Tëmp")
+            .unwrap()
+            .attr_position("grad°c")
+            .is_some());
     }
 
     #[test]

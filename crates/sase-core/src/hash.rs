@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for the engine's hot maps.
+//!
+//! The ingest path hashes small keys constantly: partition keys (one or
+//! two `ValueKey`s) on every stack admission, `(stream, event type)` router
+//! lookups on every event, and schema-attribute probes during dynamic
+//! resolution. The standard library's SipHash is DoS-resistant but pays
+//! for it on every lookup; these keys are either engine-internal or
+//! schema-bounded, so a multiply-rotate hash in the style of `rustc-hash`
+//! (FxHash) is the right trade.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher (the `rustc-hash` construction).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_borrow_consistent() {
+        // Vec<T> and [T] must hash identically or slice-keyed map lookups
+        // would silently miss.
+        use std::hash::{BuildHasher, Hash};
+        let b = FxBuildHasher::default();
+        let hash_of = |v: &dyn Fn(&mut FxHasher)| {
+            let mut h = b.build_hasher();
+            v(&mut h);
+            h.finish()
+        };
+        let vec = vec![1i64, 2, 3];
+        let slice: &[i64] = &[1, 2, 3];
+        assert_eq!(
+            hash_of(&|h| vec.hash(h)),
+            hash_of(&|h| slice.hash(h)),
+            "Vec and slice hash equally"
+        );
+        assert_ne!(hash_of(&|h| 1u64.hash(h)), hash_of(&|h| 2u64.hash(h)));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<Vec<i64>, &str> = FxHashMap::default();
+        m.insert(vec![7, 9], "a");
+        assert_eq!(m.get(&[7i64, 9][..]), Some(&"a"));
+        assert_eq!(m.get(&[7i64][..]), None);
+    }
+}

@@ -25,6 +25,15 @@
 //! the one exception: they resolve **case-sensitively** against the
 //! [`crate::functions::FunctionRegistry`] (`_abs`, not `_ABS`). Canonical
 //! printing preserves the spelling as written.
+//!
+//! **Attribute-name case is resolved at plan time, not per event**: when
+//! a query is compiled, every attribute reference is resolved against the
+//! schemas of its pattern slot's candidate event types — to a fixed
+//! position when they agree, or to a once-lowercased name with a memoized
+//! per-type lookup for heterogeneous `ANY(...)` slots (see
+//! [`crate::program`]). Evaluation never folds case or allocates for
+//! attribute access, so `x.TagId`, `x.tagid`, and `x.TAGID` compile to
+//! the *same* program.
 
 pub mod ast;
 pub mod lexer;

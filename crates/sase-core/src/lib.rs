@@ -61,11 +61,13 @@ pub mod error;
 pub mod event;
 pub mod expr;
 pub mod functions;
+pub mod hash;
 pub mod lang;
 pub mod nfa;
 pub mod output;
 pub mod pattern;
 pub mod plan;
+pub mod program;
 pub mod runtime;
 pub mod snapshot;
 pub mod time;
@@ -78,6 +80,7 @@ pub use functions::{BuiltinFunction, FunctionRegistry};
 pub use lang::{parse_query, Query};
 pub use output::ComplexEvent;
 pub use plan::{Planner, PlannerOptions, QueryPlan, SequenceStrategy};
+pub use program::PredicateProgram;
 pub use runtime::{QueryRuntime, RuntimeStats};
 pub use snapshot::EngineSnapshot;
 pub use time::{TimeScale, TimeUnit, Timestamp, WindowSpec};

@@ -29,24 +29,63 @@ use crate::expr::{CompiledExpr, SlotResolver};
 use crate::functions::FunctionRegistry;
 use crate::lang::ast::{BinOp, Expr};
 use crate::pattern::CompiledPattern;
+use crate::program::{AttrAccess, Fetched, PredicateProgram};
 use crate::value::ValueKey;
 
 use super::{ConstructionFilter, NegationPlan};
+
+/// A partition-key attribute, position-resolved at plan time so key
+/// extraction on the hot path is an index (or one memoized hash probe),
+/// never a per-event name lookup.
+#[derive(Debug, Clone)]
+pub struct KeyAttr {
+    /// The attribute name as written (diagnostics and EXPLAIN).
+    pub attr: Arc<str>,
+    access: AttrAccess,
+}
+
+impl KeyAttr {
+    /// Resolve `attr` against the candidate types of `slot`.
+    pub(crate) fn resolve(
+        attr: Arc<str>,
+        slot: usize,
+        pattern: &CompiledPattern,
+        registry: &SchemaRegistry,
+    ) -> KeyAttr {
+        let access = AttrAccess::resolve(&attr, &pattern.elements[slot].type_ids, registry);
+        KeyAttr { attr, access }
+    }
+
+    /// The partition key contribution of `event`, or `None` when the event
+    /// lacks the attribute (it can never satisfy the equivalence test).
+    #[inline]
+    pub fn key_of(&self, event: &Event) -> Option<ValueKey> {
+        Some(match self.access.value_of(event)? {
+            Fetched::Ref(v) => ValueKey::from_value(v),
+            Fetched::Ts(t) => ValueKey::Int(t),
+        })
+    }
+}
 
 /// One part of a composite partition key: for each pattern slot, the
 /// attribute whose value contributes to the key. Every positive slot is
 /// covered (`Some`); negated slots may or may not be.
 #[derive(Debug, Clone)]
 pub struct PartitionPart {
-    /// Slot-indexed attribute names.
-    pub per_slot_attr: Vec<Option<Arc<str>>>,
+    /// Slot-indexed, plan-time-resolved key attributes.
+    pub per_slot_attr: Vec<Option<KeyAttr>>,
     /// Variable names per slot, for display only.
     display: Vec<Option<(Arc<str>, Arc<str>)>>,
 }
 
 impl PartitionPart {
-    /// The key attribute for a slot, if the part covers it.
+    /// The key attribute name for a slot, if the part covers it.
     pub fn attr_for_slot(&self, slot: usize) -> Option<&Arc<str>> {
+        self.key_for_slot(slot).map(|k| &k.attr)
+    }
+
+    /// The resolved key attribute for a slot, if the part covers it.
+    pub fn key_for_slot(&self, slot: usize) -> Option<&KeyAttr> {
         self.per_slot_attr.get(slot).and_then(|a| a.as_ref())
     }
 }
@@ -66,17 +105,35 @@ impl PartitionSpec {
     /// correctly dropped by the caller.
     pub fn key_for_slot(&self, slot: usize, event: &Event) -> Option<Vec<ValueKey>> {
         let mut key = Vec::with_capacity(self.parts.len());
-        for part in &self.parts {
-            let attr = part.attr_for_slot(slot)?;
-            let v = event.attr(attr)?;
-            key.push(ValueKey::from_value(&v));
+        if self.key_for_slot_into(slot, event, &mut key) {
+            Some(key)
+        } else {
+            None
         }
-        Some(key)
+    }
+
+    /// Allocation-free variant of [`PartitionSpec::key_for_slot`]: fills a
+    /// caller-owned (reused) buffer and returns whether the event has a
+    /// complete key. The buffer is cleared first; on `false` its contents
+    /// are unspecified.
+    #[inline]
+    pub fn key_for_slot_into(&self, slot: usize, event: &Event, out: &mut Vec<ValueKey>) -> bool {
+        out.clear();
+        for part in &self.parts {
+            let Some(ka) = part.key_for_slot(slot) else {
+                return false;
+            };
+            let Some(k) = ka.key_of(event) else {
+                return false;
+            };
+            out.push(k);
+        }
+        true
     }
 
     /// Does every part cover `slot`?
     pub fn covers_slot(&self, slot: usize) -> bool {
-        self.parts.iter().all(|p| p.attr_for_slot(slot).is_some())
+        self.parts.iter().all(|p| p.key_for_slot(slot).is_some())
     }
 }
 
@@ -105,12 +162,12 @@ pub struct WhereAnalysis {
     /// Derived partition key, when requested and derivable.
     pub partition: Option<PartitionSpec>,
     /// Slot-indexed single-variable predicates.
-    pub element_filters: Vec<Vec<CompiledExpr>>,
+    pub element_filters: Vec<Vec<PredicateProgram>>,
     /// Multi-variable predicates over positive components.
     pub construction_filters: Vec<ConstructionFilter>,
     /// Per-negation (pattern order) predicates relating the candidate
     /// counterexample to positive bindings.
-    pub negation_checks: Vec<Vec<CompiledExpr>>,
+    pub negation_checks: Vec<Vec<PredicateProgram>>,
 }
 
 struct UnionFind {
@@ -304,20 +361,29 @@ impl<'a> Analyzer<'a> {
         let mut intra_slot_filters: Vec<(usize, Arc<str>, Arc<str>)> = Vec::new();
         for &root in &qualifying_roots {
             let members = &classes[&root];
-            let mut per_slot_attr: Vec<Option<Arc<str>>> = vec![None; slot_count];
+            let mut per_slot_attr: Vec<Option<KeyAttr>> = vec![None; slot_count];
             let mut display: Vec<Option<(Arc<str>, Arc<str>)>> = vec![None; slot_count];
             for &m in members {
                 let node = &nodes[m];
                 match &per_slot_attr[node.slot] {
                     None => {
-                        per_slot_attr[node.slot] = Some(node.attr.clone());
+                        per_slot_attr[node.slot] = Some(KeyAttr::resolve(
+                            node.attr.clone(),
+                            node.slot,
+                            self.pattern,
+                            self.registry,
+                        ));
                         display[node.slot] = Some((
                             self.pattern.elements[node.slot].variable.clone(),
                             node.attr.clone(),
                         ));
                     }
-                    Some(chosen) if chosen.to_ascii_lowercase() != node.attr_lc => {
-                        intra_slot_filters.push((node.slot, node.attr.clone(), chosen.clone()));
+                    Some(chosen) if chosen.attr.to_ascii_lowercase() != node.attr_lc => {
+                        intra_slot_filters.push((
+                            node.slot,
+                            node.attr.clone(),
+                            chosen.attr.clone(),
+                        ));
                     }
                     Some(_) => {}
                 }
@@ -369,7 +435,8 @@ impl<'a> Analyzer<'a> {
                         var,
                     }),
                 };
-                self.place_single_slot(slot, expr, &mut out);
+                let program = self.prog(expr)?;
+                self.place_single_slot(slot, program, &mut out);
             }
         }
 
@@ -377,6 +444,11 @@ impl<'a> Analyzer<'a> {
             out.partition = Some(PartitionSpec { parts });
         }
         Ok(out)
+    }
+
+    /// Compile a finished expression tree into its predicate program.
+    fn prog(&self, expr: CompiledExpr) -> Result<PredicateProgram> {
+        PredicateProgram::from_expr(expr, self.pattern, self.registry)
     }
 
     /// Expand an `[attr]` declaration that is not absorbed by partitioning.
@@ -406,7 +478,7 @@ impl<'a> Analyzer<'a> {
                     self.pattern.elements[w[1]].positive_index,
                 );
                 out.construction_filters.push(ConstructionFilter {
-                    expr,
+                    expr: self.prog(expr)?,
                     min_positive: min_p,
                     max_positive: max_p,
                 });
@@ -425,7 +497,7 @@ impl<'a> Analyzer<'a> {
                 left: Box::new(mk_attr(neg.slot)),
                 right: Box::new(mk_attr(first_positive_slot)),
             };
-            out.negation_checks[ni].push(expr);
+            out.negation_checks[ni].push(self.prog(expr)?);
         }
         Ok(())
     }
@@ -436,6 +508,7 @@ impl<'a> Analyzer<'a> {
         let mut slots = Vec::new();
         compiled.referenced_slots(&mut slots);
         slots.sort_unstable();
+        let program = self.prog(compiled)?;
 
         let negated: Vec<usize> = slots
             .iter()
@@ -451,14 +524,14 @@ impl<'a> Analyzer<'a> {
                 // Constant predicate: fold into construction (evaluated once
                 // per candidate match; cheap because it is constant).
                 out.construction_filters.push(ConstructionFilter {
-                    expr: compiled,
+                    expr: program,
                     min_positive: self.pattern.positive_len().saturating_sub(1),
                     max_positive: 0,
                 });
                 Ok(())
             }
             (1, 0) => {
-                self.place_single_slot(slots[0], compiled, out);
+                self.place_single_slot(slots[0], program, out);
                 Ok(())
             }
             (_, 1) => {
@@ -472,9 +545,9 @@ impl<'a> Analyzer<'a> {
                 if slots.len() == 1 {
                     // Single-variable predicate on the negated component:
                     // restricts which events count as occurrences.
-                    out.element_filters[neg_slot].push(compiled);
+                    out.element_filters[neg_slot].push(program);
                 } else {
-                    out.negation_checks[ni].push(compiled);
+                    out.negation_checks[ni].push(program);
                 }
                 Ok(())
             }
@@ -485,7 +558,7 @@ impl<'a> Analyzer<'a> {
                     .map(|s| self.pattern.elements[*s].positive_index)
                     .collect();
                 out.construction_filters.push(ConstructionFilter {
-                    expr: compiled,
+                    expr: program,
                     min_positive: *pidx.iter().min().expect("nonempty"),
                     max_positive: *pidx.iter().max().expect("nonempty"),
                 });
@@ -494,13 +567,13 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn place_single_slot(&self, slot: usize, compiled: CompiledExpr, out: &mut WhereAnalysis) {
+    fn place_single_slot(&self, slot: usize, program: PredicateProgram, out: &mut WhereAnalysis) {
         if self.slot_is_negated(slot) || self.push_single {
-            out.element_filters[slot].push(compiled);
+            out.element_filters[slot].push(program);
         } else {
             let p = self.pattern.elements[slot].positive_index;
             out.construction_filters.push(ConstructionFilter {
-                expr: compiled,
+                expr: program,
                 min_positive: p,
                 max_positive: p,
             });
@@ -560,7 +633,7 @@ pub(crate) fn negation_partition_attrs(
             plan.partition_attrs = Some(
                 spec.parts
                     .iter()
-                    .map(|p| p.attr_for_slot(slot).expect("covered").clone())
+                    .map(|p| p.key_for_slot(slot).expect("covered").clone())
                     .collect(),
             );
         }

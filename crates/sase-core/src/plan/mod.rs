@@ -21,10 +21,10 @@ pub use planner::Planner;
 use std::sync::Arc;
 
 use crate::event::EventTypeId;
-use crate::expr::CompiledExpr;
 use crate::lang::ast::{AggFunc, Query};
 use crate::nfa::Nfa;
 use crate::pattern::{CompiledPattern, NegationScope};
+use crate::program::PredicateProgram;
 use crate::time::LogicalDuration;
 
 /// Which sequence operator implements the EVENT clause.
@@ -93,8 +93,8 @@ impl PlannerOptions {
 /// A multi-variable predicate evaluated during sequence construction.
 #[derive(Debug, Clone)]
 pub struct ConstructionFilter {
-    /// The compiled predicate.
-    pub expr: CompiledExpr,
+    /// The compiled predicate program.
+    pub expr: PredicateProgram,
     /// Smallest positive index referenced. Backward construction (from the
     /// last component towards the first) can evaluate the filter as soon as
     /// it has bound down to this index.
@@ -113,14 +113,17 @@ pub struct NegationPlan {
     pub type_ids: Vec<EventTypeId>,
     /// Single-variable predicates a candidate counterexample must satisfy
     /// (evaluated when buffering the candidate).
-    pub filters: Vec<CompiledExpr>,
+    pub filters: Vec<PredicateProgram>,
     /// Predicates relating the candidate to the positive bindings
     /// (evaluated per candidate during the non-occurrence check).
-    pub checks: Vec<CompiledExpr>,
+    pub checks: Vec<PredicateProgram>,
     /// When the partition covers the negated slot in every part, candidates
-    /// can be bucketed by this per-slot attribute list (one per part).
-    pub partition_attrs: Option<Vec<Arc<str>>>,
+    /// can be bucketed by this per-slot key attribute list (one per part),
+    /// position-resolved at plan time.
+    pub partition_attrs: Option<Vec<analysis::KeyAttr>>,
 }
+
+pub use analysis::KeyAttr;
 
 /// The compiled argument of a RETURN aggregate.
 #[derive(Debug, Clone)]
@@ -145,8 +148,8 @@ pub enum CompiledReturnItem {
     Scalar {
         /// Output column name.
         name: Arc<str>,
-        /// Compiled expression.
-        expr: CompiledExpr,
+        /// Compiled expression program.
+        expr: PredicateProgram,
     },
     /// Aggregate over the composite event.
     Aggregate {
@@ -194,7 +197,7 @@ pub struct QueryPlan {
     pub partition: Option<PartitionSpec>,
     /// Per-slot single-variable predicates (slot-indexed; negated slots'
     /// entries filter negation candidates).
-    pub element_filters: Vec<Vec<CompiledExpr>>,
+    pub element_filters: Vec<Vec<PredicateProgram>>,
     /// Multi-variable predicates over positive components.
     pub construction_filters: Vec<ConstructionFilter>,
     /// Negation stages, in pattern order.

@@ -134,13 +134,18 @@ impl Planner {
                         }
                     }
                     let compiled = CompiledExpr::compile(expr, &slots[..], &self.functions)?;
+                    let program = crate::program::PredicateProgram::from_expr(
+                        compiled,
+                        pattern,
+                        &self.registry,
+                    )?;
                     let name = alias
                         .as_deref()
                         .map(Arc::from)
                         .unwrap_or_else(|| default_name(expr.to_string()));
                     items.push(CompiledReturnItem::Scalar {
                         name,
-                        expr: compiled,
+                        expr: program,
                     });
                 }
                 ReturnItem::Aggregate { func, arg, alias } => {

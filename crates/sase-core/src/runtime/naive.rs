@@ -33,14 +33,18 @@ struct Run {
 pub struct NaiveRunner {
     plan: std::sync::Arc<QueryPlan>,
     runs: Vec<Run>,
+    /// Reused slot-binding buffer for accept-time filter evaluation.
+    binding_scratch: Vec<Option<Event>>,
 }
 
 impl NaiveRunner {
     /// Build the runner for a plan.
     pub fn new(plan: std::sync::Arc<QueryPlan>) -> Self {
+        let slot_count = plan.pattern.slot_count();
         NaiveRunner {
             plan,
             runs: Vec::new(),
+            binding_scratch: vec![None; slot_count],
         }
     }
 
@@ -107,6 +111,9 @@ impl NaiveRunner {
             });
         }
 
+        // The scratch buffer is taken out for the duration of the event so
+        // `try_accept` can fill it while `self.runs` stays borrowed.
+        let mut binding = std::mem::take(&mut self.binding_scratch);
         let mut extended: Vec<Run> = Vec::new();
         // Try to start a new run.
         if self.admits(0, event)? {
@@ -114,7 +121,7 @@ impl NaiveRunner {
                 bound: vec![event.clone()],
             };
             if n == 1 {
-                self.try_accept(&run, stats, out)?;
+                self.try_accept(&run, &mut binding, stats, out)?;
             } else {
                 extended.push(run);
             }
@@ -134,11 +141,12 @@ impl NaiveRunner {
             bound.push(event.clone());
             let next = Run { bound };
             if k + 1 == n {
-                self.try_accept(&next, stats, out)?;
+                self.try_accept(&next, &mut binding, stats, out)?;
             } else {
                 extended.push(next);
             }
         }
+        self.binding_scratch = binding;
         self.runs.extend(extended);
         stats.partial_runs_peak = stats.partial_runs_peak.max(self.runs.len() as u64);
         Ok(())
@@ -166,6 +174,7 @@ impl NaiveRunner {
     fn try_accept(
         &self,
         run: &Run,
+        binding: &mut Vec<Option<Event>>,
         stats: &mut RuntimeStats,
         out: &mut Vec<PositiveMatch>,
     ) -> Result<()> {
@@ -178,8 +187,13 @@ impl NaiveRunner {
                 return Ok(());
             }
         }
-        // All construction filters over the complete binding.
-        let mut binding: Vec<Option<Event>> = vec![None; self.plan.pattern.slot_count()];
+        // All construction filters over the complete binding (the reused
+        // scratch buffer; resized defensively in case a prior error path
+        // lost it).
+        binding.resize(self.plan.pattern.slot_count(), None);
+        for b in binding.iter_mut() {
+            *b = None;
+        }
         for (i, e) in run.bound.iter().enumerate() {
             binding[self.plan.pattern.positive_slots[i]] = Some(e.clone());
         }

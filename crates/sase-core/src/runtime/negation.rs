@@ -12,11 +12,12 @@
 //! relevant events ... across value-based partitions" of §2.1.2 — so a
 //! probe touches only same-key candidates.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::error::Result;
 use crate::event::{Event, SchemaRegistry};
 use crate::expr::SlotProbe;
+use crate::hash::FxHashMap;
 use crate::plan::QueryPlan;
 use crate::snapshot::{mismatch, EventSnapshot, NegationBufferSnapshot};
 use crate::time::Timestamp;
@@ -28,7 +29,7 @@ use super::RuntimeStats;
 #[derive(Debug)]
 struct NegBuffer {
     /// Bucketed by composite partition key when indexing is active.
-    buckets: HashMap<Vec<ValueKey>, VecDeque<Event>>,
+    buckets: FxHashMap<Vec<ValueKey>, VecDeque<Event>>,
     /// Flat temporal buffer when not indexed.
     all: VecDeque<Event>,
     indexed: bool,
@@ -39,6 +40,10 @@ struct NegBuffer {
 pub struct NegationOperator {
     plan: std::sync::Arc<QueryPlan>,
     buffers: Vec<NegBuffer>,
+    /// Reused partition-key buffer: steady-state candidate bucketing and
+    /// probing never allocates (bucket lookups go through the
+    /// `Vec<ValueKey>: Borrow<[ValueKey]>` impl).
+    key_scratch: Vec<ValueKey>,
 }
 
 impl NegationOperator {
@@ -48,12 +53,16 @@ impl NegationOperator {
             .negations
             .iter()
             .map(|n| NegBuffer {
-                buckets: HashMap::new(),
+                buckets: FxHashMap::default(),
                 all: VecDeque::new(),
                 indexed: plan.options.indexed_negation && n.partition_attrs.is_some(),
             })
             .collect();
-        NegationOperator { plan, buffers }
+        NegationOperator {
+            plan,
+            buffers,
+            key_scratch: Vec::new(),
+        }
     }
 
     /// True when the query has no negated components.
@@ -162,11 +171,11 @@ impl NegationOperator {
             let buf = &mut self.buffers[ni];
             if buf.indexed {
                 let attrs = neg.partition_attrs.as_ref().expect("indexed implies attrs");
-                let mut key = Vec::with_capacity(attrs.len());
+                self.key_scratch.clear();
                 let mut complete = true;
-                for a in attrs {
-                    match event.attr(a) {
-                        Some(v) => key.push(ValueKey::from_value(&v)),
+                for ka in attrs {
+                    match ka.key_of(event) {
+                        Some(k) => self.key_scratch.push(k),
                         // Missing key attribute: cannot satisfy the
                         // equivalence predicate, so never a counterexample.
                         None => {
@@ -176,7 +185,17 @@ impl NegationOperator {
                     }
                 }
                 if complete {
-                    buf.buckets.entry(key).or_default().push_back(event.clone());
+                    // Slice-keyed lookup; the key is only cloned when the
+                    // bucket is new.
+                    match buf.buckets.get_mut(self.key_scratch.as_slice()) {
+                        Some(q) => q.push_back(event.clone()),
+                        None => {
+                            buf.buckets
+                                .entry(self.key_scratch.clone())
+                                .or_default()
+                                .push_back(event.clone());
+                        }
+                    }
                     stats.negation_candidates_buffered += 1;
                 }
             } else {
@@ -188,7 +207,10 @@ impl NegationOperator {
     }
 
     /// Does the match survive every non-occurrence requirement?
-    pub fn allows(&self, m: &PositiveMatch) -> Result<bool> {
+    ///
+    /// `&mut self` only for the reused key-scratch buffer; buffered
+    /// candidates are not modified.
+    pub fn allows(&mut self, m: &PositiveMatch) -> Result<bool> {
         for (ni, neg) in self.plan.negations.iter().enumerate() {
             let t_after = m[neg.scope.after_positive].timestamp();
             let t_before = m[neg.scope.before_positive].timestamp();
@@ -198,9 +220,10 @@ impl NegationOperator {
                 // The match lives in one partition; derive its key from the
                 // first positive event.
                 let slot0 = self.plan.pattern.positive_slots[0];
-                match spec.key_for_slot(slot0, &m[0]) {
-                    Some(key) => buf.buckets.get(&key),
-                    None => None,
+                if spec.key_for_slot_into(slot0, &m[0], &mut self.key_scratch) {
+                    buf.buckets.get(self.key_scratch.as_slice())
+                } else {
+                    None
                 }
             } else {
                 Some(&buf.all)

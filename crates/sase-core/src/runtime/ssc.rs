@@ -21,11 +21,10 @@
 //! increasing timestamp order, within the window, satisfying the pushed
 //! predicates.
 
-use std::collections::HashMap;
-
 use crate::error::Result;
 use crate::event::{Event, SchemaRegistry};
 use crate::expr::SlotProbe;
+use crate::hash::FxHashMap;
 use crate::plan::{ConstructionFilter, QueryPlan};
 use crate::snapshot::{mismatch, PartitionSnapshot, SeqSnapshot};
 use crate::value::ValueKey;
@@ -40,11 +39,18 @@ use super::RuntimeStats;
 pub struct SscOperator {
     plan: std::sync::Arc<QueryPlan>,
     /// Partition key -> stacks. Unpartitioned plans use the empty key.
-    groups: HashMap<Vec<ValueKey>, AisGroup>,
+    groups: FxHashMap<Vec<ValueKey>, AisGroup>,
     /// Construction filters grouped by the positive index at which they
     /// become evaluable during backward construction.
     filters_by_min: Vec<Vec<ConstructionFilter>>,
     events_since_sweep: usize,
+    /// Reused partition-key buffer: steady-state key extraction never
+    /// allocates (lookups go through the `Vec<ValueKey>: Borrow<[ValueKey]>`
+    /// impl; the key is only cloned when a new partition materializes).
+    key_scratch: Vec<ValueKey>,
+    /// Reused slot-binding buffer for sequence construction — one buffer
+    /// per operator instead of a fresh `Vec<Option<Event>>` per candidate.
+    binding_scratch: Vec<Option<Event>>,
 }
 
 /// Full-sweep period (events) for pruning partitions that have not been
@@ -59,11 +65,14 @@ impl SscOperator {
         for f in &plan.construction_filters {
             filters_by_min[f.min_positive.min(n - 1)].push(f.clone());
         }
+        let slot_count = plan.pattern.slot_count();
         SscOperator {
             plan,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             filters_by_min,
             events_since_sweep: 0,
+            key_scratch: Vec::new(),
+            binding_scratch: vec![None; slot_count],
         }
     }
 
@@ -104,7 +113,8 @@ impl SscOperator {
         registry: &SchemaRegistry,
     ) -> Result<()> {
         let n = self.plan.pattern.positive_len();
-        let mut groups = HashMap::with_capacity(partitions.len());
+        let mut groups = FxHashMap::default();
+        groups.reserve(partitions.len());
         for p in partitions {
             if p.stacks.len() != n {
                 return Err(mismatch(format!(
@@ -172,16 +182,26 @@ impl SscOperator {
                 continue;
             }
 
-            let key = match &self.plan.partition {
-                Some(spec) => match spec.key_for_slot(elem.slot, event) {
-                    Some(k) => k,
+            match &self.plan.partition {
+                Some(spec) => {
                     // Missing key attribute: the equivalence predicate can
                     // never hold for this event.
-                    None => continue,
-                },
-                None => Vec::new(),
-            };
-            let group = self.groups.entry(key).or_insert_with(|| AisGroup::new(n));
+                    if !spec.key_for_slot_into(elem.slot, event, &mut self.key_scratch) {
+                        continue;
+                    }
+                }
+                None => self.key_scratch.clear(),
+            }
+            // Slice-keyed lookup first; the key is only cloned into the map
+            // when a brand-new partition materializes.
+            if !self.groups.contains_key(self.key_scratch.as_slice()) {
+                self.groups
+                    .insert(self.key_scratch.clone(), AisGroup::new(n));
+            }
+            let group = self
+                .groups
+                .get_mut(self.key_scratch.as_slice())
+                .expect("present: just ensured");
             if let Some(w) = window {
                 stats.instances_pruned +=
                     group.prune_before(event.timestamp().saturating_sub(w)) as u64;
@@ -210,6 +230,7 @@ impl SscOperator {
                     group,
                     event,
                     rip,
+                    &mut self.binding_scratch,
                     stats,
                     out,
                 )?;
@@ -221,17 +242,26 @@ impl SscOperator {
 }
 
 /// Enumerate all sequences ending at `last` by backward RIP traversal.
+///
+/// `binding` is the operator's reused slot-binding scratch buffer; it is
+/// reset here, so steady-state construction allocates nothing until a
+/// completed match is emitted.
+#[allow(clippy::too_many_arguments)]
 fn construct(
     plan: &QueryPlan,
     filters_by_min: &[Vec<ConstructionFilter>],
     group: &AisGroup,
     last: &Event,
     last_rip: usize,
+    binding: &mut Vec<Option<Event>>,
     stats: &mut RuntimeStats,
     out: &mut Vec<PositiveMatch>,
 ) -> Result<()> {
     let n = plan.pattern.positive_len();
-    let mut binding: Vec<Option<Event>> = vec![None; plan.pattern.slot_count()];
+    debug_assert_eq!(binding.len(), plan.pattern.slot_count());
+    for b in binding.iter_mut() {
+        *b = None;
+    }
     binding[plan.pattern.positive_slots[n - 1]] = Some(last.clone());
 
     for f in &filters_by_min[n - 1] {
@@ -259,7 +289,7 @@ fn construct(
         last_rip,
         last.timestamp(),
         min_ts,
-        &mut binding,
+        binding,
         stats,
         out,
     )

@@ -1,0 +1,305 @@
+//! Differential property test: [`PredicateProgram`] evaluation must be
+//! result-identical to the retained [`CompiledExpr`] tree evaluator —
+//! values *and* error semantics — across randomly generated expressions
+//! and randomly generated (partial) bindings, including heterogeneous
+//! `ANY(...)` slots that force the memoized dynamic attribute resolution
+//! and the `timestamp`/`ts` pseudo-attributes.
+
+use proptest::prelude::*;
+
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::expr::CompiledExpr;
+use sase_core::functions::FunctionRegistry;
+use sase_core::lang::ast::{BinOp, Expr, UnaryOp};
+use sase_core::lang::parse_query;
+use sase_core::pattern::CompiledPattern;
+use sase_core::program::PredicateProgram;
+use sase_core::value::{Value, ValueType};
+
+// ---------------------------------------------------------------------------
+// Deterministic expression / binding generator
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The pattern under test:
+/// slot 0 `x`: T_A; slot 1 `y` (negated): T_B;
+/// slot 2 `z`: ANY(T_A, T_B) — the two types store attribute `a` at
+/// *different* positions, so `z.a` exercises dynamic resolution.
+fn registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        "T_A",
+        &[
+            ("a", ValueType::Int),
+            ("name", ValueType::Str),
+            ("f", ValueType::Float),
+        ],
+    )
+    .unwrap();
+    reg.register(
+        "T_B",
+        &[
+            ("name", ValueType::Str),
+            ("a", ValueType::Int),
+            ("flag", ValueType::Bool),
+        ],
+    )
+    .unwrap();
+    reg
+}
+
+fn pattern(reg: &SchemaRegistry) -> CompiledPattern {
+    let q = parse_query("EVENT SEQ(T_A x, !(T_B y), ANY(T_A, T_B) z) WITHIN 100").unwrap();
+    CompiledPattern::compile(&q.pattern, reg).unwrap()
+}
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+// Mixed-case spellings and a missing attribute: case resolution happens at
+// plan time, and `nope` must produce identical "no attribute" errors.
+const ATTRS: [&str; 7] = ["a", "A", "name", "NAME", "Timestamp", "ts", "nope"];
+
+fn gen_literal(rng: &mut Rng) -> Expr {
+    let v = match rng.below(5) {
+        0 => Value::Int(rng.below(7) as i64 - 3),
+        1 => Value::Float((rng.below(9) as f64 - 4.0) / 2.0),
+        2 => Value::str(["p", "q", ""][rng.below(3) as usize]),
+        3 => Value::Bool(rng.below(2) == 0),
+        // Zero shows up often enough to exercise division-by-zero errors.
+        _ => Value::Int(0),
+    };
+    Expr::Literal(v)
+}
+
+fn gen_attr(rng: &mut Rng) -> Expr {
+    Expr::Attr(sase_core::lang::ast::AttrRef {
+        var: VARS[rng.below(3) as usize].to_string(),
+        attr: ATTRS[rng.below(ATTRS.len() as u64) as usize].to_string(),
+    })
+}
+
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.below(2) == 0 {
+            gen_literal(rng)
+        } else {
+            gen_attr(rng)
+        };
+    }
+    match rng.below(10) {
+        0 => Expr::Unary {
+            op: if rng.below(2) == 0 {
+                UnaryOp::Not
+            } else {
+                UnaryOp::Neg
+            },
+            expr: Box::new(gen_expr(rng, depth - 1)),
+        },
+        1 => Expr::Call {
+            name: ["_abs", "_min", "_max", "_concat", "_len"][rng.below(5) as usize].to_string(),
+            args: {
+                // `_abs`/`_len` are unary; the others variadic.
+                let n = 1 + rng.below(2) as usize;
+                (0..n).map(|_| gen_expr(rng, depth - 1)).collect()
+            },
+        },
+        k => {
+            let op = [
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Rem,
+            ][(k as usize + rng.below(13) as usize) % 13];
+            Expr::Binary {
+                op,
+                left: Box::new(gen_expr(rng, depth - 1)),
+                right: Box::new(gen_expr(rng, depth - 1)),
+            }
+        }
+    }
+}
+
+fn gen_event(rng: &mut Rng, reg: &SchemaRegistry, slot: usize) -> Event {
+    let ts = rng.below(50);
+    // Slot 0 is always T_A, slot 1 always T_B; slot 2 alternates (ANY).
+    let use_a = match slot {
+        0 => true,
+        1 => false,
+        _ => rng.below(2) == 0,
+    };
+    if use_a {
+        reg.build_event(
+            "T_A",
+            ts,
+            vec![
+                Value::Int(rng.below(5) as i64),
+                Value::str(["p", "q"][rng.below(2) as usize]),
+                Value::Float(rng.below(8) as f64 / 2.0),
+            ],
+        )
+        .unwrap()
+    } else {
+        reg.build_event(
+            "T_B",
+            ts,
+            vec![
+                Value::str(["p", "q"][rng.below(2) as usize]),
+                Value::Int(rng.below(5) as i64),
+                Value::Bool(rng.below(2) == 0),
+            ],
+        )
+        .unwrap()
+    }
+}
+
+fn gen_binding(rng: &mut Rng, reg: &SchemaRegistry) -> Vec<Option<Event>> {
+    (0..3)
+        .map(|slot| {
+            // Unbound slots exercise the "variable not bound" error path
+            // and `AND`/`OR` short-circuit recovery.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(gen_event(rng, reg, slot))
+            }
+        })
+        .collect()
+}
+
+/// Canonical rendering of an eval outcome: `Ok` values print with their
+/// type (so `Int(3)` never conflates with `Float(3.0)` despite coercing
+/// equality), errors print their full message.
+fn outcome(r: sase_core::Result<Value>) -> String {
+    match r {
+        Ok(v) => format!("ok:{v:?}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+fn outcome_bool(r: sase_core::Result<bool>) -> String {
+    match r {
+        Ok(v) => format!("ok:{v}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn program_matches_tree_on_random_expressions(
+        seed in 1u64..u64::MAX,
+        depth in 1u32..6,
+        bindings in 2usize..6,
+    ) {
+        let reg = registry();
+        let pat = pattern(&reg);
+        let slots = pat.slot_table();
+        let functions = FunctionRegistry::with_stdlib();
+        let mut rng = Rng(seed);
+
+        let ast = gen_expr(&mut rng, depth);
+        // Unknown-variable/function rejection happens at tree compile
+        // time, before programs exist; only compilable trees diff.
+        let Ok(tree) = CompiledExpr::compile(&ast, &slots[..], &functions) else {
+            return;
+        };
+        let program = PredicateProgram::from_expr(tree.clone(), &pat, &reg).unwrap();
+
+        for _ in 0..bindings {
+            let binding = gen_binding(&mut rng, &reg);
+            let t = outcome(tree.eval(&binding[..]));
+            let p = outcome(program.eval(&binding[..]));
+            prop_assert_eq!(
+                &t, &p,
+                "eval diverged for {:?} on {:?}", tree, binding
+            );
+            let tb = outcome_bool(tree.eval_bool(&binding[..]));
+            let pb = outcome_bool(program.eval_bool(&binding[..]));
+            prop_assert_eq!(
+                &tb, &pb,
+                "eval_bool diverged for {:?} on {:?}", tree, binding
+            );
+        }
+    }
+}
+
+/// Deterministic anchors: shapes with known subtle semantics.
+#[test]
+fn anchor_cases() {
+    let reg = registry();
+    let pat = pattern(&reg);
+    let slots = pat.slot_table();
+    let functions = FunctionRegistry::with_stdlib();
+    let ea = reg
+        .build_event(
+            "T_A",
+            7,
+            vec![Value::Int(3), Value::str("p"), Value::Float(1.5)],
+        )
+        .unwrap();
+    let eb = reg
+        .build_event(
+            "T_B",
+            9,
+            vec![Value::str("q"), Value::Int(3), Value::Bool(true)],
+        )
+        .unwrap();
+    let full: Vec<Option<Event>> = vec![Some(ea.clone()), Some(eb.clone()), Some(eb.clone())];
+    let partial: Vec<Option<Event>> = vec![Some(ea), None, None];
+
+    for src in [
+        "x.a = z.a",                            // fused attr=attr across dynamic slot
+        "x.A = 3",                              // fused attr=literal, mixed case
+        "3 != x.a OR y.a = 1",                  // flipped literal cmp + short-circuit
+        "x.nope = 1",                           // missing attribute error
+        "y.a = 1 AND x.a = 3",                  // unbound left in partial binding
+        "x.a / 0 = 1",                          // division by zero error
+        "x.ts + y.Timestamp",                   // pseudo-attributes, non-bool result
+        "NOT (x.a > z.a)",                      // unary over fused comparison
+        "_concat(x.name, z.name) = 'pq'",       // call + fused-ineligible compare
+        "x.name > 3",                           // incomparable ordering -> false
+        "x.f = 1.5 AND x.a < 100 AND z.a >= 0", // AND chain of fused ops
+    ] {
+        let ast = sase_core::lang::parse_expr(src).unwrap();
+        let tree = CompiledExpr::compile(&ast, &slots[..], &functions).unwrap();
+        let program = PredicateProgram::from_expr(tree.clone(), &pat, &reg).unwrap();
+        for binding in [&full, &partial] {
+            assert_eq!(
+                outcome(tree.eval(&binding[..])),
+                outcome(program.eval(&binding[..])),
+                "{src}"
+            );
+            assert_eq!(
+                outcome_bool(tree.eval_bool(&binding[..])),
+                outcome_bool(program.eval_bool(&binding[..])),
+                "{src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Counting-allocator proof that steady-state predicate evaluation — and
+//! the whole per-event SSC/negation path around it — performs **zero heap
+//! allocations** for the paper's representative Q1/Q2 queries.
+//!
+//! The test binary installs a global allocator that counts allocations
+//! while a flag is up. Everything allocating (events, engines, warmup that
+//! sizes the reusable scratch buffers and stabilizes ring-buffer
+//! capacities) happens with the flag down; the measured sections then
+//! assert an allocation count of exactly zero.
+//!
+//! This file holds a single `#[test]` so no concurrent test can pollute
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use sase_core::event::{retail_registry, Event, SchemaRegistry};
+use sase_core::expr::SlotProbe;
+use sase_core::functions::FunctionRegistry;
+use sase_core::lang::parse_query;
+use sase_core::plan::{Planner, PlannerOptions};
+use sase_core::runtime::QueryRuntime;
+use sase_core::value::Value;
+
+struct CountingAlloc;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting enabled; returns the allocation count.
+fn counted(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    f();
+    ENABLED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn ev(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64, area: i64) -> Event {
+    reg.build_event(
+        ty,
+        ts,
+        vec![Value::Int(tag), Value::str("soap"), Value::Int(area)],
+    )
+    .unwrap()
+}
+
+const Q1: &str = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+                  WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 50 \
+                  RETURN x.TagId, x.ProductName, z.AreaId";
+
+const Q2: &str = "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+                  WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 50 \
+                  RETURN y.TagId, y.AreaId, y.Timestamp";
+
+#[test]
+fn steady_state_predicate_evaluation_is_allocation_free() {
+    let reg = retail_registry();
+    let planner = Planner::new(reg.clone(), FunctionRegistry::with_stdlib());
+
+    // ---- 1. Raw program evaluation: Q1/Q2 predicate shapes. --------------
+    let q2_plan = planner
+        .plan_with(&parse_query(Q2).unwrap(), PlannerOptions::default())
+        .unwrap();
+    // Q2's inequality survives partition absorption as the construction
+    // filter; evaluate it over a bound match.
+    assert_eq!(q2_plan.construction_filters.len(), 1);
+    let ineq = &q2_plan.construction_filters[0].expr;
+    let shelf1 = ev(&reg, "SHELF_READING", 1, 7, 1);
+    let shelf2 = ev(&reg, "SHELF_READING", 2, 7, 2);
+    let binding: Vec<Option<Event>> = vec![Some(shelf1.clone()), Some(shelf2.clone())];
+    // Warm the dynamic-resolution memo (none expected here, but harmless).
+    assert!(ineq.eval_bool(&binding[..]).unwrap());
+    let allocs = counted(|| {
+        for _ in 0..10_000 {
+            assert!(ineq.eval_bool(&binding[..]).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "Q2 construction filter eval must not allocate");
+
+    // A pushed single-variable filter probe (Q1-style stack admission).
+    let probe_plan = planner
+        .plan_with(
+            &parse_query(
+                "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                 WHERE x.AreaId > 0 AND x.TagId != 9999 AND x.TagId = z.TagId WITHIN 50",
+            )
+            .unwrap(),
+            PlannerOptions::default(),
+        )
+        .unwrap();
+    let filters = &probe_plan.element_filters[0];
+    assert!(!filters.is_empty());
+    let probe = SlotProbe {
+        slot: 0,
+        event: &shelf1,
+    };
+    for f in filters {
+        assert!(f.eval_bool(&probe).unwrap());
+    }
+    let allocs = counted(|| {
+        for _ in 0..10_000 {
+            for f in filters {
+                assert!(f.eval_bool(&probe).unwrap());
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "stack-admission filter eval must not allocate");
+
+    // ---- 2. The full per-event runtime path, Q1 (negation buffering,
+    //         window pruning, stack admission — no emissions). ------------
+    let q1_plan = planner
+        .plan_with(&parse_query(Q1).unwrap(), PlannerOptions::default())
+        .unwrap();
+    let mut rt = QueryRuntime::new("q1", q1_plan);
+    // Fixed tag set so the partition map reaches its steady key set;
+    // shelf + counter only, so sequence construction never completes (an
+    // emission rightly allocates its output).
+    let mut events: Vec<Event> = Vec::new();
+    let mut ts = 0u64;
+    for round in 0..400u64 {
+        ts += 1;
+        let tag = (round % 8) as i64;
+        events.push(ev(&reg, "SHELF_READING", ts, tag, 1));
+        ts += 1;
+        events.push(ev(&reg, "COUNTER_READING", ts, tag, 3));
+    }
+    let mut out = Vec::new();
+    // Warmup: fills stacks and negation buffers to their windowed steady
+    // state, sizes every scratch buffer and ring-buffer capacity.
+    for e in &events[..400] {
+        rt.process(e, &mut out).unwrap();
+    }
+    assert!(out.is_empty());
+    let allocs = counted(|| {
+        for e in &events[400..] {
+            rt.process(e, &mut out).unwrap();
+        }
+    });
+    assert!(out.is_empty());
+    assert_eq!(
+        allocs, 0,
+        "steady-state Q1 event processing (admission + negation buffering + \
+         pruning) must not allocate"
+    );
+
+    // ---- 3. Q2 with construction running (and rejecting) every event. ---
+    let q2_plan = planner
+        .plan_with(&parse_query(Q2).unwrap(), PlannerOptions::default())
+        .unwrap();
+    let mut rt2 = QueryRuntime::new("q2", q2_plan);
+    // Same tag, same area: every arrival triggers backward construction,
+    // and the inequality filter rejects every candidate — maximum
+    // predicate work, zero emissions.
+    let events2: Vec<Event> = (0..800u64)
+        .map(|k| ev(&reg, "SHELF_READING", k + 1, 5, 1))
+        .collect();
+    for e in &events2[..400] {
+        rt2.process(e, &mut out).unwrap();
+    }
+    assert!(out.is_empty());
+    let allocs = counted(|| {
+        for e in &events2[400..] {
+            rt2.process(e, &mut out).unwrap();
+        }
+    });
+    assert!(out.is_empty());
+    assert!(rt2.stats().construction_filter_rejects > 0);
+    assert_eq!(
+        allocs, 0,
+        "steady-state Q2 sequence construction must not allocate"
+    );
+}

@@ -337,11 +337,120 @@ impl ShardedEngineBuilder {
             names.push(name);
         }
 
+        // A single shard runs inline (no worker thread, no tagging/merge
+        // overhead); multi-shard deployments get one persistent worker
+        // thread per shard.
+        let (inline, workers) = if shards_vec.len() == 1 {
+            (Some(shards_vec.pop().expect("one shard")), Vec::new())
+        } else {
+            (
+                None,
+                shards_vec.into_iter().map(ShardWorker::spawn).collect(),
+            )
+        };
+
         Ok(ShardedEngine {
-            shards: shards_vec,
+            inline,
+            workers,
+            registry: self.registry,
             local_to_global,
             names,
         })
+    }
+}
+
+/// A command executed by a shard worker thread.
+enum ShardCmd {
+    /// Process a batch; the tagged emissions go to the worker's persistent
+    /// result channel.
+    Batch {
+        stream: Option<String>,
+        events: Arc<Vec<Event>>,
+    },
+    /// Run an arbitrary closure against the shard's engine (stats,
+    /// snapshot, restore); results travel through a channel the closure
+    /// captures.
+    With(Box<dyn FnOnce(&mut Engine) + Send>),
+}
+
+/// One persistent engine worker: the engine lives on its own thread for the
+/// deployment's lifetime, fed through a command channel. Compared with
+/// spawning scoped threads per batch this removes the per-batch
+/// spawn/join and channel churn that made `sharded-4` *slower* than a
+/// single indexed engine at high query counts.
+struct ShardWorker {
+    cmd_tx: Option<Sender<ShardCmd>>,
+    batch_rx: Receiver<CoreResult<Vec<Emission>>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    fn spawn(mut engine: Engine) -> ShardWorker {
+        let (cmd_tx, cmd_rx) = bounded::<ShardCmd>(STAGE_CAPACITY);
+        let (batch_tx, batch_rx) = bounded::<CoreResult<Vec<Emission>>>(STAGE_CAPACITY);
+        let handle = thread::spawn(move || {
+            for cmd in cmd_rx {
+                match cmd {
+                    ShardCmd::Batch { stream, events } => {
+                        // Panic isolation: a panicking shard engine becomes
+                        // an error result, exactly like the former scoped
+                        // per-batch threads; the worker (and so snapshot /
+                        // stats / restore) stays alive.
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            engine.process_batch_tagged(stream.as_deref(), &events)
+                        }))
+                        .unwrap_or_else(|_| Err(SaseError::engine("engine shard panicked")));
+                        if batch_tx.send(res).is_err() {
+                            break; // deployment dropped mid-batch
+                        }
+                    }
+                    ShardCmd::With(f) => {
+                        // A panicking closure surfaces to the caller as a
+                        // disconnected reply channel; keep the worker alive.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&mut engine)
+                        }));
+                    }
+                }
+            }
+        });
+        ShardWorker {
+            cmd_tx: Some(cmd_tx),
+            batch_rx,
+            handle: Some(handle),
+        }
+    }
+
+    fn send(&self, cmd: ShardCmd) -> CoreResult<()> {
+        self.cmd_tx
+            .as_ref()
+            .expect("live until drop")
+            .send(cmd)
+            .map_err(|_| SaseError::engine("engine shard worker disconnected"))
+    }
+
+    /// Run a closure on the worker's engine and wait for its result.
+    fn call<R, F>(&self, f: F) -> CoreResult<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Engine) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        self.send(ShardCmd::With(Box::new(move |engine| {
+            let _ = tx.send(f(engine));
+        })))?;
+        rx.recv()
+            .map_err(|_| SaseError::engine("engine shard worker disconnected"))
+    }
+}
+
+impl Drop for ShardWorker {
+    fn drop(&mut self) {
+        // Closing the command channel ends the worker loop.
+        self.cmd_tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -354,12 +463,17 @@ impl ShardedEngineBuilder {
 /// [`Emission::order_key`] — reproducing, deterministically and byte for
 /// byte, the output sequence of one engine running all the queries.
 ///
-/// Workers are scoped threads spawned per batch: simple and borrow-safe,
-/// but the spawn/join cost is paid on every call, so feed the engine
-/// coarse batches (hundreds of events). Persistent channel-fed workers
-/// are the natural next step if tick rates outgrow this.
+/// Each shard's engine lives on a **persistent worker thread** fed through
+/// a command channel ([`ShardWorker`]); a batch costs two channel hops per
+/// shard instead of a thread spawn/join. A deployment built with one shard
+/// keeps its engine inline and pays no thread or merge overhead at all.
 pub struct ShardedEngine {
-    shards: Vec<Engine>,
+    /// The single-shard fast path: the engine runs on the caller's thread.
+    inline: Option<Engine>,
+    /// Multi-shard deployments: one persistent worker per shard.
+    workers: Vec<ShardWorker>,
+    /// The shared schema registry (every shard holds a handle to it).
+    registry: SchemaRegistry,
     /// Per shard: local query index -> global registration index.
     local_to_global: Vec<Vec<u32>>,
     /// Query names in global registration order.
@@ -369,7 +483,11 @@ pub struct ShardedEngine {
 impl ShardedEngine {
     /// Number of engine workers.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        if self.inline.is_some() {
+            1
+        } else {
+            self.workers.len()
+        }
     }
 
     /// Query names in global registration order.
@@ -382,14 +500,18 @@ impl ShardedEngine {
         let shard = self
             .shard_of(name)
             .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
-        self.shards[shard].stats(name)
+        if let Some(engine) = &self.inline {
+            return engine.stats(name);
+        }
+        let name = name.to_string();
+        self.workers[shard].call(move |engine| engine.stats(&name))?
     }
 
     /// The shared schema registry (all shards hold handles to one
     /// registry, so derived `INTO` types registered by any shard are
     /// visible to every other).
-    pub fn schemas(&self) -> &sase_core::event::SchemaRegistry {
-        self.shards[0].schemas()
+    pub fn schemas(&self) -> &SchemaRegistry {
+        &self.registry
     }
 
     /// Serializable image of every shard's engine state, in shard order.
@@ -399,21 +521,38 @@ impl ShardedEngine {
     /// makes a sharded deployment checkpointable: rebuild the deployment,
     /// re-register the queries, restore the snapshots.
     pub fn snapshot(&self) -> Vec<sase_core::snapshot::EngineSnapshot> {
-        self.shards.iter().map(Engine::snapshot).collect()
+        if let Some(engine) = &self.inline {
+            return vec![engine.snapshot()];
+        }
+        self.workers
+            .iter()
+            .map(|w| {
+                // Workers isolate engine panics (batch errors leave them
+                // alive and snapshotable); this can only fail if
+                // `Engine::snapshot` itself panics, which propagates just
+                // as it did when the engines lived inline.
+                w.call(|engine| engine.snapshot())
+                    .expect("shard workers survive batch errors")
+            })
+            .collect()
     }
 
     /// Restore per-shard snapshots (one per shard, in shard order) onto a
     /// freshly rebuilt deployment with the same queries.
     pub fn restore(&mut self, snaps: &[sase_core::snapshot::EngineSnapshot]) -> CoreResult<()> {
-        if snaps.len() != self.shards.len() {
+        if snaps.len() != self.shard_count() {
             return Err(SaseError::engine(format!(
                 "snapshot mismatch: snapshot has {} shards, deployment has {}",
                 snaps.len(),
-                self.shards.len()
+                self.shard_count()
             )));
         }
-        for (shard, snap) in self.shards.iter_mut().zip(snaps) {
-            shard.restore(snap)?;
+        if let Some(engine) = &mut self.inline {
+            return engine.restore(&snaps[0]);
+        }
+        for (worker, snap) in self.workers.iter().zip(snaps) {
+            let snap = snap.clone();
+            worker.call(move |engine| engine.restore(&snap))??;
         }
         Ok(())
     }
@@ -438,24 +577,41 @@ impl ShardedEngine {
         stream: Option<&str>,
         events: &[Event],
     ) -> CoreResult<Vec<ComplexEvent>> {
-        if self.shards.len() == 1 {
-            return self.shards[0].process_batch_on(stream, events);
+        if let Some(engine) = &mut self.inline {
+            return engine.process_batch_on(stream, events);
         }
-        let results: Vec<CoreResult<Vec<Emission>>> = thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .map(|engine| scope.spawn(move || engine.process_batch_tagged(stream, events)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| Err(SaseError::engine("engine shard panicked")))
-                })
-                .collect()
-        });
-
+        // One shared copy of the batch; events are cheap `Arc` handles.
+        let shared = Arc::new(events.to_vec());
+        let mut dispatched = 0usize;
+        let mut send_err: Option<SaseError> = None;
+        for worker in &self.workers {
+            match worker.send(ShardCmd::Batch {
+                stream: stream.map(str::to_string),
+                events: shared.clone(),
+            }) {
+                Ok(()) => dispatched += 1,
+                Err(e) => {
+                    send_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Drain exactly one result from every worker that received the
+        // batch — even on error — so the persistent result channels never
+        // desync: a leftover result would be merged into the *next* batch.
+        let mut results: Vec<CoreResult<Vec<Emission>>> = Vec::with_capacity(dispatched);
+        for worker in self.workers.iter().take(dispatched) {
+            results.push(
+                worker
+                    .batch_rx
+                    .recv()
+                    .map_err(|_| SaseError::engine("engine shard worker disconnected"))
+                    .and_then(|r| r),
+            );
+        }
+        if let Some(e) = send_err {
+            return Err(e);
+        }
         let mut merged: Vec<Emission> = Vec::new();
         for (shard, result) in results.into_iter().enumerate() {
             let table = &self.local_to_global[shard];
@@ -474,7 +630,7 @@ impl ShardedEngine {
 impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEngine")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shard_count())
             .field("queries", &self.names)
             .finish()
     }
@@ -762,6 +918,21 @@ mod tests {
             .unwrap();
         let err = sharded.process_batch(&[e]).unwrap_err();
         assert!(err.to_string().contains("injected"));
+
+        // Regression: the failed batch must not leave stale results in any
+        // worker's result channel — the next batch merges only its own
+        // results, and the deployment stays snapshotable.
+        let exit = registry
+            .build_event(
+                "EXIT_READING",
+                2,
+                vec![Value::Int(9), Value::str("p"), Value::Int(4)],
+            )
+            .unwrap();
+        let out = sharded.process_batch(&[exit]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value("tag"), Some(&Value::Int(9)));
+        assert_eq!(sharded.snapshot().len(), 2);
     }
 
     #[test]
