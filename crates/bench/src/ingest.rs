@@ -1,10 +1,13 @@
 //! The engine-ingest throughput benchmark.
 //!
-//! Measures events/second through [`Engine::process_batch`] with 1, 16,
-//! and 128 standing queries under three deployments: the scan-all routing
-//! baseline, the type-indexed router, and the sharded engine. The
-//! `ingest` binary renders the measurements as `BENCH_ingest.json` so
-//! later changes have a recorded perf trajectory.
+//! Measures events/second with 1, 16, and 128 standing queries under
+//! three deployments — the scan-all routing baseline, the type-indexed
+//! router, and the sharded engine — all assembled and driven through the
+//! [`Sase`] builder facade (`Sase::builder().schemas(..).routing(..)` /
+//! `.shards(n)`), so the recorded numbers measure the system's public
+//! face, typed [`QueryHandle`] stats lookups included. The `ingest`
+//! binary renders the measurements as `BENCH_ingest.json` so later
+//! changes have a recorded perf trajectory.
 //!
 //! The workload is the multi-tenant shape the ROADMAP north star names:
 //! many standing queries, each watching a narrow slice of a wide
@@ -13,15 +16,14 @@
 
 use std::time::Instant;
 
-use sase_core::engine::{Engine, RoutingMode};
+use sase::{QueryHandle, RoutingMode, Sase};
 use sase_core::event::{Event, SchemaRegistry};
-use sase_system::ShardedEngineBuilder;
 
 use crate::{seq_n_stream, stream_for};
 
 /// Number of distinct event types in the ingest workload.
 pub const INGEST_TYPES: usize = 128;
-/// Events per [`Engine::process_batch`] call.
+/// Events per [`Sase::process`] call.
 pub const INGEST_BATCH: usize = 512;
 /// Standing-query counts measured.
 pub const INGEST_QUERY_COUNTS: [usize; 3] = [1, 16, 128];
@@ -64,42 +66,40 @@ pub struct IngestRun {
     pub events_offered: u64,
 }
 
-/// Measure a single engine in the given routing mode.
-pub fn run_ingest_engine(
-    registry: &SchemaRegistry,
+/// Register the standing queries on a facade deployment, returning their
+/// typed handles.
+fn register_queries(sase: &mut Sase, n_queries: usize) -> Vec<QueryHandle> {
+    (0..n_queries)
+        .map(|i| {
+            sase.register(&format!("q{i}"), &ingest_query(i, INGEST_TYPES))
+                .expect("ingest query registers")
+        })
+        .collect()
+}
+
+/// Drive the stream through a facade deployment and measure it.
+fn measure(
+    mut sase: Sase,
+    handles: &[QueryHandle],
     events: &[Event],
-    n_queries: usize,
-    mode: RoutingMode,
+    label: String,
     batch: usize,
 ) -> IngestRun {
-    let mut engine = Engine::new(registry.clone());
-    engine.set_routing(mode);
-    for i in 0..n_queries {
-        engine
-            .register(&format!("q{i}"), &ingest_query(i, INGEST_TYPES))
-            .expect("ingest query registers");
-    }
+    let shards = sase.shard_count();
     let start = Instant::now();
     let mut matches = 0u64;
     for chunk in events.chunks(batch.max(1)) {
-        matches += engine.process_batch(chunk).expect("ingest batch").len() as u64;
+        matches += sase.process(chunk).expect("ingest batch").len() as u64;
     }
     let seconds = start.elapsed().as_secs_f64();
-    let events_offered = (0..n_queries)
-        .map(|i| {
-            engine
-                .stats(&format!("q{i}"))
-                .expect("registered")
-                .events_processed
-        })
+    let events_offered = handles
+        .iter()
+        .map(|h| sase.stats(h).expect("registered").events_processed)
         .sum();
     IngestRun {
-        label: match mode {
-            RoutingMode::Indexed => "indexed".to_string(),
-            RoutingMode::ScanAll => "scan-all".to_string(),
-        },
-        queries: n_queries,
-        shards: 1,
+        label,
+        queries: handles.len(),
+        shards,
         seconds,
         events_per_sec: events.len() as f64 / seconds.max(1e-12),
         matches,
@@ -107,8 +107,29 @@ pub fn run_ingest_engine(
     }
 }
 
+/// Measure a single engine in the given routing mode, through the facade.
+pub fn run_ingest_engine(
+    registry: &SchemaRegistry,
+    events: &[Event],
+    n_queries: usize,
+    mode: RoutingMode,
+    batch: usize,
+) -> IngestRun {
+    let mut sase = Sase::builder()
+        .schemas(registry.clone())
+        .routing(mode)
+        .build()
+        .expect("facade builds");
+    let handles = register_queries(&mut sase, n_queries);
+    let label = match mode {
+        RoutingMode::Indexed => "indexed".to_string(),
+        RoutingMode::ScanAll => "scan-all".to_string(),
+    };
+    measure(sase, &handles, events, label, batch)
+}
+
 /// Measure the sharded deployment (type-indexed routing inside each
-/// shard).
+/// shard), through the facade.
 pub fn run_ingest_sharded(
     registry: &SchemaRegistry,
     events: &[Event],
@@ -116,37 +137,14 @@ pub fn run_ingest_sharded(
     shards: usize,
     batch: usize,
 ) -> IngestRun {
-    let mut builder = ShardedEngineBuilder::new(registry.clone());
-    for i in 0..n_queries {
-        builder
-            .register(&format!("q{i}"), &ingest_query(i, INGEST_TYPES))
-            .expect("ingest query registers");
-    }
-    let mut engine = builder.build(shards).expect("sharded engine builds");
-    let shards = engine.shard_count();
-    let start = Instant::now();
-    let mut matches = 0u64;
-    for chunk in events.chunks(batch.max(1)) {
-        matches += engine.process_batch(chunk).expect("ingest batch").len() as u64;
-    }
-    let seconds = start.elapsed().as_secs_f64();
-    let events_offered = (0..n_queries)
-        .map(|i| {
-            engine
-                .stats(&format!("q{i}"))
-                .expect("registered")
-                .events_processed
-        })
-        .sum();
-    IngestRun {
-        label: format!("sharded-{shards}"),
-        queries: n_queries,
-        shards,
-        seconds,
-        events_per_sec: events.len() as f64 / seconds.max(1e-12),
-        matches,
-        events_offered,
-    }
+    let mut sase = Sase::builder()
+        .schemas(registry.clone())
+        .shards(shards)
+        .build()
+        .expect("facade builds");
+    let handles = register_queries(&mut sase, n_queries);
+    let shards = sase.shard_count();
+    measure(sase, &handles, events, format!("sharded-{shards}"), batch)
 }
 
 fn json_escape(s: &str) -> String {

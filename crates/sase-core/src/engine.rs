@@ -353,7 +353,15 @@ impl Engine {
             .to_string())
     }
 
+    // Every ingest entry point below is a thin wrapper over the one
+    // batched core path, [`Engine::ingest`]: the single-event and
+    // default-stream variants exist purely as calling conveniences, so
+    // live ingest, durable replay, and sharded workers all share the
+    // same routing, derivation, and ordering code.
+
     /// Process one event on the default input stream.
+    ///
+    /// Thin wrapper: `process_on(None, event)`.
     pub fn process(&mut self, event: &Event) -> Result<Vec<ComplexEvent>> {
         self.process_on(None, event)
     }
@@ -368,7 +376,9 @@ impl Engine {
     /// the output"), so queries compose. The derived event type is the
     /// stream name; if it is not already registered, a schema is derived
     /// from the first emission's column types. Cyclic INTO graphs are cut
-    /// off after [`MAX_DERIVATION_DEPTH`] hops with an error.
+    /// off after `MAX_DERIVATION_DEPTH` hops with an error.
+    ///
+    /// Thin wrapper: a one-event [`Engine::process_batch_on`] call.
     pub fn process_on(&mut self, stream: Option<&str>, event: &Event) -> Result<Vec<ComplexEvent>> {
         self.process_batch_on(stream, std::slice::from_ref(event))
     }
@@ -379,12 +389,15 @@ impl Engine {
     /// concatenating the outputs, but routing setup, derivation queues,
     /// and output handling are amortized across the batch — the intended
     /// ingest path for tick- or frame-grained sources.
+    ///
+    /// Thin wrapper: `process_batch_on(None, events)`.
     pub fn process_batch(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
         self.process_batch_on(None, events)
     }
 
     /// Process a batch of events on a named stream (see
-    /// [`Engine::process_on`] for stream and INTO semantics).
+    /// [`Engine::process_on`] for stream and INTO semantics): the untagged
+    /// face of the batched core path.
     pub fn process_batch_on(
         &mut self,
         stream: Option<&str>,
@@ -695,6 +708,76 @@ impl std::fmt::Debug for Engine {
             .field("schemas", &self.registry.len())
             .field("routing", &self.routing)
             .finish()
+    }
+}
+
+/// The single-engine implementation of the unified processor surface:
+/// every method delegates to the inherent method of the same name. The
+/// trait's [`SnapshotSet`](crate::snapshot::SnapshotSet) holds exactly one
+/// [`EngineSnapshot`] here (the inherent [`Engine::snapshot`] /
+/// [`Engine::restore`] remain the single-engine-typed forms, used per
+/// shard by sharded deployments).
+impl crate::processor::EventProcessor for Engine {
+    fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()> {
+        Engine::register_with(self, name, src, options)
+    }
+
+    fn unregister(&mut self, name: &str) -> bool {
+        Engine::unregister(self, name)
+    }
+
+    fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<ComplexEvent>> {
+        Engine::process_batch_on(self, stream, events)
+    }
+
+    fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<Emission>> {
+        Engine::process_batch_tagged(self, stream, events)
+    }
+
+    fn query_names(&self) -> Vec<String> {
+        Engine::query_names(self)
+    }
+
+    fn stats(&self, name: &str) -> Result<RuntimeStats> {
+        Engine::stats(self, name)
+    }
+
+    fn explain(&self, name: &str) -> Result<String> {
+        Engine::explain(self, name)
+    }
+
+    fn query_text(&self, name: &str) -> Result<String> {
+        Engine::query_text(self, name)
+    }
+
+    fn add_sink(&mut self, name: &str, sink: Sink) -> Result<()> {
+        Engine::add_sink(self, name, sink)
+    }
+
+    fn schemas(&self) -> &SchemaRegistry {
+        Engine::schemas(self)
+    }
+
+    fn snapshot(&self) -> crate::snapshot::SnapshotSet {
+        crate::snapshot::SnapshotSet::single(Engine::snapshot(self))
+    }
+
+    fn restore(&mut self, snaps: &crate::snapshot::SnapshotSet) -> Result<()> {
+        match snaps.engines.as_slice() {
+            [one] => Engine::restore(self, one),
+            _ => Err(mismatch(format!(
+                "snapshot set holds {} engines, deployment is a single engine",
+                snaps.engines.len()
+            ))),
+        }
     }
 }
 

@@ -52,6 +52,7 @@
 //! | negation (2.1.1) | [`runtime::negation`] |
 //! | RETURN transformation & built-in `_functions` (2.1.1) | [`runtime::transform`], [`functions`] |
 //! | continuous-query processor (3) | [`engine`] |
+//! | unified processor surface (single / sharded / durable) | [`processor`] |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -67,6 +68,7 @@ pub mod nfa;
 pub mod output;
 pub mod pattern;
 pub mod plan;
+pub mod processor;
 pub mod program;
 pub mod runtime;
 pub mod snapshot;
@@ -80,8 +82,9 @@ pub use functions::{BuiltinFunction, FunctionRegistry};
 pub use lang::{parse_query, Query};
 pub use output::ComplexEvent;
 pub use plan::{Planner, PlannerOptions, QueryPlan, SequenceStrategy};
+pub use processor::EventProcessor;
 pub use program::PredicateProgram;
 pub use runtime::{QueryRuntime, RuntimeStats};
-pub use snapshot::EngineSnapshot;
+pub use snapshot::{EngineSnapshot, SnapshotSet};
 pub use time::{TimeScale, TimeUnit, Timestamp, WindowSpec};
 pub use value::{Value, ValueType};

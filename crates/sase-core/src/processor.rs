@@ -1,0 +1,202 @@
+//! The unified complex-event-processor surface.
+//!
+//! The paper's Figure 3 presents one system — queries go in, complex
+//! events stream out — but deployments come in several shapes: a single
+//! [`Engine`](crate::engine::Engine), a sharded engine, a durable (write-ahead-logged) wrapper
+//! around either. [`EventProcessor`] is the object-safe trait all of them
+//! implement, capturing the full continuous-query lifecycle:
+//!
+//! * **query management** — [`register`](EventProcessor::register) /
+//!   [`register_with`](EventProcessor::register_with) /
+//!   [`unregister`](EventProcessor::unregister);
+//! * **ingest** — [`process_batch_on`](EventProcessor::process_batch_on)
+//!   (and the provided [`process_batch`](EventProcessor::process_batch)
+//!   default-stream shorthand), plus
+//!   [`process_batch_tagged`](EventProcessor::process_batch_tagged) for
+//!   provenance-tagged emissions mergeable across deployments;
+//! * **push output** — [`add_sink`](EventProcessor::add_sink) attaches a
+//!   per-query sink that observes every emission as it happens;
+//! * **inspection** — [`query_names`](EventProcessor::query_names),
+//!   [`stats`](EventProcessor::stats),
+//!   [`explain`](EventProcessor::explain),
+//!   [`query_text`](EventProcessor::query_text),
+//!   [`schemas`](EventProcessor::schemas);
+//! * **state** — [`snapshot`](EventProcessor::snapshot) /
+//!   [`restore`](EventProcessor::restore) via the backend-agnostic
+//!   [`SnapshotSet`].
+//!
+//! Because the trait is object safe, deployments compose behind
+//! `Box<dyn EventProcessor>`: a host can swap a single engine for a
+//! sharded one, or wrap either in a durable decorator, without touching
+//! any call site. The differential tests drive the same workload through
+//! every implementation and assert byte-identical emissions.
+//!
+//! ## Semantics every implementation must uphold
+//!
+//! * Registration order is observable: `query_names` lists queries in
+//!   registration order, and [`Emission`] paths refer to queries by that
+//!   order.
+//! * `process_batch_on(stream, events)` returns emissions in the canonical
+//!   order of a single engine running all the queries — ascending
+//!   [`Emission::order_key`] — regardless of internal parallelism.
+//! * `snapshot` → `restore` round-trips exactly: restoring a snapshot onto
+//!   a freshly configured deployment with the same queries (in the same
+//!   order, planned with the same options) resumes processing as if
+//!   nothing happened. See [`crate::snapshot`] for the restore protocol.
+
+use crate::engine::{Emission, Sink};
+use crate::error::Result;
+use crate::event::{Event, SchemaRegistry};
+use crate::output::ComplexEvent;
+use crate::plan::PlannerOptions;
+use crate::runtime::RuntimeStats;
+use crate::snapshot::SnapshotSet;
+
+/// An object-safe complex event processor: the one interface behind which
+/// single, sharded, and durable engine deployments are interchangeable.
+///
+/// See the [module docs](self) for the contract. The `Send` supertrait
+/// lets deployments move across threads (pipelined stages own their
+/// processor).
+pub trait EventProcessor: Send {
+    /// Register a continuous query from source text with explicit planner
+    /// options. Query names are unique per deployment.
+    fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()>;
+
+    /// Register a continuous query from source text with default options.
+    fn register(&mut self, name: &str, src: &str) -> Result<()> {
+        self.register_with(name, src, PlannerOptions::default())
+    }
+
+    /// Delete a query. Returns true if it existed.
+    fn unregister(&mut self, name: &str) -> bool;
+
+    /// Process a batch of events on a named stream (`None` = the default
+    /// input stream), returning the emitted composite events in canonical
+    /// emission order.
+    fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<ComplexEvent>>;
+
+    /// Process a batch on the default input stream.
+    fn process_batch(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        self.process_batch_on(None, events)
+    }
+
+    /// Process a batch and return each emission with its provenance tag,
+    /// sorted by [`Emission::order_key`]. Stripping the tags yields
+    /// exactly [`EventProcessor::process_batch_on`]'s output.
+    fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<Emission>>;
+
+    /// Names of registered queries, in registration order.
+    fn query_names(&self) -> Vec<String>;
+
+    /// Runtime counters of a query.
+    fn stats(&self, name: &str) -> Result<RuntimeStats>;
+
+    /// EXPLAIN output of a query's plan.
+    fn explain(&self, name: &str) -> Result<String>;
+
+    /// The source text (canonical form) of a query.
+    fn query_text(&self, name: &str) -> Result<String>;
+
+    /// Attach an output sink to a query: it observes every emission of
+    /// that query, push-style, as processing happens. Sinks are not part
+    /// of snapshots. Sinks of queries hosted on worker threads (sharded
+    /// deployments) fire on those threads; delivery order is guaranteed
+    /// per query, not across queries on different workers.
+    fn add_sink(&mut self, name: &str, sink: Sink) -> Result<()>;
+
+    /// The schema registry events are built and replayed against.
+    fn schemas(&self) -> &SchemaRegistry;
+
+    /// Serializable image of the deployment's complete mutable state.
+    fn snapshot(&self) -> SnapshotSet;
+
+    /// Restore a snapshot produced by [`EventProcessor::snapshot`] onto a
+    /// freshly configured deployment with the same queries (see
+    /// [`crate::snapshot`] for the protocol).
+    fn restore(&mut self, snaps: &SnapshotSet) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::event::retail_registry;
+    use crate::value::Value;
+
+    fn boxed_engine() -> Box<dyn EventProcessor> {
+        Box::new(Engine::new(retail_registry()))
+    }
+
+    #[test]
+    fn engine_works_through_the_trait_object() {
+        let mut p = boxed_engine();
+        p.register("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+            .unwrap();
+        assert_eq!(p.query_names(), vec!["exits"]);
+        assert!(p.explain("exits").unwrap().contains("EXIT_READING"));
+        assert!(p.query_text("exits").unwrap().contains("EXIT_READING"));
+
+        let e = p
+            .schemas()
+            .build_event(
+                "EXIT_READING",
+                1,
+                vec![Value::Int(7), Value::str("soap"), Value::Int(4)],
+            )
+            .unwrap();
+        let out = p.process_batch(std::slice::from_ref(&e)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value("tag"), Some(&Value::Int(7)));
+        let tagged = p.process_batch_tagged(None, &[e]).unwrap();
+        assert_eq!(tagged.len(), 1);
+        assert_eq!(tagged[0].input_index, 0);
+
+        assert_eq!(p.stats("exits").unwrap().events_processed, 2);
+        assert!(p.unregister("exits"));
+        assert!(!p.unregister("exits"));
+    }
+
+    #[test]
+    fn snapshot_set_round_trips_through_the_trait() {
+        let q = "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                 WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId AS tag";
+        let mut p = boxed_engine();
+        p.register("q", q).unwrap();
+        let shelf = p
+            .schemas()
+            .build_event(
+                "SHELF_READING",
+                1,
+                vec![Value::Int(7), Value::str("soap"), Value::Int(1)],
+            )
+            .unwrap();
+        p.process_batch(&[shelf]).unwrap();
+        let set = p.snapshot();
+        assert_eq!(set.len(), 1);
+
+        let mut fresh = boxed_engine();
+        fresh.register("q", q).unwrap();
+        fresh.restore(&set).unwrap();
+        let exit = fresh
+            .schemas()
+            .build_event(
+                "EXIT_READING",
+                2,
+                vec![Value::Int(7), Value::str("soap"), Value::Int(4)],
+            )
+            .unwrap();
+        // The restored processor completes the pending sequence.
+        assert_eq!(fresh.process_batch(&[exit]).unwrap().len(), 1);
+        // Restoring a mismatched set is rejected.
+        assert!(boxed_engine().restore(&set).is_err());
+    }
+}

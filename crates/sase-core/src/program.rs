@@ -322,7 +322,7 @@ const SMALL_STACK: usize = 4;
 /// Built from a [`CompiledExpr`] by [`PredicateProgram::from_expr`];
 /// evaluated against any [`Binding`] with [`PredicateProgram::eval`] /
 /// [`PredicateProgram::eval_bool`]. Evaluation is allocation-free for
-/// programs whose operand stack fits [`INLINE_STACK`] (`Value` clones are
+/// programs whose operand stack fits `INLINE_STACK` (`Value` clones are
 /// refcount bumps, never heap allocations).
 #[derive(Clone)]
 pub struct PredicateProgram {

@@ -217,6 +217,53 @@ impl EngineSnapshot {
     }
 }
 
+/// A backend-agnostic deployment snapshot: one [`EngineSnapshot`] per
+/// constituent engine, in deterministic order.
+///
+/// This is the unit of state the [`crate::processor::EventProcessor`]
+/// trait exchanges: a plain [`crate::engine::Engine`] holds exactly one
+/// engine snapshot, a sharded deployment holds one per shard, and a
+/// durable wrapper passes its inner deployment's set through unchanged.
+/// Callers that persist snapshots (checkpoint files) store the `engines`
+/// vector; callers that restore hand the whole set back to the same
+/// deployment shape that produced it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotSet {
+    /// Per-engine snapshots, in the deployment's deterministic order
+    /// (registration order for a single engine, shard order for a sharded
+    /// deployment).
+    pub engines: Vec<EngineSnapshot>,
+}
+
+impl SnapshotSet {
+    /// Wrap a single engine's snapshot.
+    pub fn single(snapshot: EngineSnapshot) -> SnapshotSet {
+        SnapshotSet {
+            engines: vec![snapshot],
+        }
+    }
+
+    /// Number of constituent engine snapshots.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when the set holds no engine snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Register every derived (`INTO`) stream type recorded in any
+    /// constituent snapshot on a fresh registry — step 1 of the restore
+    /// protocol (see [`EngineSnapshot::preregister_derived`]).
+    pub fn preregister_derived(&self, registry: &SchemaRegistry) -> Result<()> {
+        for e in &self.engines {
+            e.preregister_derived(registry)?;
+        }
+        Ok(())
+    }
+}
+
 /// Shorthand for the "snapshot does not fit this engine" error family.
 pub(crate) fn mismatch(what: impl std::fmt::Display) -> SaseError {
     SaseError::engine(format!("snapshot mismatch: {what}"))

@@ -12,9 +12,10 @@
 //! tick-sized batches so channel, routing, and output handling costs are
 //! amortized ([`Engine::process_batch`]).
 //!
-//! The engine stage is pluggable through [`IngestStage`]: a single
-//! [`Engine`], or a [`ShardedEngine`] that partitions the registered
-//! queries across N engine workers. Each query's state is independent, so
+//! The engine stage is pluggable through the unified
+//! [`EventProcessor`] surface: a single [`Engine`], a [`ShardedEngine`]
+//! that partitions the registered queries across N engine workers, or a
+//! durable wrapper around either. Each query's state is independent, so
 //! sharding by query is semantics-preserving; the shards' emissions are
 //! merged on their provenance tags ([`sase_core::engine::Emission`]) so a
 //! sharded run reproduces the single-engine output sequence byte for byte.
@@ -31,13 +32,16 @@ use std::thread;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use sase_core::engine::{Emission, Engine};
+use sase_core::engine::{Emission, Engine, RoutingMode, Sink};
 use sase_core::error::{Result as CoreResult, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
 use sase_core::functions::FunctionRegistry;
 use sase_core::lang::parse_query;
 use sase_core::output::ComplexEvent;
 use sase_core::plan::{Planner, PlannerOptions, QueryPlan};
+use sase_core::processor::EventProcessor;
+use sase_core::runtime::RuntimeStats;
+use sase_core::snapshot::SnapshotSet;
 use sase_core::time::TimeScale;
 
 use sase_rfid::wire::{decode_frame, encode_frame};
@@ -47,25 +51,6 @@ use sase_stream::Tick;
 
 /// Channel capacity between stages (frames / event batches in flight).
 const STAGE_CAPACITY: usize = 64;
-
-/// The engine stage of a deployment: anything that consumes a tick's batch
-/// of cleaned events and emits the detections in deterministic order.
-pub trait IngestStage {
-    /// Process one batch of events on the default input stream.
-    fn ingest_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>>;
-}
-
-impl IngestStage for Engine {
-    fn ingest_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>> {
-        self.process_batch(events)
-    }
-}
-
-impl IngestStage for ShardedEngine {
-    fn ingest_batch(&mut self, events: &[Event]) -> CoreResult<Vec<ComplexEvent>> {
-        self.process_batch(events)
-    }
-}
 
 /// Outcome of a pipelined run.
 #[derive(Debug)]
@@ -83,7 +68,9 @@ pub struct PipelinedRun {
 ///
 /// `ticks` yields each scan cycle's readings in order (the device stage
 /// encodes them to wire frames); `pipeline` and `engine` are consumed by
-/// their stages. The cleaning stage ships each tick's events as one batch.
+/// their stages. The engine stage is any [`EventProcessor`] — a single
+/// [`Engine`], a [`ShardedEngine`], a durable wrapper, or the `Sase`
+/// facade. The cleaning stage ships each tick's events as one batch.
 /// Errors from any stage abort the run.
 pub fn run_pipelined<I, E>(
     ticks: I,
@@ -93,7 +80,7 @@ pub fn run_pipelined<I, E>(
 where
     I: IntoIterator<Item = (Tick, Vec<RawReading>)> + Send + 'static,
     I::IntoIter: Send,
-    E: IngestStage,
+    E: EventProcessor,
 {
     let (frame_tx, frame_rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(STAGE_CAPACITY);
     let (batch_tx, batch_rx): (Sender<Vec<Event>>, Receiver<Vec<Event>>) = bounded(STAGE_CAPACITY);
@@ -133,7 +120,7 @@ where
     // Stage 3: the complex event processor (this thread).
     let mut detections = Vec::new();
     for batch in batch_rx {
-        detections.extend(engine.ingest_batch(&batch)?);
+        detections.extend(engine.process_batch(&batch)?);
     }
 
     let frames_shipped = device
@@ -190,6 +177,7 @@ pub struct ShardedEngineBuilder {
     registry: SchemaRegistry,
     functions: FunctionRegistry,
     time_scale: Option<TimeScale>,
+    routing: Option<RoutingMode>,
     queries: Vec<(String, QueryPlan)>,
 }
 
@@ -207,6 +195,7 @@ impl ShardedEngineBuilder {
             registry,
             functions,
             time_scale: None,
+            routing: None,
             queries: Vec::new(),
         }
     }
@@ -214,6 +203,12 @@ impl ShardedEngineBuilder {
     /// Set the logical time scale used for WITHIN conversion.
     pub fn set_time_scale(&mut self, scale: TimeScale) {
         self.time_scale = Some(scale);
+    }
+
+    /// Select how each shard's engine matches events to queries (default:
+    /// [`RoutingMode::Indexed`]). Both modes emit identical outputs.
+    pub fn set_routing(&mut self, mode: RoutingMode) {
+        self.routing = Some(mode);
     }
 
     /// Register a continuous query from source text with default options.
@@ -243,8 +238,11 @@ impl ShardedEngineBuilder {
         Ok(())
     }
 
-    /// Partition the registered queries across (at most) `shards` engine
-    /// workers and instantiate the deployment.
+    /// Partition the registered queries across `shards` engine workers and
+    /// instantiate the deployment. A deployment may be built with fewer
+    /// queries than shards (even with none): later
+    /// [`ShardedEngine::register`] calls place new queries on the
+    /// least-loaded compatible shard.
     pub fn build(self, shards: usize) -> CoreResult<ShardedEngine> {
         let n_queries = self.queries.len();
         // Union-find over query indices.
@@ -307,7 +305,7 @@ impl ShardedEngineBuilder {
         }
 
         // Components in first-appearance order, assigned round-robin.
-        let shard_count = shards.clamp(1, n_queries.max(1));
+        let shard_count = shards.max(1);
         let mut component_of: HashMap<usize, usize> = HashMap::new();
         let assignment: Vec<usize> = (0..n_queries)
             .map(|i| {
@@ -325,13 +323,18 @@ impl ShardedEngineBuilder {
                 if let Some(scale) = self.time_scale {
                     e.set_time_scale(scale);
                 }
+                if let Some(mode) = self.routing {
+                    e.set_routing(mode);
+                }
                 e
             })
             .collect();
         let mut local_to_global: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
         let mut names = Vec::with_capacity(n_queries);
+        let mut meta = Vec::with_capacity(n_queries);
         for (global, (name, plan)) in self.queries.into_iter().enumerate() {
             let s = assignment[global];
+            meta.push(QueryMeta::of(&plan));
             shards_vec[s].install(&name, plan)?;
             local_to_global[s].push(global as u32);
             names.push(name);
@@ -353,9 +356,45 @@ impl ShardedEngineBuilder {
             inline,
             workers,
             registry: self.registry,
+            functions: self.functions,
+            time_scale: self.time_scale,
             local_to_global,
             names,
+            meta,
+            components: component_of.len(),
         })
+    }
+}
+
+/// Co-location-relevant facts about a registered query, kept so queries
+/// registered *after* [`ShardedEngineBuilder::build`] can be placed
+/// consistently with the builder's partitioning rules.
+#[derive(Debug, Clone)]
+struct QueryMeta {
+    /// `FROM` stream (normalized to lowercase).
+    from: Option<String>,
+    /// `INTO` stream (normalized to lowercase).
+    into: Option<String>,
+    /// Non-stdlib host functions the query calls.
+    funcs: Vec<String>,
+}
+
+impl QueryMeta {
+    fn of(plan: &QueryPlan) -> QueryMeta {
+        QueryMeta {
+            from: plan.query.from.as_deref().map(str::to_ascii_lowercase),
+            into: plan
+                .return_plan
+                .into
+                .as_deref()
+                .map(str::to_ascii_lowercase),
+            funcs: plan
+                .query
+                .called_functions()
+                .into_iter()
+                .filter(|f| !STDLIB_FUNCTIONS.contains(&f.as_str()))
+                .collect(),
+        }
     }
 }
 
@@ -464,7 +503,7 @@ impl Drop for ShardWorker {
 /// byte, the output sequence of one engine running all the queries.
 ///
 /// Each shard's engine lives on a **persistent worker thread** fed through
-/// a command channel ([`ShardWorker`]); a batch costs two channel hops per
+/// a command channel (`ShardWorker`); a batch costs two channel hops per
 /// shard instead of a thread spawn/join. A deployment built with one shard
 /// keeps its engine inline and pays no thread or merge overhead at all.
 pub struct ShardedEngine {
@@ -474,10 +513,23 @@ pub struct ShardedEngine {
     workers: Vec<ShardWorker>,
     /// The shared schema registry (every shard holds a handle to it).
     registry: SchemaRegistry,
+    /// The shared function registry, kept so queries can be planned (and
+    /// placed) after the deployment is built.
+    functions: FunctionRegistry,
+    /// Time scale for WITHIN conversion in post-build registrations.
+    time_scale: Option<TimeScale>,
     /// Per shard: local query index -> global registration index.
     local_to_global: Vec<Vec<u32>>,
     /// Query names in global registration order.
     names: Vec<String>,
+    /// Co-location facts per query, aligned with `names`.
+    meta: Vec<QueryMeta>,
+    /// Co-location components created so far (monotone): post-build
+    /// registrations of unconstrained queries continue the builder's
+    /// round-robin component → shard assignment, so replaying the same
+    /// registration sequence always reproduces the same partitioning
+    /// (the property snapshot/restore depends on).
+    components: usize,
 }
 
 impl ShardedEngine {
@@ -495,16 +547,171 @@ impl ShardedEngine {
         &self.names
     }
 
+    /// Register a continuous query from source text with default options,
+    /// placing it on a shard consistent with the builder's co-location
+    /// rules (see [`ShardedEngine::register_with`]).
+    pub fn register(&mut self, name: &str, src: &str) -> CoreResult<()> {
+        self.register_with(name, src, PlannerOptions::default())
+    }
+
+    /// Register a continuous query on a live deployment.
+    ///
+    /// Placement follows the builder's co-location rules: a query that
+    /// consumes a stream some registered query produces (`FROM` ↔ `INTO`),
+    /// produces a stream another query produces or consumes, or shares a
+    /// non-stdlib host function with a registered query is placed on that
+    /// query's shard. An unconstrained query starts a new co-location
+    /// component and continues the builder's round-robin component →
+    /// shard assignment, so replaying the same registration sequence
+    /// (build-time and post-build calls, in order) always reproduces the
+    /// same partitioning — which is what lets a checkpointed deployment
+    /// be rebuilt and restored. If the rules demand co-location with
+    /// queries on *different* shards, registration fails — rebuild the
+    /// deployment through [`ShardedEngineBuilder`] to repartition.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        options: PlannerOptions,
+    ) -> CoreResult<()> {
+        if self.names.iter().any(|n| n == name) {
+            return Err(SaseError::engine(format!(
+                "a query named `{name}` is already registered"
+            )));
+        }
+        let query = parse_query(src)?;
+        let mut planner = Planner::new(self.registry.clone(), self.functions.clone());
+        if let Some(scale) = self.time_scale {
+            planner = planner.with_time_scale(scale);
+        }
+        let plan = planner.plan_with(&query, options)?;
+        let meta = QueryMeta::of(&plan);
+        let placed = self.place(&meta, name)?;
+        let shard = placed.unwrap_or(self.components % self.shard_count());
+        match &mut self.inline {
+            Some(engine) => engine.install(name, plan)?,
+            None => {
+                let n = name.to_string();
+                self.workers[shard].call(move |engine| engine.install(&n, plan))??;
+            }
+        }
+        if placed.is_none() {
+            self.components += 1;
+        }
+        self.local_to_global[shard].push(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.meta.push(meta);
+        Ok(())
+    }
+
+    /// The shard a new query's co-location links pin it to (`None` when
+    /// unconstrained); an error when the links span two shards.
+    fn place(&self, meta: &QueryMeta, name: &str) -> CoreResult<Option<usize>> {
+        let mut constrained: Option<usize> = None;
+        for (global, m) in self.meta.iter().enumerate() {
+            let linked = (meta.from.is_some() && m.into == meta.from)
+                || (meta.into.is_some() && (m.into == meta.into || m.from == meta.into))
+                || m.funcs.iter().any(|f| meta.funcs.contains(f));
+            if !linked {
+                continue;
+            }
+            let shard = self
+                .shard_of_global(global as u32)
+                .expect("registered queries have a shard");
+            match constrained {
+                None => constrained = Some(shard),
+                Some(s) if s == shard => {}
+                Some(s) => {
+                    return Err(SaseError::engine(format!(
+                        "query `{name}` must be co-located with queries on shards {s} and \
+                         {shard}; rebuild the deployment with ShardedEngineBuilder to \
+                         repartition"
+                    )))
+                }
+            }
+        }
+        Ok(constrained)
+    }
+
+    /// Delete a query, wherever it is hosted. Returns true if it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let Some(global) = self.names.iter().position(|n| n == name) else {
+            return false;
+        };
+        let g = global as u32;
+        let shard = self
+            .shard_of_global(g)
+            .expect("registered queries have a shard");
+        let removed = match &mut self.inline {
+            Some(engine) => engine.unregister(name),
+            None => {
+                let n = name.to_string();
+                self.workers[shard]
+                    .call(move |engine| engine.unregister(&n))
+                    .unwrap_or(false)
+            }
+        };
+        if !removed {
+            return false;
+        }
+        self.names.remove(global);
+        self.meta.remove(global);
+        // Renumber the global registration indices past the removed one.
+        for table in &mut self.local_to_global {
+            table.retain(|&x| x != g);
+            for x in table.iter_mut() {
+                if *x > g {
+                    *x -= 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Attach an output sink to a query, wherever it is hosted. Sinks of
+    /// queries on worker shards fire on the worker's thread.
+    pub fn add_sink(&mut self, name: &str, sink: Sink) -> CoreResult<()> {
+        let shard = self
+            .shard_of(name)
+            .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
+        match &mut self.inline {
+            Some(engine) => engine.add_sink(name, sink),
+            None => {
+                let name = name.to_string();
+                self.workers[shard].call(move |engine| engine.add_sink(&name, sink))?
+            }
+        }
+    }
+
     /// Runtime counters of a query, wherever it is hosted.
-    pub fn stats(&self, name: &str) -> CoreResult<sase_core::runtime::RuntimeStats> {
+    pub fn stats(&self, name: &str) -> CoreResult<RuntimeStats> {
+        self.query_call(name, |engine, name| engine.stats(name))
+    }
+
+    /// EXPLAIN output of a query's plan, wherever it is hosted.
+    pub fn explain(&self, name: &str) -> CoreResult<String> {
+        self.query_call(name, |engine, name| engine.explain(name))
+    }
+
+    /// The source text (canonical form) of a query, wherever it is hosted.
+    pub fn query_text(&self, name: &str) -> CoreResult<String> {
+        self.query_call(name, |engine, name| engine.query_text(name))
+    }
+
+    /// Run a read-only per-query accessor on the engine hosting `name`.
+    fn query_call<R, F>(&self, name: &str, f: F) -> CoreResult<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Engine, &str) -> CoreResult<R> + Send + 'static,
+    {
         let shard = self
             .shard_of(name)
             .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
         if let Some(engine) = &self.inline {
-            return engine.stats(name);
+            return f(engine, name);
         }
         let name = name.to_string();
-        self.workers[shard].call(move |engine| engine.stats(&name))?
+        self.workers[shard].call(move |engine| f(engine, &name))?
     }
 
     /// The shared schema registry (all shards hold handles to one
@@ -514,32 +721,38 @@ impl ShardedEngine {
         &self.registry
     }
 
-    /// Serializable image of every shard's engine state, in shard order.
+    /// Serializable image of every shard's engine state, one
+    /// [`sase_core::snapshot::EngineSnapshot`] per shard in shard order.
     ///
-    /// Together with the builder's deterministic partitioning (same
-    /// queries in the same order always produce the same assignment), this
-    /// makes a sharded deployment checkpointable: rebuild the deployment,
-    /// re-register the queries, restore the snapshots.
-    pub fn snapshot(&self) -> Vec<sase_core::snapshot::EngineSnapshot> {
+    /// Together with deterministic partitioning — replaying the same
+    /// registration sequence (builder registrations, then any post-build
+    /// [`ShardedEngine::register`] / [`ShardedEngine::unregister`] calls,
+    /// in the same order) always reproduces the same query → shard
+    /// assignment — this makes a sharded deployment checkpointable:
+    /// rebuild it the same way, then restore the snapshot set.
+    pub fn snapshot(&self) -> SnapshotSet {
         if let Some(engine) = &self.inline {
-            return vec![engine.snapshot()];
+            return SnapshotSet::single(engine.snapshot());
         }
-        self.workers
-            .iter()
-            .map(|w| {
-                // Workers isolate engine panics (batch errors leave them
-                // alive and snapshotable); this can only fail if
-                // `Engine::snapshot` itself panics, which propagates just
-                // as it did when the engines lived inline.
-                w.call(|engine| engine.snapshot())
-                    .expect("shard workers survive batch errors")
-            })
-            .collect()
+        SnapshotSet {
+            engines: self
+                .workers
+                .iter()
+                .map(|w| {
+                    // Workers isolate engine panics (batch errors leave
+                    // them alive and snapshotable); this can only fail if
+                    // `Engine::snapshot` itself panics, which propagates
+                    // just as it did when the engines lived inline.
+                    w.call(|engine| engine.snapshot())
+                        .expect("shard workers survive batch errors")
+                })
+                .collect(),
+        }
     }
 
-    /// Restore per-shard snapshots (one per shard, in shard order) onto a
-    /// freshly rebuilt deployment with the same queries.
-    pub fn restore(&mut self, snaps: &[sase_core::snapshot::EngineSnapshot]) -> CoreResult<()> {
+    /// Restore a snapshot set (one engine snapshot per shard, in shard
+    /// order) onto a freshly rebuilt deployment with the same queries.
+    pub fn restore(&mut self, snaps: &SnapshotSet) -> CoreResult<()> {
         if snaps.len() != self.shard_count() {
             return Err(SaseError::engine(format!(
                 "snapshot mismatch: snapshot has {} shards, deployment has {}",
@@ -548,9 +761,9 @@ impl ShardedEngine {
             )));
         }
         if let Some(engine) = &mut self.inline {
-            return engine.restore(&snaps[0]);
+            return engine.restore(&snaps.engines[0]);
         }
-        for (worker, snap) in self.workers.iter().zip(snaps) {
+        for (worker, snap) in self.workers.iter().zip(&snaps.engines) {
             let snap = snap.clone();
             worker.call(move |engine| engine.restore(&snap))??;
         }
@@ -560,6 +773,10 @@ impl ShardedEngine {
     /// Shard index hosting a query, for inspection.
     pub fn shard_of(&self, name: &str) -> Option<usize> {
         let global = self.names.iter().position(|n| n == name)? as u32;
+        self.shard_of_global(global)
+    }
+
+    fn shard_of_global(&self, global: u32) -> Option<usize> {
         self.local_to_global
             .iter()
             .position(|t| t.contains(&global))
@@ -578,18 +795,47 @@ impl ShardedEngine {
         events: &[Event],
     ) -> CoreResult<Vec<ComplexEvent>> {
         if let Some(engine) = &mut self.inline {
+            // Single shard: skip the tagging/merge machinery entirely.
             return engine.process_batch_on(stream, events);
         }
+        Ok(self
+            .process_batch_tagged(stream, events)?
+            .into_iter()
+            .map(|e| e.output)
+            .collect())
+    }
+
+    /// Process a batch and return each emission with its provenance tag,
+    /// with per-shard query indices already remapped to the global
+    /// registration order and the whole sequence sorted by
+    /// [`Emission::order_key`] — exactly what one engine over the union of
+    /// the queries would have tagged.
+    pub fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<Emission>> {
+        if let Some(engine) = &mut self.inline {
+            return engine.process_batch_tagged(stream, events);
+        }
         // One shared copy of the batch; events are cheap `Arc` handles.
+        // Shards hosting no queries are skipped entirely — a deployment
+        // with more shards than queries pays nothing for the idle workers.
+        // (With no queries anywhere, every shard still sees the batch so
+        // the engine-level stream-clock validation keeps running.)
         let shared = Arc::new(events.to_vec());
-        let mut dispatched = 0usize;
+        let any_populated = self.local_to_global.iter().any(|t| !t.is_empty());
+        let mut dispatched: Vec<usize> = Vec::with_capacity(self.workers.len());
         let mut send_err: Option<SaseError> = None;
-        for worker in &self.workers {
+        for (shard, worker) in self.workers.iter().enumerate() {
+            if any_populated && self.local_to_global[shard].is_empty() {
+                continue;
+            }
             match worker.send(ShardCmd::Batch {
                 stream: stream.map(str::to_string),
                 events: shared.clone(),
             }) {
-                Ok(()) => dispatched += 1,
+                Ok(()) => dispatched.push(shard),
                 Err(e) => {
                     send_err = Some(e);
                     break;
@@ -599,21 +845,23 @@ impl ShardedEngine {
         // Drain exactly one result from every worker that received the
         // batch — even on error — so the persistent result channels never
         // desync: a leftover result would be merged into the *next* batch.
-        let mut results: Vec<CoreResult<Vec<Emission>>> = Vec::with_capacity(dispatched);
-        for worker in self.workers.iter().take(dispatched) {
-            results.push(
-                worker
+        let mut results: Vec<(usize, CoreResult<Vec<Emission>>)> =
+            Vec::with_capacity(dispatched.len());
+        for &shard in &dispatched {
+            results.push((
+                shard,
+                self.workers[shard]
                     .batch_rx
                     .recv()
                     .map_err(|_| SaseError::engine("engine shard worker disconnected"))
                     .and_then(|r| r),
-            );
+            ));
         }
         if let Some(e) = send_err {
             return Err(e);
         }
         let mut merged: Vec<Emission> = Vec::new();
-        for (shard, result) in results.into_iter().enumerate() {
+        for (shard, result) in results {
             let table = &self.local_to_global[shard];
             for mut emission in result? {
                 for hop in &mut emission.path {
@@ -623,7 +871,70 @@ impl ShardedEngine {
             }
         }
         merged.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
-        Ok(merged.into_iter().map(|e| e.output).collect())
+        Ok(merged)
+    }
+}
+
+/// The sharded implementation of the unified processor surface: every
+/// method delegates to the inherent method of the same name, so a sharded
+/// deployment is a drop-in replacement for a single [`Engine`] behind
+/// `dyn EventProcessor` — including post-build registration, per-query
+/// sinks, and snapshot/restore (one engine snapshot per shard).
+impl EventProcessor for ShardedEngine {
+    fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> CoreResult<()> {
+        ShardedEngine::register_with(self, name, src, options)
+    }
+
+    fn unregister(&mut self, name: &str) -> bool {
+        ShardedEngine::unregister(self, name)
+    }
+
+    fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<ComplexEvent>> {
+        ShardedEngine::process_batch_on(self, stream, events)
+    }
+
+    fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<Emission>> {
+        ShardedEngine::process_batch_tagged(self, stream, events)
+    }
+
+    fn query_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    fn stats(&self, name: &str) -> CoreResult<RuntimeStats> {
+        ShardedEngine::stats(self, name)
+    }
+
+    fn explain(&self, name: &str) -> CoreResult<String> {
+        ShardedEngine::explain(self, name)
+    }
+
+    fn query_text(&self, name: &str) -> CoreResult<String> {
+        ShardedEngine::query_text(self, name)
+    }
+
+    fn add_sink(&mut self, name: &str, sink: Sink) -> CoreResult<()> {
+        ShardedEngine::add_sink(self, name, sink)
+    }
+
+    fn schemas(&self) -> &SchemaRegistry {
+        ShardedEngine::schemas(self)
+    }
+
+    fn snapshot(&self) -> SnapshotSet {
+        ShardedEngine::snapshot(self)
+    }
+
+    fn restore(&mut self, snaps: &SnapshotSet) -> CoreResult<()> {
+        ShardedEngine::restore(self, snaps)
     }
 }
 
@@ -940,5 +1251,168 @@ mod tests {
         let mut builder = ShardedEngineBuilder::new(sase_core::event::retail_registry());
         builder.register("q", "EVENT SHELF_READING x").unwrap();
         assert!(builder.register("q", "EVENT EXIT_READING x").is_err());
+    }
+
+    #[test]
+    fn sharded_engine_matches_engine_surface() {
+        // Parity regression: unregister, explain, query_text, and
+        // per-query sinks — the surfaces the sharded deployment used to
+        // silently lack — behave exactly like a single engine's.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let registry = sase_core::event::retail_registry();
+        let mut builder = ShardedEngineBuilder::new(registry.clone());
+        builder
+            .register("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+            .unwrap();
+        builder
+            .register("shelves", "EVENT SHELF_READING x RETURN x.TagId AS tag")
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+
+        assert!(sharded.explain("exits").unwrap().contains("EXIT_READING"));
+        assert!(sharded
+            .query_text("shelves")
+            .unwrap()
+            .contains("SHELF_READING"));
+        assert!(sharded.explain("missing").is_err());
+
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = hits.clone();
+        sharded
+            .add_sink(
+                "exits",
+                Box::new(move |_ce| {
+                    h2.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        let exit = registry
+            .build_event(
+                "EXIT_READING",
+                1,
+                vec![Value::Int(7), Value::str("p"), Value::Int(4)],
+            )
+            .unwrap();
+        sharded.process_batch(std::slice::from_ref(&exit)).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "sink fired on its shard");
+
+        // Post-build registration lands on the least-loaded shard and is
+        // fully routable; unregister renumbers the merge tables.
+        sharded
+            .register("counters", "EVENT COUNTER_READING c RETURN c.TagId AS t")
+            .unwrap();
+        assert!(sharded
+            .register("counters", "EVENT SHELF_READING x")
+            .is_err());
+        assert!(sharded.unregister("exits"));
+        assert!(!sharded.unregister("exits"));
+        assert_eq!(sharded.query_names(), ["shelves", "counters"]);
+        let counter = registry
+            .build_event(
+                "COUNTER_READING",
+                2,
+                vec![Value::Int(7), Value::str("p"), Value::Int(3)],
+            )
+            .unwrap();
+        let out = sharded.process_batch(&[exit, counter]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query.as_ref(), "counters");
+        assert_eq!(sharded.stats("counters").unwrap().matches_emitted, 1);
+    }
+
+    #[test]
+    fn post_build_register_respects_colocation() {
+        // A late consumer of a derived stream must land on its producer's
+        // shard; a late query linked to two different shards is rejected.
+        let registry = sase_core::event::retail_registry();
+        registry
+            .register(
+                "moves",
+                &[("tag", ValueType::Int), ("area", ValueType::Int)],
+            )
+            .unwrap();
+        let mut builder = ShardedEngineBuilder::new(registry.clone());
+        builder
+            .register(
+                "producer",
+                "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+                 WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 100 \
+                 RETURN y.TagId AS tag, y.AreaId AS area INTO Moves",
+            )
+            .unwrap();
+        builder
+            .register("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+        assert_ne!(sharded.shard_of("producer"), sharded.shard_of("exits"));
+
+        sharded
+            .register("mover", "FROM moves EVENT MOVES m RETURN m.tag AS t")
+            .unwrap();
+        assert_eq!(
+            sharded.shard_of("mover"),
+            sharded.shard_of("producer"),
+            "derived-stream consumer is co-located with its producer"
+        );
+
+        // The derived chain actually fires across the worker boundary.
+        let mk = |ts: u64, area: i64| {
+            registry
+                .build_event(
+                    "SHELF_READING",
+                    ts,
+                    vec![Value::Int(1), Value::str("p"), Value::Int(area)],
+                )
+                .unwrap()
+        };
+        let out = sharded.process_batch(&[mk(1, 1), mk(2, 2)]).unwrap();
+        assert_eq!(out.len(), 2, "producer + mover: {out:?}");
+
+        // A second producer into `moves` must also co-locate.
+        sharded
+            .register(
+                "producer2",
+                "EVENT EXIT_READING z RETURN z.TagId AS tag, z.AreaId AS area INTO Moves",
+            )
+            .unwrap();
+        assert_eq!(sharded.shard_of("producer2"), sharded.shard_of("producer"));
+    }
+
+    #[test]
+    fn post_build_register_rejects_cross_shard_colocation() {
+        // Two queries pinned to different shards by distinct stateful host
+        // functions; a late query calling both cannot be placed anywhere.
+        let registry = sase_core::event::retail_registry();
+        let functions = FunctionRegistry::with_stdlib();
+        functions.register_fn("_fa", Some(1), |args| Ok(args[0].clone()));
+        functions.register_fn("_fb", Some(1), |args| Ok(args[0].clone()));
+        let mut builder = ShardedEngineBuilder::with_functions(registry, functions);
+        builder
+            .register("qa", "EVENT SHELF_READING x RETURN _fa(x.TagId) AS a")
+            .unwrap();
+        builder
+            .register("qb", "EVENT EXIT_READING z RETURN _fb(z.TagId) AS b")
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+        assert_ne!(sharded.shard_of("qa"), sharded.shard_of("qb"));
+
+        let err = sharded
+            .register(
+                "both",
+                "EVENT COUNTER_READING c RETURN _fa(c.TagId) AS a, _fb(c.TagId) AS b",
+            )
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("co-located"),
+            "placement conflict must be explicit: {err}"
+        );
+        // The failed registration left no trace.
+        assert_eq!(sharded.query_names(), ["qa", "qb"]);
+        // A single-function late query still places on its pinned shard.
+        sharded
+            .register("more_a", "EVENT COUNTER_READING c RETURN _fa(c.TagId) AS a")
+            .unwrap();
+        assert_eq!(sharded.shard_of("more_a"), sharded.shard_of("qa"));
     }
 }

@@ -20,9 +20,11 @@
 //!
 //! Two wrappers share the machinery:
 //!
-//! * [`DurableEngine`] wraps any [`CheckpointableEngine`] — a single
-//!   [`Engine`] or a [`ShardedEngine`] (whose checkpoint stores one
-//!   snapshot per shard, atomically in one file).
+//! * [`DurableEngine`] wraps any [`EventProcessor`] — a single [`Engine`](sase_core::engine::Engine),
+//!   a [`ShardedEngine`](crate::concurrent::ShardedEngine) (whose checkpoint stores one snapshot per shard,
+//!   atomically in one file), or any other deployment implementing the
+//!   trait. [`DurableEngine`] itself implements [`EventProcessor`], so
+//!   durability and sharding are orthogonal, composable decorators.
 //! * [`DurableSystem`] wraps the full [`SaseSystem`]: each tick's cleaned
 //!   events are logged before ingest, and the engine can be crashed and
 //!   recovered in place while the device and cleaning layers keep running
@@ -31,11 +33,14 @@
 
 use std::path::{Path, PathBuf};
 
-use sase_core::engine::Engine;
+use sase_core::engine::{Emission, Sink};
 use sase_core::error::{Result as CoreResult, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
 use sase_core::output::ComplexEvent;
-use sase_core::snapshot::EngineSnapshot;
+use sase_core::plan::PlannerOptions;
+use sase_core::processor::EventProcessor;
+use sase_core::runtime::RuntimeStats;
+use sase_core::snapshot::{EngineSnapshot, SnapshotSet};
 use sase_core::time::Timestamp;
 
 use sase_store::{
@@ -43,7 +48,6 @@ use sase_store::{
     StoreError,
 };
 
-use crate::concurrent::{IngestStage, ShardedEngine};
 use crate::system::{SaseSystem, TickResult};
 
 /// Errors from the durable layer: either the store failed (I/O,
@@ -221,77 +225,33 @@ fn write_engine_checkpoint(
     Ok(seq)
 }
 
-/// An engine deployment whose state can be checkpointed and restored —
-/// the contract [`DurableEngine`] builds on. One snapshot per constituent
-/// engine (a plain [`Engine`] has one, a [`ShardedEngine`] one per shard).
-pub trait CheckpointableEngine: IngestStage {
-    /// The schema registry events are decoded against during replay.
-    fn registry(&self) -> &SchemaRegistry;
-    /// Snapshot every constituent engine, in deterministic order.
-    fn state_snapshot(&self) -> Vec<EngineSnapshot>;
-    /// Restore snapshots produced by [`Self::state_snapshot`] onto a
-    /// freshly configured deployment with the same queries.
-    fn state_restore(&mut self, snaps: &[EngineSnapshot]) -> CoreResult<()>;
-}
-
-impl CheckpointableEngine for Engine {
-    fn registry(&self) -> &SchemaRegistry {
-        self.schemas()
-    }
-
-    fn state_snapshot(&self) -> Vec<EngineSnapshot> {
-        vec![self.snapshot()]
-    }
-
-    fn state_restore(&mut self, snaps: &[EngineSnapshot]) -> CoreResult<()> {
-        match snaps {
-            [one] => self.restore(one),
-            _ => Err(SaseError::engine(format!(
-                "snapshot mismatch: checkpoint holds {} engines, deployment is a single engine",
-                snaps.len()
-            ))),
-        }
-    }
-}
-
-impl CheckpointableEngine for ShardedEngine {
-    fn registry(&self) -> &SchemaRegistry {
-        self.schemas()
-    }
-
-    fn state_snapshot(&self) -> Vec<EngineSnapshot> {
-        self.snapshot()
-    }
-
-    fn state_restore(&mut self, snaps: &[EngineSnapshot]) -> CoreResult<()> {
-        self.restore(snaps)
-    }
-}
-
 /// Register every derived (`INTO`) stream type recorded in a checkpoint's
-/// snapshots on a fresh registry — step 1 of the restore protocol, before
-/// queries consuming those streams can be re-registered.
-pub fn preregister_derived(registry: &SchemaRegistry, snaps: &[EngineSnapshot]) -> CoreResult<()> {
-    for s in snaps {
-        s.preregister_derived(registry)?;
-    }
-    Ok(())
+/// snapshot set on a fresh registry — step 1 of the restore protocol,
+/// before queries consuming those streams can be re-registered.
+pub fn preregister_derived(registry: &SchemaRegistry, snaps: &SnapshotSet) -> CoreResult<()> {
+    snaps.preregister_derived(registry)
 }
 
-/// A checkpointable engine behind a write-ahead event log.
+/// An engine deployment behind a write-ahead event log: the durability
+/// decorator over any [`EventProcessor`] (a single [`Engine`](sase_core::engine::Engine), a
+/// [`ShardedEngine`](crate::concurrent::ShardedEngine), …). It implements [`EventProcessor`] itself, so
+/// `DurableEngine<ShardedEngine>` composes durability and sharding
+/// without either knowing about the other.
 ///
 /// Ingest order is log-first: the batch is appended (and, by default,
 /// committed) before the engine processes it, so a crash at any point
 /// between loses nothing — recovery replays the batch. The log covers the
-/// default input stream, the one the system deployments feed.
-pub struct DurableEngine<E: CheckpointableEngine> {
+/// default input stream, the one the system deployments feed; ingesting
+/// on a named stream through the [`EventProcessor`] surface is rejected
+/// (the log records carry no stream name, so replay could not route them).
+pub struct DurableEngine<E: EventProcessor> {
     dir: PathBuf,
     opts: DurableOptions,
     log: EventLog,
     engine: E,
 }
 
-impl<E: CheckpointableEngine> DurableEngine<E> {
+impl<E: EventProcessor> DurableEngine<E> {
     /// Stand up a *new* durable deployment in `dir` around a freshly
     /// configured engine. Fails if `dir` already holds log records or
     /// checkpoints — recovering an existing deployment must go through
@@ -331,25 +291,34 @@ impl<E: CheckpointableEngine> DurableEngine<E> {
     pub fn recover(
         dir: impl Into<PathBuf>,
         opts: DurableOptions,
-        make_engine: impl FnOnce(Option<&[EngineSnapshot]>) -> CoreResult<E>,
+        make_engine: impl FnOnce(Option<&SnapshotSet>) -> CoreResult<E>,
     ) -> Result<(Self, RecoveryReport)> {
         let dir = dir.into();
         let (ckpt, corrupt_checkpoints) = load_latest_checkpoint(&dir)?;
-        let mut engine = make_engine(ckpt.as_ref().map(|c| c.engines.as_slice()))?;
-        let replay_from = match &ckpt {
-            Some(c) => {
-                engine.state_restore(&c.engines)?;
-                c.replay_from_seq
+        // Move the snapshots out of the checkpoint (they can be large —
+        // every stack and buffer of every engine) instead of cloning.
+        let (ckpt_seq, snaps) = match ckpt {
+            Some(c) => (
+                Some(c.replay_from_seq),
+                Some(SnapshotSet { engines: c.engines }),
+            ),
+            None => (None, None),
+        };
+        let mut engine = make_engine(snaps.as_ref())?;
+        let replay_from = match &snaps {
+            Some(s) => {
+                engine.restore(s)?;
+                ckpt_seq.expect("snapshot implies a checkpoint")
             }
             None => 0,
         };
         let mut log = EventLog::open(&dir, opts.log())?;
         ensure_log_covers(&dir, &log, replay_from)?;
-        let registry = engine.registry().clone();
+        let registry = engine.schemas().clone();
         let records = log.replay_from(&registry, replay_from)?;
-        let run = drive_replay(records, |events| engine.ingest_batch(events))?;
+        let run = drive_replay(records, |events| engine.process_batch(events))?;
         let report = RecoveryReport {
-            checkpoint_seq: ckpt.map(|c| c.replay_from_seq),
+            checkpoint_seq: ckpt_seq,
             records_replayed: run.records,
             events_replayed: run.events,
             emissions: run.emissions,
@@ -387,21 +356,27 @@ impl<E: CheckpointableEngine> DurableEngine<E> {
         &self.dir
     }
 
-    /// Log, then process, one batch of events at `tick` (ticks
-    /// non-decreasing). With `sync_each_batch` the batch is durable before
-    /// the engine sees it; otherwise call [`DurableEngine::commit`] at
-    /// your own cadence.
+    /// Log, then process, one batch of events at `tick` (a regressing
+    /// tick is clamped up to the log's last tick, so the WAL never
+    /// rejects a batch the engine would accept). With `sync_each_batch`
+    /// the batch is durable before the engine sees it; otherwise call
+    /// [`DurableEngine::commit`] at your own cadence.
     ///
     /// If the *engine* rejects the batch (a [`DurableError::Core`]), the
     /// batch stays logged — the rejection is deterministic, so replay
     /// reports the same rejection for that record
     /// ([`RecoveryReport::replay_errors`]) and recovery proceeds past it.
     pub fn ingest(&mut self, tick: Timestamp, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        // Clamp to the log's last tick: the WAL tick is a replay-range
+        // index (events carry their own timestamps), and the trait
+        // surface stamps event-timestamp ticks — mixing the two clocks
+        // must never make the log reject an otherwise valid batch.
+        let tick = tick.max(self.log.last_tick().unwrap_or(0));
         self.log.append(tick, events)?;
         if self.opts.sync_each_batch {
             self.log.commit()?;
         }
-        Ok(self.engine.ingest_batch(events)?)
+        Ok(self.engine.process_batch(events)?)
     }
 
     /// Make every ingested batch durable (one fsync).
@@ -417,7 +392,7 @@ impl<E: CheckpointableEngine> DurableEngine<E> {
             &self.dir,
             self.opts.keep_checkpoints,
             &mut self.log,
-            self.engine.state_snapshot(),
+            self.engine.snapshot().engines,
         )
     }
 
@@ -425,24 +400,124 @@ impl<E: CheckpointableEngine> DurableEngine<E> {
     /// at full speed through a *separate* engine (typically a fresh one
     /// with analytical queries), without touching this deployment's live
     /// engine state.
-    pub fn replay_range<R: CheckpointableEngine>(
+    pub fn replay_range<R: EventProcessor>(
         &mut self,
         engine: &mut R,
         min_tick: Timestamp,
         max_tick: Timestamp,
     ) -> Result<ReplayRun> {
-        let registry = engine.registry().clone();
+        let registry = engine.schemas().clone();
         let records = self.log.replay_ticks(&registry, min_tick, max_tick)?;
-        drive_replay(records, |events| engine.ingest_batch(events))
+        drive_replay(records, |events| engine.process_batch(events))
     }
 }
 
-impl<E: CheckpointableEngine> std::fmt::Debug for DurableEngine<E> {
+impl<E: EventProcessor> std::fmt::Debug for DurableEngine<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableEngine")
             .field("dir", &self.dir)
             .field("log", &self.log)
             .finish()
+    }
+}
+
+/// The durability decorator on the unified processor surface: query
+/// management, inspection, sinks, and state pass through to the wrapped
+/// deployment; ingest is write-ahead logged first (the WAL tick is the
+/// batch's first event timestamp — use [`DurableEngine::ingest`] for an
+/// explicit tick). Store failures surface as engine errors here; the
+/// inherent methods keep the typed [`DurableError`].
+///
+/// Queries registered through this surface are, like all queries, *code*
+/// rather than logged state: recovery re-registers them via the
+/// [`DurableEngine::recover`] callback.
+impl<E: EventProcessor> EventProcessor for DurableEngine<E> {
+    fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> CoreResult<()> {
+        self.engine.register_with(name, src, options)
+    }
+
+    fn unregister(&mut self, name: &str) -> bool {
+        self.engine.unregister(name)
+    }
+
+    fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<ComplexEvent>> {
+        self.log_for_trait(stream, events)?;
+        self.engine.process_batch_on(None, events)
+    }
+
+    fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<Emission>> {
+        self.log_for_trait(stream, events)?;
+        self.engine.process_batch_tagged(None, events)
+    }
+
+    fn query_names(&self) -> Vec<String> {
+        self.engine.query_names()
+    }
+
+    fn stats(&self, name: &str) -> CoreResult<RuntimeStats> {
+        self.engine.stats(name)
+    }
+
+    fn explain(&self, name: &str) -> CoreResult<String> {
+        self.engine.explain(name)
+    }
+
+    fn query_text(&self, name: &str) -> CoreResult<String> {
+        self.engine.query_text(name)
+    }
+
+    fn add_sink(&mut self, name: &str, sink: Sink) -> CoreResult<()> {
+        self.engine.add_sink(name, sink)
+    }
+
+    fn schemas(&self) -> &SchemaRegistry {
+        self.engine.schemas()
+    }
+
+    fn snapshot(&self) -> SnapshotSet {
+        self.engine.snapshot()
+    }
+
+    fn restore(&mut self, snaps: &SnapshotSet) -> CoreResult<()> {
+        self.engine.restore(snaps)
+    }
+}
+
+impl<E: EventProcessor> DurableEngine<E> {
+    /// The trait-surface write-ahead step: reject named streams (log
+    /// records carry no stream name, so they could not replay), then
+    /// append with the batch's first event timestamp as the WAL tick —
+    /// clamped to the log's last tick so interleaving this surface with
+    /// the explicit-tick [`DurableEngine::ingest`] (whose ticks may be a
+    /// different logical clock) can never make the log reject appends.
+    fn log_for_trait(&mut self, stream: Option<&str>, events: &[Event]) -> CoreResult<()> {
+        if let Some(s) = stream {
+            return Err(SaseError::engine(format!(
+                "durable deployments log only the default input stream, not `{s}`; \
+                 ingest through the default stream"
+            )));
+        }
+        let Some(first) = events.first() else {
+            return Ok(());
+        };
+        let tick = first.timestamp().max(self.log.last_tick().unwrap_or(0));
+        self.log
+            .append(tick, events)
+            .map_err(|e| SaseError::engine(format!("event log: {e}")))?;
+        if self.opts.sync_each_batch {
+            self.log
+                .commit()
+                .map_err(|e| SaseError::engine(format!("event log: {e}")))?;
+        }
+        Ok(())
     }
 }
 
@@ -562,7 +637,7 @@ impl DurableSystem {
                 self.pending = Some((tick, events));
                 return Err(e.into());
             }
-            let detections = self.sys.engine().process_batch(&events)?;
+            let detections = self.sys.processor_mut().process_batch(&events)?;
             self.sys.archive_detections(&detections);
             carried = detections;
         }
@@ -616,7 +691,7 @@ impl DurableSystem {
             &self.dir,
             self.opts.keep_checkpoints,
             &mut self.log,
-            vec![self.sys.engine().snapshot()],
+            self.sys.processor().snapshot().engines,
         )
     }
 
@@ -640,14 +715,22 @@ impl DurableSystem {
     ) -> Result<RecoveryReport> {
         self.sys.reset_engine();
         let (ckpt, corrupt_checkpoints) = load_latest_checkpoint(&self.dir)?;
-        if let Some(c) = &ckpt {
-            preregister_derived(self.sys.schemas(), &c.engines)?;
+        // Move the snapshots out of the checkpoint instead of cloning.
+        let (ckpt_seq, snaps) = match ckpt {
+            Some(c) => (
+                Some(c.replay_from_seq),
+                Some(SnapshotSet { engines: c.engines }),
+            ),
+            None => (None, None),
+        };
+        if let Some(s) = &snaps {
+            preregister_derived(self.sys.schemas(), s)?;
         }
         register(&mut self.sys)?;
-        let replay_from = match &ckpt {
-            Some(c) => {
-                self.sys.engine().state_restore(&c.engines)?;
-                c.replay_from_seq
+        let replay_from = match &snaps {
+            Some(s) => {
+                self.sys.processor_mut().restore(s)?;
+                ckpt_seq.expect("snapshot implies a checkpoint")
             }
             None => 0,
         };
@@ -655,9 +738,9 @@ impl DurableSystem {
         let registry = self.sys.schemas().clone();
         let records = self.log.replay_from(&registry, replay_from)?;
         let sys = &mut self.sys;
-        let run = drive_replay(records, |events| sys.engine().process_batch(events))?;
+        let run = drive_replay(records, |events| sys.processor_mut().process_batch(events))?;
         Ok(RecoveryReport {
-            checkpoint_seq: ckpt.map(|c| c.replay_from_seq),
+            checkpoint_seq: ckpt_seq,
             records_replayed: run.records,
             events_replayed: run.events,
             emissions: run.emissions,
@@ -679,6 +762,7 @@ impl std::fmt::Debug for DurableSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sase_core::engine::Engine;
     use sase_core::event::retail_registry;
     use sase_core::value::Value;
 
@@ -711,7 +795,7 @@ mod tests {
         let dir = tmp_dir("basic");
         let mut durable =
             DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
-        let reg = durable.engine().registry().clone();
+        let reg = durable.engine().schemas().clone();
 
         // Two shelf readings land in stacks; checkpoint; one more batch
         // after the checkpoint stays only in the log.
@@ -744,7 +828,7 @@ mod tests {
         assert!(report.corrupt_checkpoints.is_empty());
 
         // Both pending shelf readings must pair with the exit.
-        let reg = recovered.engine().registry().clone();
+        let reg = recovered.engine().schemas().clone();
         let out = recovered
             .ingest(
                 2,
@@ -763,7 +847,7 @@ mod tests {
         let dir = tmp_dir("nockpt");
         let mut durable =
             DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
-        let reg = durable.engine().registry().clone();
+        let reg = durable.engine().schemas().clone();
         let live = durable
             .ingest(
                 0,
@@ -795,7 +879,7 @@ mod tests {
         let dir = tmp_dir("refuse");
         let mut durable =
             DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
-        let reg = durable.engine().registry().clone();
+        let reg = durable.engine().schemas().clone();
         durable
             .ingest(0, &[ev(&reg, "SHELF_READING", 1, 7)])
             .unwrap();
@@ -814,7 +898,7 @@ mod tests {
         let dir = tmp_dir("ahead");
         let mut durable =
             DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
-        let reg = durable.engine().registry().clone();
+        let reg = durable.engine().schemas().clone();
         for tick in 0..5u64 {
             durable
                 .ingest(tick, &[ev(&reg, "SHELF_READING", tick + 1, 7)])
@@ -854,7 +938,7 @@ mod tests {
         let dir = tmp_dir("poison");
         let mut durable =
             DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
-        let reg = durable.engine().registry().clone();
+        let reg = durable.engine().schemas().clone();
         durable
             .ingest(0, &[ev(&reg, "SHELF_READING", 10, 7)])
             .unwrap();
@@ -885,11 +969,76 @@ mod tests {
         // and the engine resumed with live state intact.
         assert_eq!(report.emissions.len(), 1);
         assert_eq!(report.emissions[0].to_string(), live[0].to_string());
-        let reg = recovered.engine().registry().clone();
+        let reg = recovered.engine().schemas().clone();
         let out = recovered
             .ingest(2, &[ev(&reg, "EXIT_READING", 12, 7)])
             .unwrap();
         assert_eq!(out.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_checkpoint_with_post_build_register_recovers() {
+        // Post-build registration must be placement-deterministic: a
+        // recovery that replays the same registration sequence (builder
+        // queries, then the post-build register) reproduces the query →
+        // shard assignment, so the checkpoint restores cleanly.
+        let build = |snaps: Option<&SnapshotSet>| -> CoreResult<crate::ShardedEngine> {
+            let reg = retail_registry();
+            if let Some(s) = snaps {
+                s.preregister_derived(&reg)?;
+            }
+            let mut b = crate::ShardedEngineBuilder::new(reg);
+            b.register("a", Q)?;
+            b.register("b", "EVENT COUNTER_READING c RETURN c.TagId AS t")?;
+            let mut sharded = b.build(2)?;
+            sharded.register("late", "EVENT EXIT_READING z RETURN z.TagId AS t")?;
+            Ok(sharded)
+        };
+        let dir = tmp_dir("sharded-late");
+        let mut durable =
+            DurableEngine::create(&dir, build(None).unwrap(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().schemas().clone();
+        durable
+            .ingest(0, &[ev(&reg, "SHELF_READING", 1, 7)])
+            .unwrap();
+        durable.checkpoint().unwrap();
+        drop(durable);
+
+        let (mut recovered, report) =
+            DurableEngine::recover(&dir, DurableOptions::default(), build).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(1));
+        assert!(report.replay_errors.is_empty());
+        // The pending sequence and the late query both resumed.
+        let out = recovered
+            .ingest(1, &[ev(&reg, "EXIT_READING", 2, 7)])
+            .unwrap();
+        assert_eq!(out.len(), 2, "`a` match + `late` match: {out:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_tick_surfaces_never_brick_the_log() {
+        // The trait surface stamps event-timestamp WAL ticks; the inherent
+        // ingest takes a logical tick. Interleaving the two clocks must
+        // keep the log appendable (ticks clamp up, never reject).
+        let dir = tmp_dir("mixedticks");
+        let mut durable =
+            DurableEngine::create(&dir, engine_with_q(), DurableOptions::default()).unwrap();
+        let reg = durable.engine().schemas().clone();
+        durable
+            .ingest(0, &[ev(&reg, "SHELF_READING", 1000, 7)])
+            .unwrap();
+        // Trait-surface ingest: WAL tick = event timestamp (1001).
+        let p: &mut dyn EventProcessor = &mut durable;
+        p.process_batch(&[ev(&reg, "SHELF_READING", 1001, 8)])
+            .unwrap();
+        // Back to logical ticks: 1 < 1001 clamps instead of erroring.
+        let out = durable
+            .ingest(1, &[ev(&reg, "EXIT_READING", 1002, 7)])
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(durable.log().next_seq(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -901,9 +1050,12 @@ mod tests {
             .register("b", "EVENT COUNTER_READING c RETURN c.TagId AS t")
             .unwrap();
         let mut sharded = builder.build(2).unwrap();
-        let snaps = sharded.state_snapshot();
+        let snaps = sharded.snapshot();
         assert_eq!(snaps.len(), 2);
-        assert!(sharded.state_restore(&snaps[..1]).is_err());
-        assert!(sharded.state_restore(&snaps).is_ok());
+        let short = SnapshotSet {
+            engines: snaps.engines[..1].to_vec(),
+        };
+        assert!(sharded.restore(&short).is_err());
+        assert!(sharded.restore(&snaps).is_ok());
     }
 }

@@ -30,12 +30,10 @@ pub mod report;
 pub mod system;
 
 pub use builtins::{register_db_builtins, retail_area_descriptions, seed_area_info};
-pub use concurrent::{
-    run_pipelined, IngestStage, PipelinedRun, ShardedEngine, ShardedEngineBuilder,
-};
+pub use concurrent::{run_pipelined, PipelinedRun, ShardedEngine, ShardedEngineBuilder};
 pub use durable::{
-    CheckpointableEngine, DurableEngine, DurableError, DurableOptions, DurableSystem,
-    RecoveryReport, ReplayRun,
+    DurableEngine, DurableError, DurableOptions, DurableSystem, RecoveryReport, ReplayRun,
 };
 pub use report::UiReport;
+pub use sase_core::processor::EventProcessor;
 pub use system::{SaseSystem, TickResult};

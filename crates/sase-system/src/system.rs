@@ -8,6 +8,7 @@ use sase_core::error::{Result as CoreResult, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
 use sase_core::functions::FunctionRegistry;
 use sase_core::output::ComplexEvent;
+use sase_core::processor::EventProcessor;
 use sase_core::value::ValueType;
 
 use sase_db::{Database, TrackAndTrace};
@@ -58,12 +59,20 @@ pub(crate) fn demo_product(item: u64) -> (&'static str, &'static str, i64) {
 }
 
 /// The fully wired system: simulator, cleaning pipeline, engine, database.
+///
+/// The complex-event-processor stage is held behind the unified
+/// [`EventProcessor`] surface, so a single [`Engine`] (the default) and
+/// any other deployment shape are interchangeable without touching the
+/// tick path.
 pub struct SaseSystem {
     cfg: CleaningConfig,
     registry: SchemaRegistry,
+    /// Kept so [`SaseSystem::reset_engine`] can rebuild a fresh engine
+    /// sharing the same host functions.
+    functions: FunctionRegistry,
     db: Database,
     tnt: TrackAndTrace,
-    engine: Engine,
+    engine: Box<dyn EventProcessor>,
     pipeline: CleaningPipeline,
     sim: RfidSimulator,
     /// Tap of recent cleaned events for the UI window (bounded).
@@ -109,7 +118,7 @@ impl SaseSystem {
 
         let functions = FunctionRegistry::with_stdlib();
         register_db_builtins(&functions, &db).map_err(db_err)?;
-        let engine = Engine::with_functions(registry.clone(), functions);
+        let engine = Engine::with_functions(registry.clone(), functions.clone());
         let tnt = TrackAndTrace::open(db.clone()).map_err(db_err)?;
         let pipeline = CleaningPipeline::new(cfg.clone(), registry.clone(), Arc::new(ons));
         let sim = RfidSimulator::retail_demo(noise, seed);
@@ -117,9 +126,10 @@ impl SaseSystem {
         Ok(SaseSystem {
             cfg,
             registry,
+            functions,
             db,
             tnt,
-            engine,
+            engine: Box::new(engine),
             pipeline,
             sim,
             cleaning_tap: Vec::new(),
@@ -147,20 +157,30 @@ impl SaseSystem {
         &self.tnt
     }
 
-    /// The continuous-query engine.
-    pub fn engine(&mut self) -> &mut Engine {
-        &mut self.engine
+    /// The continuous-query processor (read-only surface).
+    pub fn processor(&self) -> &dyn EventProcessor {
+        self.engine.as_ref()
     }
 
-    /// Replace the engine with a fresh, empty one sharing the same schema
-    /// and function registries — the "crash" half of engine-boundary
-    /// recovery: every registered query, all NFA runtime state, and the
-    /// stream clocks are gone, while the upstream layers (devices,
-    /// cleaning, database) keep running. Recovery re-registers queries and
-    /// restores a checkpoint (see [`crate::durable::DurableSystem`]).
+    /// The continuous-query processor: register queries, attach sinks, or
+    /// ingest out-of-band batches through the unified
+    /// [`EventProcessor`] surface.
+    pub fn processor_mut(&mut self) -> &mut dyn EventProcessor {
+        self.engine.as_mut()
+    }
+
+    /// Replace the processor with a fresh, empty single engine sharing the
+    /// same schema and function registries — the "crash" half of
+    /// engine-boundary recovery: every registered query, all NFA runtime
+    /// state, and the stream clocks are gone, while the upstream layers
+    /// (devices, cleaning, database) keep running. Recovery re-registers
+    /// queries and restores a checkpoint (see
+    /// [`crate::durable::DurableSystem`]).
     pub fn reset_engine(&mut self) {
-        self.engine =
-            Engine::with_functions(self.registry.clone(), self.engine.functions().clone());
+        self.engine = Box::new(Engine::with_functions(
+            self.registry.clone(),
+            self.functions.clone(),
+        ));
     }
 
     /// The device simulator.

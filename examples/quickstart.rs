@@ -1,23 +1,27 @@
-//! Quickstart: register the paper's Q1 (shoplifting) against the complex
-//! event processor and push a hand-made event stream through it.
+//! Quickstart: build the system through the [`Sase`] facade, register the
+//! paper's Q1 (shoplifting) for a typed handle, subscribe to its output
+//! push-style, and push a hand-made event stream through it.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use sase::core::engine::Engine;
 use sase::core::event::retail_registry;
 use sase::core::value::Value;
+use sase::Sase;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Schemas for the retail scenario: SHELF_READING, COUNTER_READING,
-    // EXIT_READING, each with (TagId, ProductName, AreaId).
+    // EXIT_READING, each with (TagId, ProductName, AreaId). The builder
+    // composes deployments too: `.shards(4)` for a sharded engine,
+    // `.durable(dir, opts)` for write-ahead logging + checkpoints.
     let registry = retail_registry();
-    let mut engine = Engine::new(registry.clone());
+    let mut sase = Sase::builder().schemas(registry.clone()).build()?;
 
     // Q1 from the paper, verbatim (§2.1.1): items that were picked at a
     // shelf and taken out of the store without being checked out.
-    engine.register(
+    // Registration returns a typed handle used for everything else.
+    let shoplifting = sase.register(
         "shoplifting",
         "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
          WHERE x.TagId = y.TagId AND x.TagId = z.TagId
@@ -25,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          RETURN x.TagId, x.ProductName, z.AreaId",
     )?;
 
-    println!("{}", engine.explain("shoplifting")?);
+    println!("{}", sase.explain(&shoplifting)?);
+
+    // Push-based output: every detection is delivered to the subscription
+    // as it happens (no polling of return values required).
+    sase.subscribe(&shoplifting, |detection| {
+        println!("ALERT: {detection}");
+    })?;
 
     // A tiny stream: tag 42 is shoplifted, tag 7 checks out properly.
     let ev = |ty: &str, ts: u64, tag: i64, product: &str, area: i64| {
@@ -44,14 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ev("EXIT_READING", 110, 7, "milk", 4),
         ev("EXIT_READING", 120, 42, "soap", 4),
     ];
+    sase.process(&stream)?;
 
-    for event in &stream {
-        for detection in engine.process(event)? {
-            println!("ALERT: {detection}");
-        }
-    }
-
-    let stats = engine.stats("shoplifting")?;
+    let stats = sase.stats(&shoplifting)?;
     println!(
         "processed {} events, emitted {} matches, {} killed by negation",
         stats.events_processed, stats.matches_emitted, stats.dropped_by_negation

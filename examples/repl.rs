@@ -1,6 +1,7 @@
 //! An interactive console over a running SASE deployment: register SASE
 //! queries, feed scripted events, and run ad-hoc SQL against the event
-//! database — the headless equivalent of the paper's UI (§3).
+//! database — the headless equivalent of the paper's UI (§3), built on
+//! the [`Sase`] facade.
 //!
 //! ```text
 //! cargo run --example repl
@@ -21,11 +22,11 @@
 
 use std::io::{self, BufRead, Write};
 
-use sase::core::engine::Engine;
 use sase::core::value::Value;
 use sase::db::Database;
 use sase::stream::register_reading_schemas;
 use sase::system::{register_db_builtins, retail_area_descriptions, seed_area_info};
+use sase::{QueryHandle, Sase};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = sase::core::event::SchemaRegistry::new();
@@ -34,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     seed_area_info(&db, &retail_area_descriptions())?;
     let functions = sase::core::functions::FunctionRegistry::with_stdlib();
     register_db_builtins(&functions, &db)?;
-    let mut engine = Engine::with_functions(registry.clone(), functions);
+    let mut sase = Sase::builder()
+        .schemas(registry.clone())
+        .functions(functions)
+        .build()?;
 
     println!("SASE console. `help` for commands, `quit` to exit.");
     let stdin = io::stdin();
@@ -61,22 +65,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(())
             }
             "query" => match rest.split_once(' ') {
-                Some((name, src)) => engine
+                // Each registered query gets a live push subscription, so
+                // detections print as events arrive.
+                Some((name, src)) => sase
                     .register(name, src)
+                    .and_then(|handle| {
+                        let label = name.to_string();
+                        sase.subscribe(&handle, move |d| println!("  [{label}] {d}"))
+                    })
                     .map(|_| println!("registered `{name}`"))
                     .map_err(|e| e.to_string()),
                 None => Err("usage: query <name> <text>".to_string()),
             }
             .map_err(print_err),
             "drop" => {
-                if engine.unregister(rest) {
-                    println!("dropped `{rest}`");
-                } else {
-                    println!("no query named `{rest}`");
+                match sase.handle(rest) {
+                    Some(h) if sase.unregister(&h) => println!("dropped `{rest}`"),
+                    _ => println!("no query named `{rest}`"),
                 }
                 Ok(())
             }
-            "event" => push_event(&mut engine, &registry, rest).map_err(print_err),
+            "event" => push_event(&mut sase, &registry, rest).map_err(print_err),
             "sql" => match db.execute(rest) {
                 Ok(sase::db::StatementResult::Rows(rs)) => {
                     print!("{}", rs.render());
@@ -91,28 +100,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Ok(())
                 }
             },
-            "explain" => match engine.explain(rest) {
-                Ok(text) => {
-                    println!("{text}");
-                    Ok(())
+            "explain" => {
+                match named(&sase, rest).and_then(|h| sase.explain(&h).map_err(|e| e.to_string())) {
+                    Ok(text) => {
+                        println!("{text}");
+                        Ok(())
+                    }
+                    Err(e) => {
+                        println!("error: {e}");
+                        Ok(())
+                    }
                 }
-                Err(e) => {
-                    println!("error: {e}");
-                    Ok(())
+            }
+            "stats" => {
+                match named(&sase, rest).and_then(|h| sase.stats(&h).map_err(|e| e.to_string())) {
+                    Ok(s) => {
+                        println!("{s:#?}");
+                        Ok(())
+                    }
+                    Err(e) => {
+                        println!("error: {e}");
+                        Ok(())
+                    }
                 }
-            },
-            "stats" => match engine.stats(rest) {
-                Ok(s) => {
-                    println!("{s:#?}");
-                    Ok(())
-                }
-                Err(e) => {
-                    println!("error: {e}");
-                    Ok(())
-                }
-            },
+            }
             "queries" => {
-                for q in engine.query_names() {
+                for q in sase.query_names() {
                     println!("{q}");
                 }
                 Ok(())
@@ -127,12 +140,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn named(sase: &Sase, name: &str) -> Result<QueryHandle, String> {
+    sase.handle(name)
+        .ok_or_else(|| format!("no query named `{name}`"))
+}
+
 fn print_err(e: impl std::fmt::Display) {
     println!("error: {e}");
 }
 
 fn push_event(
-    engine: &mut Engine,
+    sase: &mut Sase,
     registry: &sase::core::event::SchemaRegistry,
     rest: &str,
 ) -> Result<(), String> {
@@ -151,10 +169,7 @@ fn push_event(
             ],
         )
         .map_err(|e| e.to_string())?;
-    let detections = engine.process(&event).map_err(|e| e.to_string())?;
+    let detections = sase.process(&[event]).map_err(|e| e.to_string())?;
     println!("ok ({} detections)", detections.len());
-    for d in detections {
-        println!("  {d}");
-    }
     Ok(())
 }

@@ -1,0 +1,677 @@
+//! The `Sase` facade: one builder, one handle type, one subscription API
+//! over every engine deployment shape.
+//!
+//! The paper's Figure 3 shows a single system — queries go in, complex
+//! events stream out. This module is that system's front door. A
+//! [`SaseBuilder`] assembles any combination of the workspace's engine
+//! deployments behind the unified
+//! [`EventProcessor`] surface:
+//!
+//! ```text
+//! Sase::builder()                         -> single Engine
+//!     .shards(4)                          -> ShardedEngine (4 workers)
+//!     .durable(dir, opts)                 -> DurableEngine<...> (WAL + checkpoints)
+//!     .shards(4).durable(dir, opts)       -> DurableEngine<ShardedEngine>
+//! ```
+//!
+//! Registration returns a typed [`QueryHandle`] instead of a bare string,
+//! and output is push-based: [`Sase::subscribe`] attaches a callback to a
+//! query, [`Sase::subscribe_channel`] a channel, and [`Sase::collect`] a
+//! [`Collector`] that preserves the classic `Vec<ComplexEvent>` pull
+//! style. Pull still works too — [`Sase::process`] returns the batch's
+//! emissions directly.
+//!
+//! ```
+//! use sase::{Sase, core::event::retail_registry, core::value::Value};
+//!
+//! let mut sase = Sase::builder().schemas(retail_registry()).build().unwrap();
+//! let exits = sase
+//!     .register("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+//!     .unwrap();
+//! let seen = sase.collect(&exits).unwrap();
+//!
+//! let event = sase
+//!     .schemas()
+//!     .build_event("EXIT_READING", 1, vec![Value::Int(7), Value::str("soap"), Value::Int(4)])
+//!     .unwrap();
+//! sase.process(&[event]).unwrap();
+//! assert_eq!(seen.take().len(), 1);
+//! ```
+
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+
+use sase_core::engine::{Emission, Engine, RoutingMode, Sink};
+use sase_core::error::{Result, SaseError};
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::functions::FunctionRegistry;
+use sase_core::output::ComplexEvent;
+use sase_core::plan::PlannerOptions;
+use sase_core::processor::EventProcessor;
+use sase_core::runtime::RuntimeStats;
+use sase_core::snapshot::SnapshotSet;
+use sase_core::time::TimeScale;
+use sase_system::{
+    DurableEngine, DurableOptions, RecoveryReport, ShardedEngine, ShardedEngineBuilder,
+};
+
+/// A typed handle to a registered continuous query, returned by
+/// [`Sase::register`]. Handles replace stringly-typed lookups on the
+/// facade: subscriptions, stats, and unregistration all take a handle, so
+/// a typo'd query name is a compile-visible `Option`/`Result` at
+/// registration time, not a silent miss deep in a hot loop.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryHandle {
+    name: Arc<str>,
+}
+
+impl QueryHandle {
+    /// The registered query name this handle refers to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A pull-style accumulator fed by a push subscription: every emission of
+/// the subscribed query is appended as processing happens, and the host
+/// drains with [`Collector::take`] whenever convenient — the classic
+/// `Vec<ComplexEvent>` workflow on top of the sink API.
+///
+/// Clones share the same buffer. For queries hosted on sharded worker
+/// threads the buffer is filled from those threads; `take` observes
+/// everything emitted by batches that have completed.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    buf: Arc<Mutex<Vec<ComplexEvent>>>,
+}
+
+impl Collector {
+    /// Drain everything collected so far, leaving the collector empty.
+    pub fn take(&self) -> Vec<ComplexEvent> {
+        std::mem::take(&mut *self.buf.lock().expect("collector lock"))
+    }
+
+    /// Number of emissions currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("collector lock").len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The deployment shapes [`SaseBuilder::build`] can assemble. Kept as an
+/// enum (rather than a `Box<dyn ...>`) so durable-only operations like
+/// [`Sase::checkpoint`] stay available without downcasting.
+enum Backend {
+    Engine(Engine),
+    Sharded(ShardedEngine),
+    Durable(DurableEngine<Engine>),
+    DurableSharded(DurableEngine<ShardedEngine>),
+}
+
+/// The assembled system facade: an engine deployment (single, sharded,
+/// durable, or both) behind one ingestion and subscription surface. Build
+/// one with [`Sase::builder`]; see the [module docs](self) for the tour.
+///
+/// `Sase` itself implements
+/// [`EventProcessor`], so it can be
+/// dropped anywhere a deployment is expected — e.g. as the engine stage of
+/// [`sase_system::run_pipelined`].
+pub struct Sase {
+    backend: Backend,
+}
+
+/// Configures and assembles a [`Sase`] deployment. Obtained from
+/// [`Sase::builder`]; every knob is optional.
+#[derive(Default)]
+pub struct SaseBuilder {
+    schemas: Option<SchemaRegistry>,
+    functions: Option<FunctionRegistry>,
+    time_scale: Option<TimeScale>,
+    routing: Option<RoutingMode>,
+    shards: Option<usize>,
+    durable: Option<(PathBuf, DurableOptions)>,
+}
+
+impl SaseBuilder {
+    /// The schema registry events are built against (default: an empty
+    /// registry — register event types on [`Sase::schemas`] afterwards).
+    pub fn schemas(mut self, registry: SchemaRegistry) -> Self {
+        self.schemas = Some(registry);
+        self
+    }
+
+    /// The host function registry (default:
+    /// [`FunctionRegistry::with_stdlib`]).
+    pub fn functions(mut self, functions: FunctionRegistry) -> Self {
+        self.functions = Some(functions);
+        self
+    }
+
+    /// Logical time scale for WITHIN conversion in registered queries.
+    pub fn time_scale(mut self, scale: TimeScale) -> Self {
+        self.time_scale = Some(scale);
+        self
+    }
+
+    /// Event-to-query routing mode (default: [`RoutingMode::Indexed`]).
+    /// Applies to every engine the deployment contains.
+    pub fn routing(mut self, mode: RoutingMode) -> Self {
+        self.routing = Some(mode);
+        self
+    }
+
+    /// Partition queries across `n` engine workers (default: one inline
+    /// engine). Queries registered later are placed on the least-loaded
+    /// shard compatible with the co-location rules (INTO/FROM chains and
+    /// shared host functions stay together).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Put the deployment behind a write-ahead event log with atomic
+    /// checkpoints in `dir`. [`SaseBuilder::build`] requires `dir` to be
+    /// fresh; reopening an existing deployment goes through
+    /// [`SaseBuilder::recover`].
+    pub fn durable(mut self, dir: impl Into<PathBuf>, opts: DurableOptions) -> Self {
+        self.durable = Some((dir.into(), opts));
+        self
+    }
+
+    fn registry(&self) -> SchemaRegistry {
+        self.schemas.clone().unwrap_or_default()
+    }
+
+    fn function_registry(&self) -> FunctionRegistry {
+        self.functions
+            .clone()
+            .unwrap_or_else(FunctionRegistry::with_stdlib)
+    }
+
+    fn make_engine(&self) -> Engine {
+        let mut engine = Engine::with_functions(self.registry(), self.function_registry());
+        if let Some(scale) = self.time_scale {
+            engine.set_time_scale(scale);
+        }
+        if let Some(mode) = self.routing {
+            engine.set_routing(mode);
+        }
+        engine
+    }
+
+    fn make_sharded(&self, shards: usize) -> Result<ShardedEngine> {
+        let mut builder =
+            ShardedEngineBuilder::with_functions(self.registry(), self.function_registry());
+        if let Some(scale) = self.time_scale {
+            builder.set_time_scale(scale);
+        }
+        if let Some(mode) = self.routing {
+            builder.set_routing(mode);
+        }
+        builder.build(shards)
+    }
+
+    /// Assemble a fresh deployment.
+    pub fn build(self) -> Result<Sase> {
+        let backend = match (self.shards, &self.durable) {
+            (None, None) => Backend::Engine(self.make_engine()),
+            (Some(n), None) => Backend::Sharded(self.make_sharded(n)?),
+            (None, Some((dir, opts))) => Backend::Durable(
+                DurableEngine::create(dir.clone(), self.make_engine(), *opts)
+                    .map_err(durable_err)?,
+            ),
+            (Some(n), Some((dir, opts))) => {
+                let sharded = self.make_sharded(n)?;
+                Backend::DurableSharded(
+                    DurableEngine::create(dir.clone(), sharded, *opts).map_err(durable_err)?,
+                )
+            }
+        };
+        Ok(Sase { backend })
+    }
+
+    /// Reopen an existing durable deployment: load the newest valid
+    /// checkpoint, let `register` re-register the same queries in the same
+    /// order (derived stream types are preregistered first), restore the
+    /// state, and replay the log tail. Requires
+    /// [`SaseBuilder::durable`]; the other knobs must match the original
+    /// deployment.
+    pub fn recover(
+        mut self,
+        register: impl FnOnce(&mut dyn EventProcessor) -> Result<()>,
+    ) -> Result<(Sase, RecoveryReport)> {
+        let (dir, opts) = self.durable.take().ok_or_else(|| {
+            SaseError::engine("Sase::recover requires a durable deployment (builder.durable(..))")
+        })?;
+        match self.shards {
+            None => {
+                let (engine, report) = DurableEngine::recover(dir, opts, |snaps| {
+                    let mut engine = self.make_engine();
+                    if let Some(snaps) = snaps {
+                        snaps.preregister_derived(engine.schemas())?;
+                    }
+                    register(&mut engine)?;
+                    Ok(engine)
+                })
+                .map_err(durable_err)?;
+                Ok((
+                    Sase {
+                        backend: Backend::Durable(engine),
+                    },
+                    report,
+                ))
+            }
+            Some(n) => {
+                let (engine, report) = DurableEngine::recover(dir, opts, |snaps| {
+                    let mut sharded = self.make_sharded(n)?;
+                    if let Some(snaps) = snaps {
+                        snaps.preregister_derived(ShardedEngine::schemas(&sharded))?;
+                    }
+                    register(&mut sharded)?;
+                    Ok(sharded)
+                })
+                .map_err(durable_err)?;
+                Ok((
+                    Sase {
+                        backend: Backend::DurableSharded(engine),
+                    },
+                    report,
+                ))
+            }
+        }
+    }
+}
+
+fn durable_err(e: sase_system::DurableError) -> SaseError {
+    SaseError::engine(format!("durable store: {e}"))
+}
+
+impl Sase {
+    /// Start configuring a deployment.
+    pub fn builder() -> SaseBuilder {
+        SaseBuilder::default()
+    }
+
+    fn processor(&self) -> &dyn EventProcessor {
+        match &self.backend {
+            Backend::Engine(e) => e,
+            Backend::Sharded(e) => e,
+            Backend::Durable(e) => e,
+            Backend::DurableSharded(e) => e,
+        }
+    }
+
+    fn processor_mut(&mut self) -> &mut dyn EventProcessor {
+        match &mut self.backend {
+            Backend::Engine(e) => e,
+            Backend::Sharded(e) => e,
+            Backend::Durable(e) => e,
+            Backend::DurableSharded(e) => e,
+        }
+    }
+
+    /// Register a continuous query from source text; the returned handle
+    /// addresses the query in every other facade call.
+    pub fn register(&mut self, name: &str, src: &str) -> Result<QueryHandle> {
+        self.register_with(name, src, PlannerOptions::default())
+    }
+
+    /// Register a continuous query with explicit planner options.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        options: PlannerOptions,
+    ) -> Result<QueryHandle> {
+        self.processor_mut().register_with(name, src, options)?;
+        Ok(QueryHandle {
+            name: Arc::from(name),
+        })
+    }
+
+    /// Handle of an already-registered query, if it exists (e.g. one
+    /// re-registered through [`SaseBuilder::recover`]'s callback).
+    pub fn handle(&self, name: &str) -> Option<QueryHandle> {
+        self.processor()
+            .query_names()
+            .iter()
+            .any(|n| n == name)
+            .then(|| QueryHandle {
+                name: Arc::from(name),
+            })
+    }
+
+    /// Delete a query. Returns true if it existed; its handles (and
+    /// subscriptions) are dead afterwards.
+    pub fn unregister(&mut self, handle: &QueryHandle) -> bool {
+        self.processor_mut().unregister(&handle.name)
+    }
+
+    /// Process a batch of events on the default input stream, returning
+    /// the emitted composite events (subscriptions fire as well).
+    pub fn process(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
+        self.processor_mut().process_batch(events)
+    }
+
+    /// Process a batch on a named stream (`None` = the default stream).
+    pub fn process_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<ComplexEvent>> {
+        self.processor_mut().process_batch_on(stream, events)
+    }
+
+    /// Subscribe a callback to a query: it observes every emission of that
+    /// query, push-style, as processing happens. Queries hosted on sharded
+    /// worker threads invoke the callback on those threads.
+    pub fn subscribe(
+        &mut self,
+        handle: &QueryHandle,
+        mut sink: impl FnMut(&ComplexEvent) + Send + 'static,
+    ) -> Result<()> {
+        self.processor_mut()
+            .add_sink(&handle.name, Box::new(move |ce| sink(ce)))
+    }
+
+    /// Subscribe a channel to a query: every emission is cloned into the
+    /// returned receiver. When the receiver is dropped, deliveries are
+    /// silently discarded (the subscription itself stays registered until
+    /// the query is unregistered).
+    pub fn subscribe_channel(
+        &mut self,
+        handle: &QueryHandle,
+    ) -> Result<mpsc::Receiver<ComplexEvent>> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribe(handle, move |ce| {
+            let _ = tx.send(ce.clone());
+        })?;
+        Ok(rx)
+    }
+
+    /// Subscribe a [`Collector`] to a query — the pull-style
+    /// `Vec<ComplexEvent>` workflow on top of the push API.
+    pub fn collect(&mut self, handle: &QueryHandle) -> Result<Collector> {
+        let collector = Collector::default();
+        let buf = collector.buf.clone();
+        self.subscribe(handle, move |ce| {
+            buf.lock().expect("collector lock").push(ce.clone());
+        })?;
+        Ok(collector)
+    }
+
+    /// Names of registered queries, in registration order.
+    pub fn query_names(&self) -> Vec<String> {
+        self.processor().query_names()
+    }
+
+    /// Runtime counters of a query.
+    pub fn stats(&self, handle: &QueryHandle) -> Result<RuntimeStats> {
+        self.processor().stats(&handle.name)
+    }
+
+    /// EXPLAIN output of a query's plan.
+    pub fn explain(&self, handle: &QueryHandle) -> Result<String> {
+        self.processor().explain(&handle.name)
+    }
+
+    /// The source text (canonical form) of a query.
+    pub fn query_text(&self, handle: &QueryHandle) -> Result<String> {
+        self.processor().query_text(&handle.name)
+    }
+
+    /// The schema registry events are built against.
+    pub fn schemas(&self) -> &SchemaRegistry {
+        self.processor().schemas()
+    }
+
+    /// Serializable image of the deployment's complete mutable state.
+    pub fn snapshot(&self) -> SnapshotSet {
+        self.processor().snapshot()
+    }
+
+    /// Restore a snapshot onto a freshly built deployment with the same
+    /// queries (see [`sase_core::snapshot`] for the protocol).
+    pub fn restore(&mut self, snaps: &SnapshotSet) -> Result<()> {
+        self.processor_mut().restore(snaps)
+    }
+
+    /// Write an atomic checkpoint of the engine state at the current log
+    /// position (durable deployments only); returns the checkpoint's log
+    /// position.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        match &mut self.backend {
+            Backend::Durable(e) => e.checkpoint().map_err(durable_err),
+            Backend::DurableSharded(e) => e.checkpoint().map_err(durable_err),
+            _ => Err(SaseError::engine(
+                "checkpoint requires a durable deployment (builder.durable(..))",
+            )),
+        }
+    }
+
+    /// Make every ingested batch durable (one fsync) — the host's commit
+    /// cadence when `sync_each_batch` is off (durable deployments only).
+    pub fn commit(&mut self) -> Result<()> {
+        match &mut self.backend {
+            Backend::Durable(e) => e.commit().map_err(durable_err),
+            Backend::DurableSharded(e) => e.commit().map_err(durable_err),
+            _ => Err(SaseError::engine(
+                "commit requires a durable deployment (builder.durable(..))",
+            )),
+        }
+    }
+
+    /// Number of engine workers (1 for unsharded deployments).
+    pub fn shard_count(&self) -> usize {
+        match &self.backend {
+            Backend::Engine(_) => 1,
+            Backend::Sharded(e) => e.shard_count(),
+            Backend::Durable(_) => 1,
+            Backend::DurableSharded(e) => e.engine().shard_count(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shape = match &self.backend {
+            Backend::Engine(_) => "engine",
+            Backend::Sharded(_) => "sharded",
+            Backend::Durable(_) => "durable",
+            Backend::DurableSharded(_) => "durable+sharded",
+        };
+        f.debug_struct("Sase")
+            .field("backend", &shape)
+            .field("queries", &self.query_names())
+            .finish()
+    }
+}
+
+/// The facade is itself an [`EventProcessor`], so a `Sase` can stand in
+/// anywhere a deployment is expected (pipelined stages, differential
+/// tests). Every method delegates to the configured backend.
+impl EventProcessor for Sase {
+    fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()> {
+        self.processor_mut().register_with(name, src, options)
+    }
+
+    fn unregister(&mut self, name: &str) -> bool {
+        self.processor_mut().unregister(name)
+    }
+
+    fn process_batch_on(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<ComplexEvent>> {
+        self.processor_mut().process_batch_on(stream, events)
+    }
+
+    fn process_batch_tagged(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> Result<Vec<Emission>> {
+        self.processor_mut().process_batch_tagged(stream, events)
+    }
+
+    fn query_names(&self) -> Vec<String> {
+        self.processor().query_names()
+    }
+
+    fn stats(&self, name: &str) -> Result<RuntimeStats> {
+        self.processor().stats(name)
+    }
+
+    fn explain(&self, name: &str) -> Result<String> {
+        self.processor().explain(name)
+    }
+
+    fn query_text(&self, name: &str) -> Result<String> {
+        self.processor().query_text(name)
+    }
+
+    fn add_sink(&mut self, name: &str, sink: Sink) -> Result<()> {
+        self.processor_mut().add_sink(name, sink)
+    }
+
+    fn schemas(&self) -> &SchemaRegistry {
+        self.processor().schemas()
+    }
+
+    fn snapshot(&self) -> SnapshotSet {
+        self.processor().snapshot()
+    }
+
+    fn restore(&mut self, snaps: &SnapshotSet) -> Result<()> {
+        self.processor_mut().restore(snaps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sase_core::event::retail_registry;
+    use sase_core::value::Value;
+
+    fn exit(sase: &Sase, ts: u64, tag: i64) -> Event {
+        sase.schemas()
+            .build_event(
+                "EXIT_READING",
+                ts,
+                vec![Value::Int(tag), Value::str("soap"), Value::Int(4)],
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_to_a_single_engine() {
+        let mut sase = Sase::builder().schemas(retail_registry()).build().unwrap();
+        assert_eq!(sase.shard_count(), 1);
+        let h = sase
+            .register("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+            .unwrap();
+        assert_eq!(h.name(), "exits");
+        assert_eq!(sase.query_names(), vec!["exits"]);
+        assert_eq!(sase.handle("exits"), Some(h.clone()));
+        assert_eq!(sase.handle("nope"), None);
+
+        let out = sase.process(&[exit(&sase, 1, 7)]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(sase.stats(&h).unwrap().matches_emitted, 1);
+        assert!(sase.explain(&h).unwrap().contains("EXIT_READING"));
+        assert!(sase.query_text(&h).unwrap().contains("EXIT_READING"));
+        assert!(sase.unregister(&h));
+        assert!(!sase.unregister(&h));
+        // Durable-only operations are typed errors on live deployments.
+        assert!(sase.checkpoint().is_err());
+        assert!(sase.commit().is_err());
+    }
+
+    #[test]
+    fn subscriptions_push_collector_and_channel() {
+        let mut sase = Sase::builder()
+            .schemas(retail_registry())
+            .shards(2)
+            .build()
+            .unwrap();
+        assert_eq!(sase.shard_count(), 2);
+        let exits = sase
+            .register("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag")
+            .unwrap();
+        let shelves = sase
+            .register("shelves", "EVENT SHELF_READING x RETURN x.TagId AS tag")
+            .unwrap();
+        let collected = sase.collect(&exits).unwrap();
+        let rx = sase.subscribe_channel(&shelves).unwrap();
+
+        let shelf = sase
+            .schemas()
+            .build_event(
+                "SHELF_READING",
+                1,
+                vec![Value::Int(9), Value::str("soap"), Value::Int(1)],
+            )
+            .unwrap();
+        let out = sase.process(&[shelf, exit(&sase, 2, 7)]).unwrap();
+        assert_eq!(out.len(), 2, "pull output is preserved");
+
+        // Each subscription saw only its own query's emission.
+        let drained = collected.take();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].value("tag"), Some(&Value::Int(7)));
+        assert!(collected.is_empty());
+        let pushed: Vec<ComplexEvent> = rx.try_iter().collect();
+        assert_eq!(pushed.len(), 1);
+        assert_eq!(pushed[0].value("tag"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn durable_build_and_recover_round_trip() {
+        let dir = std::env::temp_dir().join(format!("sase-facade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let q = "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                 WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId AS tag";
+        let mk = || {
+            Sase::builder()
+                .schemas(retail_registry())
+                .durable(&dir, DurableOptions::default())
+        };
+        let mut sase = mk().build().unwrap();
+        let h = sase.register("pairs", q).unwrap();
+        let shelf = sase
+            .schemas()
+            .build_event(
+                "SHELF_READING",
+                1,
+                vec![Value::Int(7), Value::str("soap"), Value::Int(1)],
+            )
+            .unwrap();
+        sase.process(&[shelf]).unwrap();
+        sase.checkpoint().unwrap();
+        assert_eq!(sase.stats(&h).unwrap().events_processed, 1);
+        drop(sase); // crash
+
+        // A second `build` on the same dir must refuse; `recover` resumes.
+        assert!(mk().build().is_err());
+        let (mut sase, report) = mk()
+            .recover(|p| p.register("pairs", q).map(|_| ()))
+            .unwrap();
+        assert_eq!(report.records_replayed, 0, "checkpoint covers the log");
+        let h = sase.handle("pairs").unwrap();
+        let out = sase.process(&[exit(&sase, 2, 7)]).unwrap();
+        assert_eq!(out.len(), 1, "pending sequence completed after recovery");
+        assert_eq!(sase.stats(&h).unwrap().matches_emitted, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,6 +15,16 @@
 //! * [`system`] — full-system wiring: devices → cleaning → event processor
 //!   → database, plus the paper's built-in DB functions, durable
 //!   deployments with crash recovery, and the textual UI.
+//!
+//! ## Public API
+//!
+//! The recommended entry point is the [`Sase`] facade: a builder that
+//! assembles any engine deployment shape (single, sharded, durable) behind
+//! the unified [`EventProcessor`] trait, returns typed [`QueryHandle`]s on
+//! registration, and delivers output push-style through subscriptions.
+//! See [`facade`] for the tour.
+
+pub mod facade;
 
 pub use sase_core as core;
 pub use sase_db as db;
@@ -22,3 +32,9 @@ pub use sase_rfid as rfid;
 pub use sase_store as store;
 pub use sase_stream as stream;
 pub use sase_system as system;
+
+pub use facade::{Collector, QueryHandle, Sase, SaseBuilder};
+pub use sase_core::engine::RoutingMode;
+pub use sase_core::processor::EventProcessor;
+pub use sase_core::snapshot::SnapshotSet;
+pub use sase_system::{DurableOptions, RecoveryReport};

@@ -1,0 +1,107 @@
+//! Public-API snapshot: the exported facade surface — the `Sase` builder
+//! facade, its handle/subscription types, the umbrella re-exports, and
+//! the `EventProcessor` trait — is recorded in
+//! `tests/public_api.snapshot`. This test fails when the surface changes
+//! without the snapshot being updated, so API changes are always explicit
+//! in review instead of slipping out unannounced.
+//!
+//! To update after an intentional change, replace the snapshot with the
+//! `=== current surface ===` block this test prints on failure.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Extract normalized public item signatures from a source file.
+///
+/// Captures `pub fn` / `pub struct` / `pub enum` / `pub trait` /
+/// `pub type` / `pub use` items (plus, when `trait_methods` is set, bare
+/// `fn` declarations at trait-body indentation), each truncated at its
+/// body and collapsed to one line.
+fn surface_of(path: &Path, trait_methods: bool) -> Vec<String> {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut items = Vec::new();
+    let mut pending: Option<(String, bool)> = None;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        // The test module is not public surface.
+        if pending.is_none() && trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if pending.is_none() {
+            let is_pub_item = [
+                "pub fn ",
+                "pub struct ",
+                "pub enum ",
+                "pub trait ",
+                "pub type ",
+            ]
+            .iter()
+            .any(|p| trimmed.starts_with(p))
+                || trimmed.starts_with("pub use ");
+            // Trait methods are declared without `pub` at one indent level.
+            let is_trait_fn =
+                trait_methods && line.starts_with("    fn ") && !line.starts_with("     ");
+            if is_pub_item || is_trait_fn {
+                // Re-export lists contain braces; only `;` ends them.
+                pending = Some((String::new(), trimmed.starts_with("pub use ")));
+            } else {
+                continue;
+            }
+        }
+        let (acc, is_use) = pending.as_mut().expect("set above");
+        if !acc.is_empty() {
+            acc.push(' ');
+        }
+        acc.push_str(trimmed);
+        // A signature ends at its body brace or a trailing semicolon.
+        let end = if *is_use {
+            acc.find(';')
+        } else {
+            acc.find(['{', ';'])
+        };
+        if let Some(cut) = end {
+            let mut sig = acc[..cut].trim().to_string();
+            if sig.ends_with(" where Self: Sized") {
+                sig.truncate(sig.len() - " where Self: Sized".len());
+            }
+            let sig = sig.split_whitespace().collect::<Vec<_>>().join(" ");
+            items.push(sig);
+            pending = None;
+        }
+    }
+    items
+}
+
+#[test]
+fn facade_surface_matches_snapshot() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut current = String::new();
+    for (label, file, trait_methods) in [
+        ("src/lib.rs", root.join("src/lib.rs"), false),
+        ("src/facade.rs", root.join("src/facade.rs"), false),
+        (
+            "crates/sase-core/src/processor.rs",
+            root.join("crates/sase-core/src/processor.rs"),
+            true,
+        ),
+    ] {
+        writeln!(current, "# {label}").unwrap();
+        for item in surface_of(&file, trait_methods) {
+            writeln!(current, "{item}").unwrap();
+        }
+        writeln!(current).unwrap();
+    }
+
+    let snapshot_path = root.join("tests/public_api.snapshot");
+    let recorded = std::fs::read_to_string(&snapshot_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", snapshot_path.display()));
+    // Normalize line endings only; content must match exactly.
+    let recorded = recorded.replace("\r\n", "\n");
+    assert!(
+        recorded == current,
+        "the exported facade surface changed without a snapshot update.\n\
+         If the change is intentional, replace tests/public_api.snapshot with:\n\
+         === current surface ===\n{current}=== end ===",
+    );
+}

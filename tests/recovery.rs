@@ -285,7 +285,7 @@ fn sharded_engine_crash_recovery_differential() {
     assert!(!ref_out.is_empty());
 
     // Durable sharded run with a mid-stream checkpoint and a crash.
-    let build_sharded = |snaps: Option<&[sase::core::EngineSnapshot]>| {
+    let build_sharded = |snaps: Option<&sase::core::SnapshotSet>| {
         let reg = sharded_registry();
         if let Some(snaps) = snaps {
             preregister_derived(&reg, snaps)?;
@@ -414,7 +414,7 @@ fn kill_and_recover(
     ckpt_at: usize,
     cut_back: u64,
 ) -> Result<Vec<String>, DurableError> {
-    let build = |snaps: Option<&[sase::core::EngineSnapshot]>| {
+    let build = |snaps: Option<&sase::core::SnapshotSet>| {
         let reg = sharded_registry();
         if let Some(snaps) = snaps {
             preregister_derived(&reg, snaps)?;
