@@ -1,8 +1,9 @@
 //! The engine-ingest throughput benchmark.
 //!
 //! Measures events/second with 1, 16, and 128 standing queries under
-//! three deployments — the scan-all routing baseline, the type-indexed
-//! router, and the sharded engine — all assembled and driven through the
+//! four deployments — the scan-all routing baseline, the type-indexed
+//! router, the query-parallel sharded engine, and the data-parallel
+//! (`ByPartitionKey`) sharded engine — all assembled and driven through the
 //! [`Sase`] builder facade (`Sase::builder().schemas(..).routing(..)` /
 //! `.shards(n)`), so the recorded numbers measure the system's public
 //! face, typed [`QueryHandle`] stats lookups included. The `ingest`
@@ -16,7 +17,7 @@
 
 use std::time::Instant;
 
-use sase::{QueryHandle, RoutingMode, Sase};
+use sase::{QueryHandle, RoutingMode, Sase, ShardingMode};
 use sase_core::event::{Event, SchemaRegistry};
 
 use crate::{seq_n_stream, stream_for};
@@ -147,6 +148,34 @@ pub fn run_ingest_sharded(
     measure(sase, &handles, events, format!("sharded-{shards}"), batch)
 }
 
+/// Measure the data-parallel deployment (`ByPartitionKey`: each event is
+/// hashed by its partition-key value to one of `shards` data workers, so
+/// per-event routing work is split instead of duplicated), through the
+/// facade. Every workload query equates `x.TagId = y.TagId`, so all of
+/// them distribute and the designated pinned worker stays idle.
+pub fn run_ingest_partitioned(
+    registry: &SchemaRegistry,
+    events: &[Event],
+    n_queries: usize,
+    shards: usize,
+    batch: usize,
+) -> IngestRun {
+    let mut sase = Sase::builder()
+        .schemas(registry.clone())
+        .shards(shards)
+        .sharding(ShardingMode::ByPartitionKey)
+        .build()
+        .expect("facade builds");
+    let handles = register_queries(&mut sase, n_queries);
+    measure(
+        sase,
+        &handles,
+        events,
+        format!("data_parallel-{shards}"),
+        batch,
+    )
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -187,6 +216,7 @@ pub fn ingest_report(events_n: usize, shards: usize, batch: usize, mode_label: &
             batch,
         ));
         runs.push(run_ingest_sharded(&registry, &events, q, shards, batch));
+        runs.push(run_ingest_partitioned(&registry, &events, q, shards, batch));
     }
 
     let max_q = *INGEST_QUERY_COUNTS.last().expect("nonempty");
@@ -210,6 +240,10 @@ pub fn ingest_report(events_n: usize, shards: usize, batch: usize, mode_label: &
     out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode_label)));
     out.push_str(&format!("  \"events\": {},\n", events.len()));
     out.push_str(&format!("  \"event_types\": {INGEST_TYPES},\n"));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(&format!("  \"batch\": {batch},\n"));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -247,8 +281,34 @@ pub fn ingest_report(events_n: usize, shards: usize, batch: usize, mode_label: &
          (slower than single-shard indexed) and is {sharded_rate:.0} ev/s in this \
          report's runs; the indexed single engine remains faster on this workload \
          because its per-query work is tiny while every shard pays the full \
-         per-event routing loop\"\n",
+         per-event routing loop\",\n",
     ));
+    let data_rate = rate_of(&format!("data_parallel-{shards}"));
+    let data_speedup = if indexed_rate > 0.0 {
+        data_rate / indexed_rate
+    } else {
+        0.0
+    };
+    out.push_str("  \"data_parallel\": {\n");
+    out.push_str(&format!("    \"shards\": {shards},\n"));
+    out.push_str(&format!("    \"queries\": {max_q},\n"));
+    out.push_str(&format!("    \"events_per_sec\": {data_rate:.1},\n"));
+    out.push_str(&format!(
+        "    \"indexed_events_per_sec\": {indexed_rate:.1},\n"
+    ));
+    out.push_str(&format!("    \"speedup_vs_indexed\": {data_speedup:.2},\n"));
+    out.push_str(&format!(
+        "    \"note\": \"before this mode existed the only way to shard this \
+         workload was query-parallel (ByQuery), which duplicated the per-event \
+         routing loop into every worker and peaked at 1,390,516 ev/s at {max_q} \
+         queries — slower than the 2,335,082 ev/s indexed single engine; \
+         ByPartitionKey hashes each event's TagId to exactly one of {shards} \
+         data workers so the routing loop is split, not duplicated, measured \
+         here at {data_rate:.0} ev/s on a {cores}-core host — splitting work \
+         across workers can only pay off with at least 2 cores, so on a \
+         1-core host this entry records pure dispatch overhead, not scaling\"\n",
+    ));
+    out.push_str("  }\n");
     out.push_str("}\n");
     out
 }
@@ -266,6 +326,9 @@ mod tests {
         assert!(json.contains("scan-all"));
         assert!(json.contains("sharded-"));
         assert!(json.contains("speedup_indexed_vs_scan_all_at_128_queries"));
+        assert!(json.contains("\"data_parallel\""));
+        assert!(json.contains("data_parallel-2"));
+        assert!(json.contains("\"speedup_vs_indexed\""));
     }
 
     /// The deterministic counterpart of the ≥5x throughput criterion:
@@ -297,5 +360,18 @@ mod tests {
         let sharded = run_ingest_sharded(&registry, &events, 16, 4, 128);
         assert_eq!(single.matches, sharded.matches);
         assert_eq!(sharded.shards, 4);
+    }
+
+    /// Data-parallel runs emit identical match counts too; every workload
+    /// query equates TagId, so all of them distribute (the deployment is
+    /// `shards` data workers plus one idle pinned worker).
+    #[test]
+    fn data_parallel_ingest_matches_single_engine() {
+        let (registry, events) = ingest_stream(1_500, 13);
+        let single = run_ingest_engine(&registry, &events, 16, RoutingMode::Indexed, 128);
+        let partitioned = run_ingest_partitioned(&registry, &events, 16, 4, 128);
+        assert_eq!(single.matches, partitioned.matches);
+        assert_eq!(partitioned.shards, 5);
+        assert_eq!(single.events_offered, partitioned.events_offered);
     }
 }

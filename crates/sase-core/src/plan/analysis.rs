@@ -24,7 +24,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::error::{Result, SaseError};
-use crate::event::{Event, SchemaRegistry};
+use crate::event::{Event, EventTypeId, SchemaRegistry};
 use crate::expr::{CompiledExpr, SlotResolver};
 use crate::functions::FunctionRegistry;
 use crate::lang::ast::{BinOp, Expr};
@@ -154,6 +154,102 @@ impl fmt::Display for PartitionSpec {
         }
         Ok(())
     }
+}
+
+/// Key extraction for one event type participating in a data-parallel
+/// routing key: resolved at plan time so the shard router fetches the key
+/// by position (or the timestamp), never by name.
+#[derive(Debug, Clone)]
+pub struct TypeKeyAccess {
+    /// The event type this accessor applies to.
+    pub type_id: EventTypeId,
+    /// Lowercased key attribute name (`"timestamp"` for the
+    /// pseudo-attribute), used to detect cross-query claim conflicts.
+    pub attr_lc: Arc<str>,
+    access: AttrAccess,
+}
+
+impl TypeKeyAccess {
+    /// The routing-key contribution of `event`.
+    ///
+    /// Statically resolved accessors are infallible for events of the
+    /// matching type, so `None` only occurs if the event's schema was
+    /// somehow swapped out from under the plan — callers treat it as
+    /// "route nowhere" (the event could never complete a match anyway).
+    #[inline]
+    pub fn key_of(&self, event: &Event) -> Option<ValueKey> {
+        Some(match self.access.value_of(event)? {
+            Fetched::Ref(v) => ValueKey::from_value(v),
+            Fetched::Ts(t) => ValueKey::Int(t),
+        })
+    }
+}
+
+/// A data-parallel routing candidate derived from one qualifying
+/// [`PartitionPart`]: for every event type the query reacts to, the
+/// attribute whose value determines the shard. All events of a single
+/// match agree on this value (the part's equivalence class enforces it),
+/// so hashing it routes whole matches — counterexamples included — to
+/// one worker.
+#[derive(Debug, Clone)]
+pub struct RoutingKey {
+    /// Per-type accessors, sorted by type id, deduped.
+    pub per_type: Vec<TypeKeyAccess>,
+}
+
+/// Derive the data-parallel routing candidates of a partitioned query.
+///
+/// A [`PartitionPart`] qualifies as a routing key only when:
+///
+/// * it covers **every** pattern slot, negated slots included — a
+///   counterexample that lands on a different shard could otherwise fail
+///   to suppress a match it should kill;
+/// * the key attribute of every candidate type resolves **statically**
+///   (fixed position or the timestamp pseudo-attribute) — so runtime key
+///   extraction is infallible and a missing attribute cannot silently
+///   fall through to hash-of-nothing routing;
+/// * no event type is asked for two different attributes by the same
+///   part — the router sees an event, not a slot, so per-type access
+///   must be unambiguous.
+pub(crate) fn routing_candidates(
+    spec: &PartitionSpec,
+    pattern: &CompiledPattern,
+    registry: &SchemaRegistry,
+) -> Vec<RoutingKey> {
+    let mut keys = Vec::new();
+    'part: for part in &spec.parts {
+        let mut per_type: Vec<TypeKeyAccess> = Vec::new();
+        for elem in &pattern.elements {
+            let Some(ka) = part.key_for_slot(elem.slot) else {
+                continue 'part;
+            };
+            for &tid in &elem.type_ids {
+                let access = AttrAccess::resolve(&ka.attr, std::slice::from_ref(&tid), registry);
+                if matches!(access, AttrAccess::Dynamic { .. }) {
+                    continue 'part;
+                }
+                let attr_lc: Arc<str> = if matches!(access, AttrAccess::Timestamp) {
+                    Arc::from("timestamp")
+                } else {
+                    Arc::from(ka.attr.to_ascii_lowercase().as_str())
+                };
+                if let Some(existing) = per_type.iter().find(|t| t.type_id == tid) {
+                    if existing.attr_lc != attr_lc {
+                        continue 'part;
+                    }
+                    continue;
+                }
+                per_type.push(TypeKeyAccess {
+                    type_id: tid,
+                    attr_lc,
+                    access,
+                });
+            }
+        }
+        per_type.sort_by_key(|t| t.type_id);
+        keys.push(RoutingKey { per_type });
+    }
+    keys
 }
 
 /// The result of analyzing a WHERE clause against a pattern.
@@ -862,6 +958,60 @@ mod tests {
         );
         let spec = a.partition.unwrap();
         assert_eq!(spec.parts.len(), 2);
+    }
+
+    #[test]
+    fn routing_candidates_cover_all_types_or_reject() {
+        let reg = retail_registry();
+        // Q1: the TagId class covers all three slots, including the
+        // negated counter reading — one routing key, three typed accessors.
+        let (a, p) = analyze(Q1, true);
+        let keys = routing_candidates(a.partition.as_ref().unwrap(), &p, &reg);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].per_type.len(), 3);
+        assert!(keys[0]
+            .per_type
+            .windows(2)
+            .all(|w| w[0].type_id < w[1].type_id));
+        assert!(keys[0]
+            .per_type
+            .iter()
+            .all(|t| t.attr_lc.as_ref() == "tagid"));
+
+        // The partition part does not cover the negated slot: a
+        // counterexample could land on another shard, so no routing key.
+        let (a, p) = analyze(
+            "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) \
+             WHERE x.TagId = z.TagId WITHIN 10",
+            true,
+        );
+        let keys = routing_candidates(a.partition.as_ref().unwrap(), &p, &reg);
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn routing_candidate_key_extraction_is_typed() {
+        use crate::value::Value;
+        let reg = retail_registry();
+        let (a, p) = analyze(
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId",
+            true,
+        );
+        let keys = routing_candidates(a.partition.as_ref().unwrap(), &p, &reg);
+        assert_eq!(keys.len(), 1);
+        let e = reg
+            .build_event(
+                "SHELF_READING",
+                1,
+                vec![Value::Int(7), Value::str("p"), Value::Int(1)],
+            )
+            .unwrap();
+        let tk = keys[0]
+            .per_type
+            .iter()
+            .find(|t| t.type_id == e.type_id())
+            .unwrap();
+        assert_eq!(tk.key_of(&e), Some(ValueKey::Int(7)));
     }
 
     #[test]

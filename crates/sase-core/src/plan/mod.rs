@@ -15,7 +15,7 @@
 mod analysis;
 mod planner;
 
-pub use analysis::{PartitionPart, PartitionSpec, WhereAnalysis};
+pub use analysis::{PartitionPart, PartitionSpec, RoutingKey, TypeKeyAccess, WhereAnalysis};
 pub use planner::Planner;
 
 use std::sync::Arc;
@@ -195,6 +195,12 @@ pub struct QueryPlan {
     pub window: Option<LogicalDuration>,
     /// PAIS partition specification, when enabled and derivable.
     pub partition: Option<PartitionSpec>,
+    /// Data-parallel routing candidates: one per partition part whose key
+    /// attribute covers every slot (negated ones included) and resolves
+    /// statically for every candidate event type. Empty when the query
+    /// cannot be distributed by partition key — the shard router then pins
+    /// it to the designated non-partitioned worker.
+    pub routing_keys: Vec<RoutingKey>,
     /// Per-slot single-variable predicates (slot-indexed; negated slots'
     /// entries filter negation candidates).
     pub element_filters: Vec<Vec<PredicateProgram>>,

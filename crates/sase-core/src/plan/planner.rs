@@ -95,12 +95,19 @@ impl Planner {
 
         let return_plan = self.compile_return(query, &pattern)?;
 
+        let routing_keys = analysis
+            .partition
+            .as_ref()
+            .map(|spec| super::analysis::routing_candidates(spec, &pattern, &self.registry))
+            .unwrap_or_default();
+
         Ok(QueryPlan {
             query: query.clone(),
             pattern,
             nfa,
             window,
             partition: analysis.partition,
+            routing_keys,
             element_filters: analysis.element_filters,
             construction_filters: analysis.construction_filters,
             negations,

@@ -244,10 +244,17 @@ impl fmt::Display for Value {
 }
 
 /// A hashable, totally-ordered key derived from a [`Value`], used for
-/// partitioning (PAIS) and for grouping in the event database.
+/// partitioning (PAIS), data-parallel shard routing, and grouping in the
+/// event database.
 ///
-/// Floats are keyed by their bit pattern after normalizing `-0.0` to `0.0`
-/// and collapsing all NaNs, so equal floats hash equally.
+/// Key derivation must agree with [`Value::sase_eq`]: two values that an
+/// equivalence predicate considers equal must produce the same key, or a
+/// partitioned configuration silently misses matches that the explicit
+/// predicate finds. `sase_eq` coerces across numeric kinds
+/// (`Int(3) == Float(3.0)`), so floats with an exactly representable
+/// integer value (|x| ≤ 2⁵³) are keyed as `Int`; the remaining floats are
+/// keyed by their bit pattern after normalizing `-0.0` to `0.0` and
+/// collapsing all NaNs, so equal floats hash equally.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueKey {
     /// Integer key.
@@ -266,10 +273,16 @@ impl ValueKey {
         match v {
             Value::Int(i) => ValueKey::Int(*i),
             Value::Float(x) => {
+                // Integral floats in the exactly-representable range key as
+                // ints so PAIS buckets agree with `sase_eq`'s numeric
+                // coercion (routing `Int(3)` and `Float(3.0)` to different
+                // buckets would drop matches the explicit predicate finds).
+                const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+                if x.fract() == 0.0 && x.abs() <= EXACT {
+                    return ValueKey::Int(*x as i64);
+                }
                 let norm = if x.is_nan() {
                     f64::NAN.to_bits()
-                } else if *x == 0.0 {
-                    0f64.to_bits()
                 } else {
                     x.to_bits()
                 };
@@ -363,6 +376,40 @@ mod tests {
         let n1 = ValueKey::from_value(&Value::Float(f64::NAN));
         let n2 = ValueKey::from_value(&Value::Float(-f64::NAN));
         assert_eq!(n1, n2);
+    }
+
+    /// Key derivation must agree with `sase_eq`: heterogeneously typed but
+    /// numerically equal values land in the same partition bucket (and so
+    /// on the same data shard), while genuinely different values do not.
+    #[test]
+    fn value_key_unifies_integral_floats_with_ints() {
+        assert_eq!(
+            ValueKey::from_value(&Value::Float(3.0)),
+            ValueKey::from_value(&Value::Int(3))
+        );
+        assert_eq!(
+            ValueKey::from_value(&Value::Float(-0.0)),
+            ValueKey::from_value(&Value::Int(0))
+        );
+        assert_ne!(
+            ValueKey::from_value(&Value::Float(3.5)),
+            ValueKey::from_value(&Value::Int(3))
+        );
+        assert_ne!(
+            ValueKey::from_value(&Value::str("3")),
+            ValueKey::from_value(&Value::Int(3))
+        );
+        // Beyond 2^53 the float can no longer represent every integer, so
+        // it keeps its own bucket instead of keying as a rounded int.
+        let big = 2f64.powi(60);
+        assert_eq!(
+            ValueKey::from_value(&Value::Float(big)),
+            ValueKey::Float(big.to_bits())
+        );
+        assert!(matches!(
+            ValueKey::from_value(&Value::Float(f64::INFINITY)),
+            ValueKey::Float(_)
+        ));
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //! the tests assert.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use bytes::Bytes;
@@ -36,13 +37,14 @@ use sase_core::engine::{Emission, Engine, RoutingMode, Sink};
 use sase_core::error::{Result as CoreResult, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
 use sase_core::functions::FunctionRegistry;
+use sase_core::hash::FxHasher;
 use sase_core::lang::parse_query;
 use sase_core::output::ComplexEvent;
-use sase_core::plan::{Planner, PlannerOptions, QueryPlan};
+use sase_core::plan::{Planner, PlannerOptions, QueryPlan, TypeKeyAccess};
 use sase_core::processor::EventProcessor;
 use sase_core::runtime::RuntimeStats;
 use sase_core::snapshot::SnapshotSet;
-use sase_core::time::TimeScale;
+use sase_core::time::{TimeScale, Timestamp};
 
 use sase_rfid::wire::{decode_frame, encode_frame};
 use sase_stream::pipeline::CleaningPipeline;
@@ -159,6 +161,42 @@ pub fn scripted_ticks(
 /// one of these across shards never needs co-location.
 const STDLIB_FUNCTIONS: [&str; 5] = ["_abs", "_min", "_max", "_concat", "_len"];
 
+/// The error text a panicking shard engine surfaces as; the router watches
+/// for it to latch a data-parallel deployment poisoned.
+const SHARD_PANIC_MSG: &str = "engine shard panicked";
+
+/// The deterministic rejection every ingest call gets after a worker panic
+/// in [`ShardingMode::ByPartitionKey`]: a panicking worker may have lost
+/// arbitrary in-flight state, so byte-identity with the reference can no
+/// longer be promised.
+const POISONED_MSG: &str = "sharded deployment poisoned: an engine shard panicked mid-batch; \
+                            rebuild the deployment and restore from a checkpoint";
+
+/// How a [`ShardedEngine`] splits work across its engine workers.
+///
+/// * [`ShardingMode::ByQuery`] (query-parallel, the default) partitions
+///   the *query set*: every worker sees every event but runs only its
+///   queries. Scales with the number of independent query components;
+///   each worker still pays the full per-event routing loop.
+/// * [`ShardingMode::ByPartitionKey`] (data-parallel) partitions the
+///   *stream*: every worker runs **all** distributable queries, and each
+///   event is routed to one worker by hashing its partition-key value.
+///   Queries whose plan exposes no statically-resolvable routing key
+///   ([`QueryPlan::routing_keys`]) — no `PARTITION BY`-shaped equivalence
+///   class, an uncovered negated slot, `INTO`/`FROM` derivation chains,
+///   or non-stdlib host functions — are pinned to a designated extra
+///   worker that receives the whole stream. Scales with input rate, which
+///   is what the paper's workloads (mostly per-tag equivalence queries)
+///   need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardingMode {
+    /// Partition the query set across workers (query-parallel).
+    #[default]
+    ByQuery,
+    /// Partition the event stream by partition-key hash (data-parallel).
+    ByPartitionKey,
+}
+
 /// Builds a [`ShardedEngine`]: register the full query set, then
 /// [`ShardedEngineBuilder::build`] partitions it across N engine workers.
 ///
@@ -178,6 +216,7 @@ pub struct ShardedEngineBuilder {
     functions: FunctionRegistry,
     time_scale: Option<TimeScale>,
     routing: Option<RoutingMode>,
+    mode: ShardingMode,
     queries: Vec<(String, QueryPlan)>,
 }
 
@@ -196,8 +235,16 @@ impl ShardedEngineBuilder {
             functions,
             time_scale: None,
             routing: None,
+            mode: ShardingMode::ByQuery,
             queries: Vec::new(),
         }
+    }
+
+    /// Select how the deployment splits work across workers (default:
+    /// [`ShardingMode::ByQuery`]). Both modes emit identical outputs; see
+    /// [`ShardingMode`] for when each wins.
+    pub fn set_sharding(&mut self, mode: ShardingMode) {
+        self.mode = mode;
     }
 
     /// Set the logical time scale used for WITHIN conversion.
@@ -244,6 +291,9 @@ impl ShardedEngineBuilder {
     /// [`ShardedEngine::register`] calls place new queries on the
     /// least-loaded compatible shard.
     pub fn build(self, shards: usize) -> CoreResult<ShardedEngine> {
+        if self.mode == ShardingMode::ByPartitionKey {
+            return self.build_partitioned(shards);
+        }
         let n_queries = self.queries.len();
         // Union-find over query indices.
         let mut parent: Vec<usize> = (0..n_queries).collect();
@@ -362,6 +412,68 @@ impl ShardedEngineBuilder {
             names,
             meta,
             components: component_of.len(),
+            partition: None,
+        })
+    }
+
+    /// Instantiate a [`ShardingMode::ByPartitionKey`] deployment: `shards`
+    /// data workers plus one designated *pinned* worker. Distributable
+    /// queries (see [`PartitionState::claim`]) are installed on **every**
+    /// data worker; everything else goes to the pinned worker, which
+    /// receives the whole stream.
+    fn build_partitioned(self, shards: usize) -> CoreResult<ShardedEngine> {
+        let data = shards.max(1);
+        let mk = |registry: &SchemaRegistry, functions: &FunctionRegistry| {
+            let mut e = Engine::with_functions(registry.clone(), functions.clone());
+            if let Some(scale) = self.time_scale {
+                e.set_time_scale(scale);
+            }
+            if let Some(mode) = self.routing {
+                e.set_routing(mode);
+            }
+            e
+        };
+        let mut engines: Vec<Engine> = (0..data + 1)
+            .map(|_| mk(&self.registry, &self.functions))
+            .collect();
+        let mut st = PartitionState {
+            data,
+            claims: Vec::new(),
+            distributed: Vec::new(),
+            data_l2g: Vec::new(),
+            pinned_l2g: Vec::new(),
+            clocks: HashMap::new(),
+            poisoned: false,
+        };
+        let mut names = Vec::with_capacity(self.queries.len());
+        let mut meta = Vec::with_capacity(self.queries.len());
+        for (global, (name, plan)) in self.queries.into_iter().enumerate() {
+            let m = QueryMeta::of(&plan);
+            let dist = st.claim(&m, &plan);
+            if dist {
+                for e in &mut engines[..data] {
+                    e.install(&name, plan.clone())?;
+                }
+                st.data_l2g.push(global as u32);
+            } else {
+                engines[data].install(&name, plan)?;
+                st.pinned_l2g.push(global as u32);
+            }
+            st.distributed.push(dist);
+            names.push(name);
+            meta.push(m);
+        }
+        Ok(ShardedEngine {
+            inline: None,
+            workers: engines.into_iter().map(ShardWorker::spawn).collect(),
+            registry: self.registry,
+            functions: self.functions,
+            time_scale: self.time_scale,
+            local_to_global: Vec::new(),
+            names,
+            meta,
+            components: 0,
+            partition: Some(Box::new(st)),
         })
     }
 }
@@ -396,6 +508,102 @@ impl QueryMeta {
                 .collect(),
         }
     }
+}
+
+/// Router state of a [`ShardingMode::ByPartitionKey`] deployment.
+///
+/// Workers `0..data` are *data* workers, each running every distributable
+/// query over its hash-slice of the stream; worker `data` is the *pinned*
+/// worker running everything else over the whole stream.
+struct PartitionState {
+    /// Number of data workers (the pinned worker is at index `data`).
+    data: usize,
+    /// Per event type (indexed by `EventTypeId.0`): the accessor that
+    /// extracts the routing key from events of that type. **Sticky**: a
+    /// claim survives unregistering the query that made it, so replaying
+    /// the same registration sequence after a crash reproduces the same
+    /// event → worker routing (the property restore depends on). A query
+    /// re-registered after an unregister may therefore end up pinned where
+    /// a fresh build would distribute it.
+    claims: Vec<Option<TypeKeyAccess>>,
+    /// Per query (global registration order): distributed or pinned.
+    distributed: Vec<bool>,
+    /// Local → global query-index tables for emission remapping: all data
+    /// workers share one table (they run the same queries in the same
+    /// local order); the pinned worker has its own.
+    data_l2g: Vec<u32>,
+    pinned_l2g: Vec<u32>,
+    /// Router-level per-stream monotonicity clocks, mirroring
+    /// [`Engine`]'s: a data worker only sees a slice of the stream, so
+    /// its own clocks cannot catch every regression the single-engine
+    /// reference would reject.
+    clocks: HashMap<Option<String>, Timestamp>,
+    /// Latched after a worker panic: every subsequent ingest is rejected
+    /// with [`POISONED_MSG`] (a panicking worker may have lost in-flight
+    /// state, so byte-identity can no longer be promised).
+    poisoned: bool,
+}
+
+impl PartitionState {
+    /// Decide a query's disposition and commit its routing-key claims.
+    ///
+    /// A query is **pinned** when it consumes a derived stream (`FROM` —
+    /// derived events are re-ingested inside the producing engine only),
+    /// produces one (`INTO` — its consumers must see every derived
+    /// event), or calls a non-stdlib host function (a stateful function
+    /// must see its calls in single-engine order). Otherwise it is
+    /// distributed iff one of its [`QueryPlan::routing_keys`] is
+    /// compatible with the claims committed so far: every event type the
+    /// query reacts to must either be unclaimed or already claimed with
+    /// the same key attribute — the router extracts one key per event,
+    /// so two queries asking different attributes of one type cannot
+    /// both distribute.
+    fn claim(&mut self, meta: &QueryMeta, plan: &QueryPlan) -> bool {
+        if meta.from.is_some() || meta.into.is_some() || !meta.funcs.is_empty() {
+            return false;
+        }
+        'candidate: for rk in &plan.routing_keys {
+            if rk.per_type.is_empty() {
+                continue;
+            }
+            for tk in &rk.per_type {
+                if let Some(Some(existing)) = self.claims.get(tk.type_id.0 as usize) {
+                    if existing.attr_lc != tk.attr_lc {
+                        continue 'candidate;
+                    }
+                }
+            }
+            for tk in &rk.per_type {
+                let idx = tk.type_id.0 as usize;
+                if idx >= self.claims.len() {
+                    self.claims.resize_with(idx + 1, || None);
+                }
+                if self.claims[idx].is_none() {
+                    self.claims[idx] = Some(tk.clone());
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Field-wise sum of two [`RuntimeStats`] (for aggregating a distributed
+/// query's counters across data workers).
+fn add_stats(total: &mut RuntimeStats, s: &RuntimeStats) {
+    total.events_processed += s.events_processed;
+    total.instances_appended += s.instances_appended;
+    total.instances_pruned += s.instances_pruned;
+    total.sequences_constructed += s.sequences_constructed;
+    total.construction_filter_rejects += s.construction_filter_rejects;
+    total.dropped_by_window += s.dropped_by_window;
+    total.dropped_by_negation += s.dropped_by_negation;
+    total.negation_candidates_buffered += s.negation_candidates_buffered;
+    total.matches_emitted += s.matches_emitted;
+    // Peaks on different workers need not coincide in time; the sum is an
+    // upper bound on the deployment-wide peak.
+    total.partial_runs_peak += s.partial_runs_peak;
+    total.partitions += s.partitions;
 }
 
 /// A command executed by a shard worker thread.
@@ -438,7 +646,7 @@ impl ShardWorker {
                         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             engine.process_batch_tagged(stream.as_deref(), &events)
                         }))
-                        .unwrap_or_else(|_| Err(SaseError::engine("engine shard panicked")));
+                        .unwrap_or_else(|_| Err(SaseError::engine(SHARD_PANIC_MSG)));
                         if batch_tx.send(res).is_err() {
                             break; // deployment dropped mid-batch
                         }
@@ -530,6 +738,9 @@ pub struct ShardedEngine {
     /// registration sequence always reproduces the same partitioning
     /// (the property snapshot/restore depends on).
     components: usize,
+    /// Data-parallel router state; `Some` iff the deployment was built
+    /// with [`ShardingMode::ByPartitionKey`].
+    partition: Option<Box<PartitionState>>,
 }
 
 impl ShardedEngine {
@@ -586,6 +797,9 @@ impl ShardedEngine {
         }
         let plan = planner.plan_with(&query, options)?;
         let meta = QueryMeta::of(&plan);
+        if self.partition.is_some() {
+            return self.register_partitioned(name, plan, meta);
+        }
         let placed = self.place(&meta, name)?;
         let shard = placed.unwrap_or(self.components % self.shard_count());
         match &mut self.inline {
@@ -633,8 +847,88 @@ impl ShardedEngine {
         Ok(constrained)
     }
 
+    /// Post-build registration in [`ShardingMode::ByPartitionKey`] mode:
+    /// decide the disposition (see [`PartitionState::claim`]), install on
+    /// every data worker or on the pinned worker, extend the bookkeeping.
+    fn register_partitioned(
+        &mut self,
+        name: &str,
+        plan: QueryPlan,
+        meta: QueryMeta,
+    ) -> CoreResult<()> {
+        let st = self.partition.as_mut().expect("partition mode");
+        let dist = st.claim(&meta, &plan);
+        let data = st.data;
+        if dist {
+            for w in &self.workers[..data] {
+                let n = name.to_string();
+                let p = plan.clone();
+                w.call(move |engine| engine.install(&n, p))??;
+            }
+        } else {
+            let n = name.to_string();
+            self.workers[data].call(move |engine| engine.install(&n, plan))??;
+        }
+        let global = self.names.len() as u32;
+        let st = self.partition.as_mut().expect("partition mode");
+        if dist {
+            st.data_l2g.push(global);
+        } else {
+            st.pinned_l2g.push(global);
+        }
+        st.distributed.push(dist);
+        self.names.push(name.to_string());
+        self.meta.push(meta);
+        Ok(())
+    }
+
+    /// Delete a query in [`ShardingMode::ByPartitionKey`] mode. The
+    /// routing-key claims it committed stay in place (see
+    /// [`PartitionState::claims`]).
+    fn unregister_partitioned(&mut self, name: &str) -> bool {
+        let Some(global) = self.names.iter().position(|n| n == name) else {
+            return false;
+        };
+        let st = self.partition.as_ref().expect("partition mode");
+        let dist = st.distributed[global];
+        let data = st.data;
+        let removed = if dist {
+            let mut all = true;
+            for w in &self.workers[..data] {
+                let n = name.to_string();
+                all &= w.call(move |engine| engine.unregister(&n)).unwrap_or(false);
+            }
+            all
+        } else {
+            let n = name.to_string();
+            self.workers[data]
+                .call(move |engine| engine.unregister(&n))
+                .unwrap_or(false)
+        };
+        if !removed {
+            return false;
+        }
+        let g = global as u32;
+        self.names.remove(global);
+        self.meta.remove(global);
+        let st = self.partition.as_mut().expect("partition mode");
+        st.distributed.remove(global);
+        for table in [&mut st.data_l2g, &mut st.pinned_l2g] {
+            table.retain(|&x| x != g);
+            for x in table.iter_mut() {
+                if *x > g {
+                    *x -= 1;
+                }
+            }
+        }
+        true
+    }
+
     /// Delete a query, wherever it is hosted. Returns true if it existed.
     pub fn unregister(&mut self, name: &str) -> bool {
+        if self.partition.is_some() {
+            return self.unregister_partitioned(name);
+        }
         let Some(global) = self.names.iter().position(|n| n == name) else {
             return false;
         };
@@ -669,8 +963,36 @@ impl ShardedEngine {
     }
 
     /// Attach an output sink to a query, wherever it is hosted. Sinks of
-    /// queries on worker shards fire on the worker's thread.
+    /// queries on worker shards fire on the worker's thread. In
+    /// [`ShardingMode::ByPartitionKey`] mode a distributed query's sink is
+    /// shared by every data worker behind a mutex: it sees every output,
+    /// but cross-worker delivery order is unspecified (per-worker order is
+    /// preserved).
     pub fn add_sink(&mut self, name: &str, sink: Sink) -> CoreResult<()> {
+        if let Some(st) = &self.partition {
+            let global = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
+            if st.distributed[global] {
+                let shared = Arc::new(Mutex::new(sink));
+                for w in &self.workers[..st.data] {
+                    let n = name.to_string();
+                    let s = shared.clone();
+                    w.call(move |engine| {
+                        engine.add_sink(
+                            &n,
+                            Box::new(move |ce| {
+                                let mut sink = s.lock().expect("sink lock");
+                                sink(ce);
+                            }),
+                        )
+                    })??;
+                }
+                return Ok(());
+            }
+        }
         let shard = self
             .shard_of(name)
             .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
@@ -683,8 +1005,28 @@ impl ShardedEngine {
         }
     }
 
-    /// Runtime counters of a query, wherever it is hosted.
+    /// Runtime counters of a query, wherever it is hosted. A distributed
+    /// query's counters ([`ShardingMode::ByPartitionKey`]) are summed
+    /// field-wise across the data workers; `partial_runs_peak` becomes an
+    /// upper bound on the deployment-wide peak (per-worker peaks need not
+    /// coincide in time).
     pub fn stats(&self, name: &str) -> CoreResult<RuntimeStats> {
+        if let Some(st) = &self.partition {
+            let global = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
+            if st.distributed[global] {
+                let mut total = RuntimeStats::default();
+                for w in &self.workers[..st.data] {
+                    let n = name.to_string();
+                    let s = w.call(move |engine| engine.stats(&n))??;
+                    add_stats(&mut total, &s);
+                }
+                return Ok(total);
+            }
+        }
         self.query_call(name, |engine, name| engine.stats(name))
     }
 
@@ -704,6 +1046,18 @@ impl ShardedEngine {
         R: Send + 'static,
         F: FnOnce(&Engine, &str) -> CoreResult<R> + Send + 'static,
     {
+        if let Some(st) = &self.partition {
+            let global = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
+            // Every data worker holds an identical copy of a distributed
+            // query's plan; worker 0 answers for all of them.
+            let w = if st.distributed[global] { 0 } else { st.data };
+            let name = name.to_string();
+            return self.workers[w].call(move |engine| f(engine, &name))?;
+        }
         let shard = self
             .shard_of(name)
             .ok_or_else(|| SaseError::engine(format!("no query named `{name}`")))?;
@@ -734,7 +1088,7 @@ impl ShardedEngine {
         if let Some(engine) = &self.inline {
             return SnapshotSet::single(engine.snapshot());
         }
-        SnapshotSet {
+        let mut set = SnapshotSet {
             engines: self
                 .workers
                 .iter()
@@ -747,7 +1101,24 @@ impl ShardedEngine {
                         .expect("shard workers survive batch errors")
                 })
                 .collect(),
+        };
+        if let Some(st) = &self.partition {
+            // The pinned worker is skipped entirely while it hosts no
+            // queries, so its own clocks may lag the router's. Overlay
+            // the authoritative router clocks onto the pinned slot —
+            // `restore` rebuilds the router clocks from there. `max`
+            // keeps derived-stream entries the pinned engine minted
+            // itself; sorting makes snapshot bytes deterministic.
+            let snap = &mut set.engines[st.data];
+            for (stream, ts) in &st.clocks {
+                match snap.stream_clocks.iter_mut().find(|(s, _)| s == stream) {
+                    Some((_, t)) => *t = (*t).max(*ts),
+                    None => snap.stream_clocks.push((stream.clone(), *ts)),
+                }
+            }
+            snap.stream_clocks.sort();
         }
+        set
     }
 
     /// Restore a snapshot set (one engine snapshot per shard, in shard
@@ -767,16 +1138,47 @@ impl ShardedEngine {
             let snap = snap.clone();
             worker.call(move |engine| engine.restore(&snap))??;
         }
+        if let Some(st) = &mut self.partition {
+            // `snapshot()` overlays the authoritative router clocks onto
+            // the pinned slot, so that slot always carries the complete
+            // stream clocks; restoring also clears a poison latch (the
+            // restored state is consistent).
+            st.clocks = snaps.engines[st.data]
+                .stream_clocks
+                .iter()
+                .cloned()
+                .collect();
+            st.poisoned = false;
+        }
         Ok(())
     }
 
-    /// Shard index hosting a query, for inspection.
+    /// The deployment's sharding mode.
+    pub fn sharding_mode(&self) -> ShardingMode {
+        if self.partition.is_some() {
+            ShardingMode::ByPartitionKey
+        } else {
+            ShardingMode::ByQuery
+        }
+    }
+
+    /// Shard index hosting a query, for inspection. In
+    /// [`ShardingMode::ByPartitionKey`] mode a distributed query runs on
+    /// every data worker, so it has no single hosting shard (`None`);
+    /// pinned queries report the designated pinned worker's index.
     pub fn shard_of(&self, name: &str) -> Option<usize> {
         let global = self.names.iter().position(|n| n == name)? as u32;
         self.shard_of_global(global)
     }
 
     fn shard_of_global(&self, global: u32) -> Option<usize> {
+        if let Some(st) = &self.partition {
+            return if st.distributed[global as usize] {
+                None
+            } else {
+                Some(st.data)
+            };
+        }
         self.local_to_global
             .iter()
             .position(|t| t.contains(&global))
@@ -817,6 +1219,9 @@ impl ShardedEngine {
     ) -> CoreResult<Vec<Emission>> {
         if let Some(engine) = &mut self.inline {
             return engine.process_batch_tagged(stream, events);
+        }
+        if self.partition.is_some() {
+            return self.process_batch_partitioned(stream, events);
         }
         // One shared copy of the batch; events are cheap `Arc` handles.
         // Shards hosting no queries are skipped entirely — a deployment
@@ -869,6 +1274,179 @@ impl ShardedEngine {
                 }
                 merged.push(emission);
             }
+        }
+        merged.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
+        Ok(merged)
+    }
+
+    /// Data-parallel ingest ([`ShardingMode::ByPartitionKey`]): route each
+    /// event to a data worker by hashing its claimed partition-key value,
+    /// ship the whole batch to the pinned worker, then merge the tagged
+    /// emissions on their provenance order keys — byte-identical to one
+    /// engine running all the queries.
+    fn process_batch_partitioned(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+    ) -> CoreResult<Vec<Emission>> {
+        let st: &mut PartitionState = self.partition.as_mut().expect("partition mode");
+        if st.poisoned {
+            return Err(SaseError::engine(POISONED_MSG));
+        }
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        let data = st.data;
+        let stream_key = stream.map(str::to_ascii_lowercase);
+        // Route the batch, enforcing per-stream monotonicity exactly like
+        // `Engine` does for input events — a data worker only sees a slice
+        // of the stream, so its own clocks cannot catch every regression
+        // the single-engine reference would reject. On a regression the
+        // valid prefix is still dispatched (the reference has processed
+        // those events by the time it errors, and subsequent batches must
+        // observe the same state) and the clock error returned afterwards.
+        let mut subs: Vec<Vec<Event>> = vec![Vec::new(); data];
+        let mut maps: Vec<Vec<u32>> = vec![Vec::new(); data];
+        let mut cut = events.len();
+        let mut clock_err: Option<SaseError> = None;
+        // The whole batch targets one stream, so the clock entry is looked
+        // up once and the per-event check is a bare compare. An absent
+        // entry starts at 0: timestamps are unsigned, so the first event
+        // always passes, exactly like `Engine`'s insert-on-first-sight.
+        let route_distributed = stream_key.is_none() && !st.data_l2g.is_empty();
+        let clock = st.clocks.entry(stream_key.clone()).or_insert(0);
+        for (i, event) in events.iter().enumerate() {
+            if event.timestamp() < *clock {
+                clock_err = Some(SaseError::engine(format!(
+                    "out-of-order event: timestamp {} after {} on stream `{}`",
+                    event.timestamp(),
+                    clock,
+                    stream_key.as_deref().unwrap_or("<default>"),
+                )));
+                cut = i;
+                break;
+            }
+            *clock = event.timestamp();
+            // Distributed queries listen on the default stream only (FROM
+            // consumers are pinned), so named-stream events route to the
+            // pinned worker alone.
+            if !route_distributed {
+                continue;
+            }
+            if let Some(Some(tk)) = st.claims.get(event.type_id().0 as usize) {
+                // Claimed accessors are statically resolved, so `key_of`
+                // is infallible for events of the claimed type; an event
+                // of an unclaimed type routes nowhere (no distributed
+                // query reacts to it).
+                if let Some(key) = tk.key_of(event) {
+                    let mut h = FxHasher::default();
+                    key.hash(&mut h);
+                    let shard = (h.finish() % data as u64) as usize;
+                    subs[shard].push(event.clone());
+                    maps[shard].push(i as u32);
+                }
+            }
+        }
+        // Dispatch: each data worker gets its slice; the pinned worker
+        // gets the whole valid prefix whenever it hosts at least one
+        // query. While it hosts none it is skipped entirely — there is
+        // nothing it could emit, and duplicating the stream into it would
+        // cost a full extra ingest pass. `snapshot()` overlays the router
+        // clocks onto the pinned slot, so recovery never depends on the
+        // pinned engine having seen every event.
+        let mut dispatched: Vec<usize> = Vec::new();
+        let mut send_err: Option<SaseError> = None;
+        for (w, sub) in subs.iter_mut().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            match self.workers[w].send(ShardCmd::Batch {
+                stream: None,
+                events: Arc::new(std::mem::take(sub)),
+            }) {
+                Ok(()) => dispatched.push(w),
+                Err(e) => {
+                    send_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if send_err.is_none() && cut > 0 && !st.pinned_l2g.is_empty() {
+            match self.workers[data].send(ShardCmd::Batch {
+                stream: stream.map(str::to_string),
+                events: Arc::new(events[..cut].to_vec()),
+            }) {
+                Ok(()) => dispatched.push(data),
+                Err(e) => send_err = Some(e),
+            }
+        }
+        // Drain exactly one result from every worker that received a
+        // sub-batch — even on error — so the persistent result channels
+        // never desync (see `process_batch_tagged`).
+        let mut results: Vec<(usize, CoreResult<Vec<Emission>>)> =
+            Vec::with_capacity(dispatched.len());
+        for &w in &dispatched {
+            results.push((
+                w,
+                self.workers[w]
+                    .batch_rx
+                    .recv()
+                    .map_err(|_| SaseError::engine("engine shard worker disconnected"))
+                    .and_then(|r| r),
+            ));
+        }
+        if let Some(e) = send_err {
+            return Err(e);
+        }
+        // Merge. A worker panic latches the deployment poisoned — every
+        // subsequent ingest is rejected with the same typed error.
+        // Ordinary errors (host functions, clock regressions inside a
+        // worker) do not poison: the drain discipline keeps the workers
+        // consistent, matching ByQuery behavior. Worker errors take
+        // precedence over the router's clock error — workers only saw the
+        // pre-regression prefix, so theirs happened earlier in the
+        // single-engine order.
+        let mut first_err: Option<SaseError> = None;
+        let mut merged: Vec<Emission> = Vec::new();
+        for (w, result) in results {
+            match result {
+                Err(e) => {
+                    if e.to_string().contains(SHARD_PANIC_MSG) {
+                        st.poisoned = true;
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Ok(emissions) if first_err.is_none() => {
+                    if w < data {
+                        let map = &maps[w];
+                        for mut emission in emissions {
+                            emission.input_index = map[emission.input_index as usize];
+                            for hop in &mut emission.path {
+                                hop.0 = st.data_l2g[hop.0 as usize];
+                            }
+                            merged.push(emission);
+                        }
+                    } else {
+                        // The pinned worker saw the whole prefix: its
+                        // input indices are already global.
+                        for mut emission in emissions {
+                            for hop in &mut emission.path {
+                                hop.0 = st.pinned_l2g[hop.0 as usize];
+                            }
+                            merged.push(emission);
+                        }
+                    }
+                }
+                Ok(_) => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Some(e) = clock_err {
+            return Err(e);
         }
         merged.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
         Ok(merged)
@@ -941,6 +1519,7 @@ impl EventProcessor for ShardedEngine {
 impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEngine")
+            .field("mode", &self.sharding_mode())
             .field("shards", &self.shard_count())
             .field("queries", &self.names)
             .finish()
@@ -1377,6 +1956,220 @@ mod tests {
             )
             .unwrap();
         assert_eq!(sharded.shard_of("producer2"), sharded.shard_of("producer"));
+    }
+
+    #[test]
+    fn by_partition_key_matches_single_engine() {
+        // The data-parallel deployment reproduces the single-engine output
+        // byte for byte, with distributed and pinned queries mixed.
+        let registry = sase_core::event::retail_registry();
+        let srcs: [(&str, &str); 3] = [
+            (
+                "pairs",
+                "EVENT SEQ(SHELF_READING a, EXIT_READING b) \
+                 WHERE a.TagId = b.TagId WITHIN 50 RETURN a.TagId AS tag",
+            ),
+            ("exits", "EVENT EXIT_READING z RETURN z.TagId AS tag"),
+            (
+                "same_shelf",
+                "EVENT SEQ(SHELF_READING x, SHELF_READING y) \
+                 WHERE [TagId] WITHIN 40 RETURN y.TagId AS tag",
+            ),
+        ];
+        let mut single = Engine::new(registry.clone());
+        let mut builder = ShardedEngineBuilder::new(registry.clone());
+        builder.set_sharding(ShardingMode::ByPartitionKey);
+        for (name, src) in srcs {
+            single.register(name, src).unwrap();
+            builder.register(name, src).unwrap();
+        }
+        let mut sharded = builder.build(4).unwrap();
+        assert_eq!(sharded.sharding_mode(), ShardingMode::ByPartitionKey);
+        assert_eq!(sharded.shard_count(), 5, "4 data workers + 1 pinned");
+        // Both SEQ queries distribute on TagId; `exits` has no partition
+        // key at all and is pinned.
+        assert_eq!(sharded.shard_of("pairs"), None);
+        assert_eq!(sharded.shard_of("same_shelf"), None);
+        assert_eq!(sharded.shard_of("exits"), Some(4));
+
+        let types = ["SHELF_READING", "COUNTER_READING", "EXIT_READING"];
+        let events: Vec<Event> = (0u64..150)
+            .map(|k| {
+                registry
+                    .build_event(
+                        types[(k % 3) as usize],
+                        k + 1,
+                        vec![
+                            Value::Int((k % 7) as i64),
+                            Value::str("p"),
+                            Value::Int(1 + (k % 3) as i64),
+                        ],
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for chunk in events.chunks(13) {
+            expect.extend(single.process_batch_tagged(None, chunk).unwrap());
+            got.extend(sharded.process_batch_tagged(None, chunk).unwrap());
+        }
+        assert!(!expect.is_empty());
+        let render = |v: &[Emission]| {
+            v.iter()
+                .map(|e| format!("{}|{}|{:?}|{}", e.input_index, e.depth, e.path, e.output))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&expect), render(&got));
+        // Distributed stats are summed across data workers and agree with
+        // the single engine on the exact counters.
+        assert_eq!(
+            sharded.stats("pairs").unwrap().matches_emitted,
+            single.stats("pairs").unwrap().matches_emitted
+        );
+    }
+
+    #[test]
+    fn partitioned_worker_panic_poisons_deployment() {
+        // A worker panic mid-batch must surface as a typed error — not a
+        // hang or a silent drop — and every subsequent ingest must be
+        // rejected deterministically.
+        let registry = sase_core::event::retail_registry();
+        let functions = FunctionRegistry::with_stdlib();
+        functions.register_fn("_detonate", Some(1), |args| {
+            if args[0] == Value::Int(13) {
+                panic!("injected detonation");
+            }
+            Ok(args[0].clone())
+        });
+        let mut builder = ShardedEngineBuilder::with_functions(registry.clone(), functions);
+        builder.set_sharding(ShardingMode::ByPartitionKey);
+        builder
+            .register(
+                "pairs",
+                "EVENT SEQ(SHELF_READING a, EXIT_READING b) \
+                 WHERE a.TagId = b.TagId WITHIN 50 RETURN a.TagId AS tag",
+            )
+            .unwrap();
+        builder
+            .register(
+                "boomy",
+                "EVENT SHELF_READING x RETURN _detonate(x.TagId) AS v",
+            )
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+        // The host-function caller is pinned; the equivalence query
+        // distributes.
+        assert_eq!(sharded.shard_of("pairs"), None);
+        assert_eq!(sharded.shard_of("boomy"), Some(2));
+
+        let mk = |ts: u64, tag: i64| {
+            registry
+                .build_event(
+                    "SHELF_READING",
+                    ts,
+                    vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+                )
+                .unwrap()
+        };
+        assert_eq!(sharded.process_batch(&[mk(1, 1)]).unwrap().len(), 1);
+
+        let err = sharded.process_batch(&[mk(2, 13)]).unwrap_err();
+        assert!(
+            err.to_string().contains("panicked"),
+            "panic must surface as a typed error: {err}"
+        );
+
+        // Deterministic rejection from here on: identical message, twice.
+        let e1 = sharded.process_batch(&[mk(3, 1)]).unwrap_err().to_string();
+        let e2 = sharded.process_batch(&[mk(4, 2)]).unwrap_err().to_string();
+        assert!(e1.contains("poisoned"), "got: {e1}");
+        assert_eq!(e1, e2, "rejection must be deterministic");
+        // The workers themselves survive (panic isolation): the poisoned
+        // deployment is still snapshotable for post-mortem inspection.
+        assert_eq!(sharded.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn partitioned_error_does_not_poison() {
+        // An ordinary engine error (failing host function) propagates but
+        // leaves the deployment usable — parity with ByQuery behavior.
+        let registry = sase_core::event::retail_registry();
+        let functions = FunctionRegistry::with_stdlib();
+        functions.register_fn("_faulty", Some(1), |args| {
+            if args[0] == Value::Int(13) {
+                return Err(SaseError::Function {
+                    name: "_faulty".into(),
+                    message: "injected".into(),
+                });
+            }
+            Ok(args[0].clone())
+        });
+        let mut builder = ShardedEngineBuilder::with_functions(registry.clone(), functions);
+        builder.set_sharding(ShardingMode::ByPartitionKey);
+        builder
+            .register("q", "EVENT SHELF_READING x RETURN _faulty(x.TagId) AS v")
+            .unwrap();
+        let mut sharded = builder.build(2).unwrap();
+        let mk = |ts: u64, tag: i64| {
+            registry
+                .build_event(
+                    "SHELF_READING",
+                    ts,
+                    vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+                )
+                .unwrap()
+        };
+        let err = sharded.process_batch(&[mk(1, 13)]).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        let out = sharded.process_batch(&[mk(2, 5)]).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn partitioned_router_rejects_out_of_order_like_single_engine() {
+        // The router-level clocks reproduce the single engine's
+        // out-of-order rejection even when the regressing event would have
+        // hashed to a worker that never saw the earlier timestamp.
+        let registry = sase_core::event::retail_registry();
+        let mk_engine = || {
+            let mut e = Engine::new(registry.clone());
+            e.register(
+                "pairs",
+                "EVENT SEQ(SHELF_READING a, EXIT_READING b) \
+                 WHERE a.TagId = b.TagId WITHIN 50 RETURN a.TagId AS tag",
+            )
+            .unwrap();
+            e
+        };
+        let mut single = mk_engine();
+        let mut builder = ShardedEngineBuilder::new(registry.clone());
+        builder.set_sharding(ShardingMode::ByPartitionKey);
+        builder
+            .register(
+                "pairs",
+                "EVENT SEQ(SHELF_READING a, EXIT_READING b) \
+                 WHERE a.TagId = b.TagId WITHIN 50 RETURN a.TagId AS tag",
+            )
+            .unwrap();
+        let mut sharded = builder.build(4).unwrap();
+        let mk = |ts: u64, tag: i64| {
+            registry
+                .build_event(
+                    "SHELF_READING",
+                    ts,
+                    vec![Value::Int(tag), Value::str("p"), Value::Int(1)],
+                )
+                .unwrap()
+        };
+        let batch = vec![mk(10, 1), mk(5, 2)];
+        let e1 = single.process_batch(&batch).unwrap_err().to_string();
+        let e2 = sharded.process_batch(&batch).unwrap_err().to_string();
+        assert!(e1.contains("out-of-order"), "got: {e1}");
+        assert_eq!(e1, e2, "clock rejection must match the single engine");
+        // Not poisoned: the next in-order batch is accepted by both.
+        assert!(single.process_batch(&[mk(11, 3)]).is_ok());
+        assert!(sharded.process_batch(&[mk(11, 3)]).is_ok());
     }
 
     #[test]

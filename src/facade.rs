@@ -53,6 +53,7 @@ use sase_core::snapshot::SnapshotSet;
 use sase_core::time::TimeScale;
 use sase_system::{
     DurableEngine, DurableOptions, RecoveryReport, ShardedEngine, ShardedEngineBuilder,
+    ShardingMode,
 };
 
 /// A typed handle to a registered continuous query, returned by
@@ -139,6 +140,7 @@ pub struct SaseBuilder {
     time_scale: Option<TimeScale>,
     routing: Option<RoutingMode>,
     shards: Option<usize>,
+    sharding: Option<ShardingMode>,
     durable: Option<(PathBuf, DurableOptions)>,
 }
 
@@ -176,6 +178,18 @@ impl SaseBuilder {
     /// shared host functions stay together).
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = Some(n);
+        self
+    }
+
+    /// How the sharded deployment splits work across its workers
+    /// (default: [`ShardingMode::ByQuery`]). Only meaningful together
+    /// with [`SaseBuilder::shards`]. With
+    /// [`ShardingMode::ByPartitionKey`] the deployment gets `n` *data*
+    /// workers fed by partition-key hash plus one pinned worker for
+    /// non-distributable queries; see [`ShardingMode`] for the rules and
+    /// trade-offs.
+    pub fn sharding(mut self, mode: ShardingMode) -> Self {
+        self.sharding = Some(mode);
         self
     }
 
@@ -217,6 +231,9 @@ impl SaseBuilder {
         }
         if let Some(mode) = self.routing {
             builder.set_routing(mode);
+        }
+        if let Some(mode) = self.sharding {
+            builder.set_sharding(mode);
         }
         builder.build(shards)
     }

@@ -37,4 +37,4 @@ pub use facade::{Collector, QueryHandle, Sase, SaseBuilder};
 pub use sase_core::engine::RoutingMode;
 pub use sase_core::processor::EventProcessor;
 pub use sase_core::snapshot::SnapshotSet;
-pub use sase_system::{DurableOptions, RecoveryReport};
+pub use sase_system::{DurableOptions, RecoveryReport, ShardingMode};

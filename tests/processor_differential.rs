@@ -12,7 +12,7 @@ use sase::core::engine::{Emission, Engine};
 use sase::core::event::{retail_registry, Event, SchemaRegistry};
 use sase::core::value::{Value, ValueType};
 use sase::core::EventProcessor;
-use sase::system::{DurableEngine, DurableOptions, ShardedEngineBuilder};
+use sase::system::{DurableEngine, DurableOptions, ShardedEngineBuilder, ShardingMode};
 use sase::Sase;
 
 /// The scripted query set: a derivation chain (`producer` → `mover`), a
@@ -243,8 +243,125 @@ fn engine_sharded_and_durable_emit_identically_through_dyn_processor() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The fourth and fifth backend legs: a `ShardedEngine` in data-parallel
+/// `ByPartitionKey` mode, and a `DurableEngine` wrapping one that crashes
+/// and recovers mid-run. Both must reproduce the single-engine reference
+/// byte for byte, provenance tags included.
+#[test]
+fn by_partition_key_and_durable_emit_identically() {
+    let input = batches(&registry());
+
+    // Reference: single engine.
+    let mut engine = Engine::new(registry());
+    for (name, src) in QUERIES {
+        engine.register(name, src).unwrap();
+    }
+    let reference = run_uninterrupted(Box::new(engine), &input);
+    assert!(!reference.is_empty());
+
+    // 4) Data-parallel sharded engine: 4 data workers + 1 pinned.
+    let mut builder = ShardedEngineBuilder::new(registry());
+    builder.set_sharding(ShardingMode::ByPartitionKey);
+    for (name, src) in QUERIES {
+        builder.register(name, src).unwrap();
+    }
+    let sharded = builder.build(4).unwrap();
+    // Dispositions: the INTO producer, its FROM consumer, and the
+    // WHERE-less `exits` are pinned; `guarded` (whose TagId class covers
+    // the negated COUNTER slot too) and `pairs` distribute.
+    assert_eq!(sharded.shard_of("producer"), Some(4), "INTO pins");
+    assert_eq!(sharded.shard_of("mover"), Some(4), "FROM pins");
+    assert_eq!(sharded.shard_of("exits"), Some(4), "no partition key pins");
+    assert_eq!(
+        sharded.shard_of("guarded"),
+        None,
+        "negation-covering key distributes"
+    );
+    assert_eq!(
+        sharded.shard_of("pairs"),
+        None,
+        "plain equivalence distributes"
+    );
+    let got = run_uninterrupted(Box::new(sharded), &input);
+    assert_eq!(reference, got, "ByPartitionKey sharded != single engine");
+
+    // 5) Durable data-parallel deployment with a checkpoint, a crash, and
+    //    a recovery, mirroring the single-engine durable leg.
+    let dir = tmp_dir("durable-partitioned");
+    let opts = DurableOptions {
+        segment_bytes: 512,
+        ..DurableOptions::default()
+    };
+    let mk_sharded = || {
+        let mut builder = ShardedEngineBuilder::new(registry());
+        builder.set_sharding(ShardingMode::ByPartitionKey);
+        for (name, src) in QUERIES {
+            builder.register(name, src).unwrap();
+        }
+        builder.build(4).unwrap()
+    };
+    let mut durable = DurableEngine::create(&dir, mk_sharded(), opts).unwrap();
+
+    let mut live: Vec<String> = Vec::new();
+    let mut since_ckpt: Vec<Vec<String>> = Vec::new();
+    {
+        let p: &mut dyn EventProcessor = &mut durable;
+        for (i, batch) in input[..CKPT_AT].iter().enumerate() {
+            live.extend(drive(p, batch));
+            if i + 1 == MUTATE_AT {
+                mutate(p);
+            }
+        }
+    }
+    durable.checkpoint().unwrap();
+    {
+        let p: &mut dyn EventProcessor = &mut durable;
+        for batch in &input[CKPT_AT..CRASH_AT] {
+            since_ckpt.push(drive(p, batch));
+        }
+    }
+    drop(durable); // the process dies
+
+    let (recovered, report) = DurableEngine::recover(&dir, opts, |snaps| {
+        if let Some(snaps) = snaps {
+            snaps.preregister_derived(&registry())?;
+        }
+        // Recreate the checkpointed registration sequence, mutation
+        // included: the sticky routing-key claims replay identically, so
+        // the rebuilt deployment routes (and shards) exactly as the
+        // crashed one did.
+        let mut sharded = mk_sharded();
+        mutate(&mut sharded);
+        Ok(sharded)
+    })
+    .unwrap();
+    assert_eq!(report.checkpoint_seq, Some(CKPT_AT as u64));
+    assert_eq!(report.records_replayed, (CRASH_AT - CKPT_AT) as u64);
+    assert!(report.replay_errors.is_empty());
+    let since_ckpt_untagged: Vec<String> = since_ckpt
+        .iter()
+        .flatten()
+        .map(|l| l.rsplit('|').next().unwrap().to_string())
+        .collect();
+    let replayed: Vec<String> = report.emissions.iter().map(|e| e.to_string()).collect();
+    assert_eq!(since_ckpt_untagged, replayed);
+    live.extend(since_ckpt.into_iter().flatten());
+
+    let mut p: Box<dyn EventProcessor> = Box::new(recovered);
+    for batch in &input[CRASH_AT..] {
+        live.extend(drive(p.as_mut(), batch));
+    }
+    assert_eq!(p.query_names(), expected_final_names());
+    assert_eq!(
+        reference, live,
+        "durable ByPartitionKey crash/recover run != single engine"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The `Sase` facade is an `EventProcessor` too: the same workload through
-/// a facade-built sharded deployment matches the reference byte for byte.
+/// facade-built sharded deployments — query-parallel and data-parallel —
+/// matches the reference byte for byte.
 #[test]
 fn facade_backend_is_differentially_identical() {
     let input = batches(&registry());
@@ -264,4 +381,17 @@ fn facade_backend_is_differentially_identical() {
     }
     let got = run_uninterrupted(Box::new(sase), &input);
     assert_eq!(reference, got, "facade sharded != single engine");
+
+    let mut sase = Sase::builder()
+        .schemas(registry())
+        .shards(4)
+        .sharding(ShardingMode::ByPartitionKey)
+        .build()
+        .unwrap();
+    for (name, src) in QUERIES {
+        sase.register(name, src).unwrap();
+    }
+    assert_eq!(sase.shard_count(), 5, "4 data workers + 1 pinned");
+    let got = run_uninterrupted(Box::new(sase), &input);
+    assert_eq!(reference, got, "facade data-parallel != single engine");
 }
