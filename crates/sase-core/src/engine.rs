@@ -246,25 +246,67 @@ impl Engine {
     }
 
     /// Register a continuous query with explicit planner options.
+    ///
+    /// Failures are reported as [`SaseError::Registration`], carrying the
+    /// query name and — when the static analyzer can pin the failure to a
+    /// lint — the diagnostic code (see [`crate::analyze()`]).
     pub fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()> {
         if self.by_name.contains_key(name) {
-            return Err(SaseError::engine(format!(
-                "a query named `{name}` is already registered"
-            )));
+            return Err(SaseError::registration(
+                name,
+                None,
+                "a query with this name is already registered",
+            ));
         }
-        let query = parse_query(src)?;
+        let query =
+            parse_query(src).map_err(|e| SaseError::registration(name, None, e.to_string()))?;
         let planner = Planner::new(self.registry.clone(), self.functions.clone())
             .with_time_scale(self.time_scale);
-        let plan = planner.plan_with(&query, options)?;
+        let plan = planner.plan_with(&query, options).map_err(|e| {
+            let code = crate::analyze::analyze_with(
+                &query,
+                &self.registry,
+                &self.functions,
+                self.time_scale,
+            )
+            .into_iter()
+            .find(|d| d.severity == crate::analyze::Severity::Error)
+            .map(|d| d.code.to_string());
+            SaseError::registration(name, code, e.to_string())
+        })?;
         self.install(name, plan)
+    }
+
+    /// Statically analyze query text against this engine — its schemas,
+    /// registered functions, time scale, and already-registered queries —
+    /// *without* registering it. See [`crate::analyze()`] for the lint
+    /// catalogue.
+    pub fn check(&self, src: &str) -> Vec<crate::analyze::Diagnostic> {
+        let existing: Vec<(String, crate::lang::Query)> = self
+            .query_names()
+            .into_iter()
+            .filter_map(|n| {
+                let idx = *self.by_name.get(&n)?;
+                Some((n, self.queries[idx].runtime.plan().query.clone()))
+            })
+            .collect();
+        crate::analyze::check_src(
+            src,
+            &self.registry,
+            &self.functions,
+            self.time_scale,
+            &existing,
+        )
     }
 
     /// Register a pre-compiled plan under a name.
     pub fn install(&mut self, name: &str, plan: QueryPlan) -> Result<()> {
         if self.by_name.contains_key(name) {
-            return Err(SaseError::engine(format!(
-                "a query named `{name}` is already registered"
-            )));
+            return Err(SaseError::registration(
+                name,
+                None,
+                "a query with this name is already registered",
+            ));
         }
         // Stream names are case-insensitive everywhere: normalize once so
         // routing never compares mixed-case spellings.
@@ -338,9 +380,24 @@ impl Engine {
         Ok(self.queries[self.index_of(name)?].runtime.stats().clone())
     }
 
-    /// EXPLAIN output of a query's plan.
+    /// EXPLAIN output of a query's plan, followed by any static-analysis
+    /// diagnostics (see [`crate::analyze()`]).
     pub fn explain(&self, name: &str) -> Result<String> {
-        Ok(self.queries[self.index_of(name)?].runtime.plan().explain())
+        let plan = self.queries[self.index_of(name)?].runtime.plan();
+        let mut out = plan.explain();
+        let diags = crate::analyze::analyze_with(
+            &plan.query,
+            &self.registry,
+            &self.functions,
+            self.time_scale,
+        );
+        if !diags.is_empty() {
+            out.push_str("\ndiagnostics:");
+            for d in &diags {
+                out.push_str(&format!("\n  {d}"));
+            }
+        }
+        Ok(out)
     }
 
     /// The source text (canonical form) of a query, for the "Present
@@ -720,6 +777,10 @@ impl std::fmt::Debug for Engine {
 impl crate::processor::EventProcessor for Engine {
     fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()> {
         Engine::register_with(self, name, src, options)
+    }
+
+    fn check(&self, src: &str) -> Vec<crate::analyze::Diagnostic> {
+        Engine::check(self, src)
     }
 
     fn unregister(&mut self, name: &str) -> bool {

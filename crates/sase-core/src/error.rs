@@ -28,6 +28,70 @@ impl fmt::Display for SourcePos {
     }
 }
 
+/// Byte-offset range of a token or AST node in the original query source.
+///
+/// Spans exist purely for diagnostics: they are deliberately ignored by
+/// `PartialEq` and `Hash` so that AST equality (canonical-print round-trip
+/// tests, deduplication) is unaffected by where a node happened to sit in
+/// the source text. A default span (`0..0`) means "unknown".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the node.
+    pub start: u32,
+    /// Byte offset one past the last byte of the node.
+    pub end: u32,
+}
+
+impl Span {
+    /// Create a span covering `start..end` (byte offsets).
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// An unknown (`0..0`) operand yields the other operand unchanged.
+    pub fn join(self, other: Span) -> Span {
+        if self.is_unknown() {
+            return other;
+        }
+        if other.is_unknown() {
+            return self;
+        }
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// True when the span carries no position information.
+    pub fn is_unknown(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The slice of `src` this span covers, when in bounds.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start as usize..self.end as usize)
+    }
+}
+
+// Spans compare equal to each other by design (see the type docs); this is
+// a lawful (degenerate) equivalence relation, and `Hash` agrees with it.
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
 /// The error type shared by every fallible operation in `sase-core`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SaseError {
@@ -65,6 +129,18 @@ pub enum SaseError {
     },
     /// An engine-level failure (duplicate query name, unknown query id, ...).
     Engine(String),
+    /// Registering a named query failed. Unlike the bare-string variants,
+    /// this carries the query name (so batch registration can report which
+    /// query failed) and, when static analysis produced one, the `SA0xx`
+    /// diagnostic code of the rejecting lint.
+    Registration {
+        /// The name the query was being registered under.
+        query: String,
+        /// The diagnostic code (`SA0xx`) behind the rejection, if any.
+        code: Option<String>,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl SaseError {
@@ -92,6 +168,27 @@ impl SaseError {
     pub fn engine(msg: impl Into<String>) -> Self {
         SaseError::Engine(msg.into())
     }
+
+    /// Shorthand constructor for registration errors.
+    pub fn registration(
+        query: impl Into<String>,
+        code: Option<String>,
+        msg: impl Into<String>,
+    ) -> Self {
+        SaseError::Registration {
+            query: query.into(),
+            code,
+            message: msg.into(),
+        }
+    }
+
+    /// The `SA0xx` diagnostic code attached to this error, if any.
+    pub fn diagnostic_code(&self) -> Option<&str> {
+        match self {
+            SaseError::Registration { code, .. } => code.as_deref(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SaseError {
@@ -107,6 +204,19 @@ impl fmt::Display for SaseError {
                 write!(f, "built-in function {name} failed: {message}")
             }
             SaseError::Engine(m) => write!(f, "engine error: {m}"),
+            SaseError::Registration {
+                query,
+                code,
+                message,
+            } => match code {
+                Some(code) => {
+                    write!(
+                        f,
+                        "registration of query `{query}` failed [{code}]: {message}"
+                    )
+                }
+                None => write!(f, "registration of query `{query}` failed: {message}"),
+            },
         }
     }
 }
@@ -147,5 +257,37 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(SaseError::semantic("boom"));
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn registration_display_carries_query_and_code() {
+        let e = SaseError::registration("theft", Some("SA004".into()), "dead query");
+        assert_eq!(
+            e.to_string(),
+            "registration of query `theft` failed [SA004]: dead query"
+        );
+        assert_eq!(e.diagnostic_code(), Some("SA004"));
+        let bare = SaseError::registration("theft", None, "duplicate name");
+        assert_eq!(
+            bare.to_string(),
+            "registration of query `theft` failed: duplicate name"
+        );
+        assert_eq!(bare.diagnostic_code(), None);
+    }
+
+    #[test]
+    fn span_is_comparison_transparent() {
+        // Spans never affect equality or hashing of the nodes that carry them.
+        assert_eq!(Span::new(3, 9), Span::new(40, 51));
+        assert_eq!(Span::default(), Span::new(7, 8));
+        assert!(Span::default().is_unknown());
+        assert!(!Span::new(1, 2).is_unknown());
+        let j = Span::new(2, 5).join(Span::new(4, 9));
+        assert_eq!((j.start, j.end), (2, 9));
+        let j = Span::default().join(Span::new(4, 9));
+        assert_eq!((j.start, j.end), (4, 9));
+        assert_eq!(Span::new(6, 11).slice("EVENT SHELF x"), Some("SHELF"));
+        assert_eq!(Span::new(6, 99).slice("EVENT SHELF x"), None);
+        assert_eq!(Span::new(6, 11).to_string(), "bytes 6..11");
     }
 }

@@ -5,6 +5,7 @@
 
 use std::fmt;
 
+use crate::error::Span;
 use crate::time::WindowSpec;
 use crate::value::Value;
 
@@ -88,6 +89,9 @@ pub struct PatternElem {
     pub event_types: Vec<String>,
     /// The variable bound to the event for use in WHERE/RETURN.
     pub variable: String,
+    /// Byte range of the component in the query source (ignored by
+    /// equality; `0..0` when the node was built programmatically).
+    pub span: Span,
 }
 
 impl PatternElem {
@@ -97,6 +101,7 @@ impl PatternElem {
             negated: false,
             event_types: vec![ty.into()],
             variable: var.into(),
+            span: Span::default(),
         }
     }
 
@@ -106,6 +111,7 @@ impl PatternElem {
             negated: true,
             event_types: vec![ty.into()],
             variable: var.into(),
+            span: Span::default(),
         }
     }
 }
@@ -197,6 +203,9 @@ pub struct AttrRef {
     pub var: String,
     /// The attribute name.
     pub attr: String,
+    /// Byte range of the `var.attr` reference in the query source (ignored
+    /// by equality/hashing; `0..0` when built programmatically).
+    pub span: Span,
 }
 
 impl fmt::Display for AttrRef {
@@ -255,6 +264,7 @@ impl Expr {
         Expr::Attr(AttrRef {
             var: var.into(),
             attr: attr.into(),
+            span: Span::default(),
         })
     }
 
@@ -661,6 +671,7 @@ mod tests {
             negated: false,
             event_types: vec!["A".into(), "B".into()],
             variable: "v".into(),
+            span: Span::default(),
         };
         assert_eq!(e.to_string(), "ANY(A, B) v");
     }

@@ -11,7 +11,7 @@
 //! RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)
 //! ```
 
-use crate::error::{Result, SaseError, SourcePos};
+use crate::error::{Result, SaseError, SourcePos, Span};
 
 use super::token::{Keyword, Token, TokenKind};
 
@@ -24,6 +24,7 @@ struct Lexer<'a> {
     chars: Vec<char>,
     src: &'a str,
     pos: usize,
+    byte_pos: usize,
     line: u32,
     column: u32,
 }
@@ -34,6 +35,7 @@ impl<'a> Lexer<'a> {
             chars: src.chars().collect(),
             src,
             pos: 0,
+            byte_pos: 0,
             line: 1,
             column: 1,
         }
@@ -54,6 +56,7 @@ impl<'a> Lexer<'a> {
     fn bump(&mut self) -> Option<char> {
         let c = self.peek()?;
         self.pos += 1;
+        self.byte_pos += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.column = 1;
@@ -75,10 +78,12 @@ impl<'a> Lexer<'a> {
         loop {
             self.skip_whitespace_and_comments()?;
             let pos = self.here();
+            let start_byte = self.byte_pos as u32;
             let Some(c) = self.peek() else {
                 out.push(Token {
                     kind: TokenKind::Eof,
                     pos,
+                    span: Span::new(start_byte, start_byte),
                 });
                 return Ok(out);
             };
@@ -150,7 +155,11 @@ impl<'a> Lexer<'a> {
                 c if c == '_' || c.is_alphabetic() => self.word(),
                 other => return Err(self.error(format!("unexpected character `{other}`"))),
             };
-            out.push(Token { kind, pos });
+            out.push(Token {
+                kind,
+                pos,
+                span: Span::new(start_byte, self.byte_pos as u32),
+            });
         }
     }
 
@@ -223,7 +232,7 @@ impl<'a> Lexer<'a> {
             }
         }
         if matches!(self.peek(), Some('e') | Some('E')) {
-            let save = self.pos;
+            let save = (self.pos, self.byte_pos, self.column);
             self.bump();
             if matches!(self.peek(), Some('+') | Some('-')) {
                 self.bump();
@@ -235,7 +244,7 @@ impl<'a> Lexer<'a> {
                 }
             } else {
                 // Not an exponent after all (e.g. `12 events`); rewind.
-                self.pos = save;
+                (self.pos, self.byte_pos, self.column) = save;
             }
         }
         let text: String = self.chars[start..self.pos].iter().collect();
@@ -420,6 +429,22 @@ mod tests {
             }
             other => panic!("expected lex error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tokens_carry_byte_spans() {
+        // `∧` is three bytes in UTF-8: spans must be byte offsets, not
+        // char indices, so each token's span slices back to its own text.
+        let src = "WHERE x.TagId ∧ 'béta'";
+        let toks = tokenize(src).unwrap();
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind != TokenKind::Eof)
+            .map(|t| t.span.slice(src).expect("span in bounds"))
+            .collect();
+        assert_eq!(texts, vec!["WHERE", "x", ".", "TagId", "∧", "'béta'"]);
+        let eof = toks.last().unwrap();
+        assert_eq!(eof.span.start as usize, src.len());
     }
 
     #[test]

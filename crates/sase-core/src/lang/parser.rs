@@ -12,7 +12,7 @@
 //! item     := (aggregate | expr) [AS ident]
 //! ```
 
-use crate::error::{Result, SaseError, SourcePos};
+use crate::error::{Result, SaseError, SourcePos, Span};
 use crate::time::{TimeUnit, WindowSpec};
 use crate::value::Value;
 
@@ -55,6 +55,16 @@ impl Parser {
         self.tokens[self.idx].pos
     }
 
+    /// Byte span of the token the parser is currently looking at.
+    fn cur_span(&self) -> Span {
+        self.tokens[self.idx].span
+    }
+
+    /// Byte span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.tokens[self.idx.saturating_sub(1)].span
+    }
+
     fn bump(&mut self) -> TokenKind {
         let t = self.tokens[self.idx].kind.clone();
         if self.idx + 1 < self.tokens.len() {
@@ -64,9 +74,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> SaseError {
+        let span = self.cur_span();
         SaseError::Parse {
             pos: self.pos(),
-            message: msg.into(),
+            message: format!("{} [{span}]", msg.into()),
         }
     }
 
@@ -169,6 +180,7 @@ impl Parser {
     }
 
     fn pattern_elem(&mut self) -> Result<PatternElem> {
+        let start = self.cur_span();
         if self.peek() == &TokenKind::Bang {
             self.bump();
             self.expect(&TokenKind::LParen)?;
@@ -178,6 +190,7 @@ impl Parser {
                 negated: true,
                 event_types,
                 variable,
+                span: start.join(self.prev_span()),
             })
         } else {
             let (event_types, variable) = self.typed_binding()?;
@@ -185,6 +198,7 @@ impl Parser {
                 negated: false,
                 event_types,
                 variable,
+                span: start.join(self.prev_span()),
             })
         }
     }
@@ -317,6 +331,7 @@ impl Parser {
                 Ok(Expr::Call { name, args })
             }
             TokenKind::Ident(name) => {
+                let start = self.cur_span();
                 self.bump();
                 if name.eq_ignore_ascii_case("true") {
                     return Ok(Expr::Literal(Value::Bool(true)));
@@ -327,7 +342,11 @@ impl Parser {
                 if self.peek() == &TokenKind::Dot {
                     self.bump();
                     let attr = self.expect_ident("an attribute name after `.`")?;
-                    return Ok(Expr::Attr(AttrRef { var: name, attr }));
+                    return Ok(Expr::Attr(AttrRef {
+                        var: name,
+                        attr,
+                        span: start.join(self.prev_span()),
+                    }));
                 }
                 Err(self.err(format!(
                     "bare identifier `{name}`: expected `{name}.attribute`, a literal, \
@@ -404,11 +423,16 @@ impl Parser {
                 Ok(AggArg::Star)
             }
             TokenKind::Ident(name) => {
+                let start = self.cur_span();
                 self.bump();
                 if self.peek() == &TokenKind::Dot {
                     self.bump();
                     let attr = self.expect_ident("an attribute name after `.`")?;
-                    Ok(AggArg::VarAttr(AttrRef { var: name, attr }))
+                    Ok(AggArg::VarAttr(AttrRef {
+                        var: name,
+                        attr,
+                        span: start.join(self.prev_span()),
+                    }))
                 } else {
                     Ok(AggArg::Attr(name))
                 }
@@ -610,8 +634,33 @@ mod tests {
     fn error_positions_are_reported() {
         let err = parse_query("EVENT SEQ(A x,, B y)").unwrap_err();
         match err {
-            SaseError::Parse { pos, .. } => assert_eq!(pos.line, 1),
+            SaseError::Parse { pos, ref message } => {
+                assert_eq!(pos.line, 1);
+                // Parse errors carry the offending token's byte span.
+                assert!(message.contains("[bytes 14..15]"), "message: {message}");
+            }
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ast_nodes_carry_spans() {
+        let src = "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y)) WHERE x.TagId > 5 WITHIN 9";
+        let q = parse_query(src).unwrap();
+        assert_eq!(
+            q.pattern.elements[0].span.slice(src),
+            Some("SHELF_READING x")
+        );
+        assert_eq!(
+            q.pattern.elements[1].span.slice(src),
+            Some("!(COUNTER_READING y)")
+        );
+        match q.where_clause.as_ref().unwrap().conjuncts()[0] {
+            Expr::Binary { left, .. } => match left.as_ref() {
+                Expr::Attr(a) => assert_eq!(a.span.slice(src), Some("x.TagId")),
+                other => panic!("expected attr, got {other:?}"),
+            },
+            other => panic!("expected comparison, got {other:?}"),
         }
     }
 

@@ -2,15 +2,17 @@
 
 use std::fmt;
 
-use crate::error::SourcePos;
+use crate::error::{SourcePos, Span};
 
 /// A lexical token with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
-    /// Where the token starts in the query text.
+    /// Where the token starts in the query text (1-based line/column).
     pub pos: SourcePos,
+    /// The byte range the token occupies in the query text.
+    pub span: Span,
 }
 
 /// Keywords of the SASE language.

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -75,8 +76,9 @@ pub mod snapshot;
 pub mod time;
 pub mod value;
 
+pub use analyze::{analyze, Diagnostic, Severity};
 pub use engine::Engine;
-pub use error::{Result, SaseError};
+pub use error::{Result, SaseError, Span};
 pub use event::{Event, EventTypeId, Schema, SchemaRegistry};
 pub use functions::{BuiltinFunction, FunctionRegistry};
 pub use lang::{parse_query, Query};

@@ -252,6 +252,94 @@ pub(crate) fn routing_candidates(
     keys
 }
 
+/// Why one [`PartitionPart`] failed to qualify as a data-parallel routing
+/// key. The mirror of the rejection paths of [`routing_candidates`], for
+/// static-analysis diagnostics.
+#[derive(Debug, Clone)]
+pub(crate) enum RoutingRejection {
+    /// The part has no key attribute for a pattern slot.
+    UncoveredSlot {
+        /// Variable bound by the uncovered slot.
+        var: Arc<str>,
+        /// Whether the uncovered slot is a negated component.
+        negated: bool,
+    },
+    /// The key attribute resolves dynamically for one candidate type.
+    DynamicAttr {
+        /// The event type name.
+        type_name: Arc<str>,
+        /// The key attribute name as written.
+        attr: Arc<str>,
+    },
+    /// Two slots ask the same event type for different key attributes.
+    ConflictingAttrs {
+        /// The event type name.
+        type_name: Arc<str>,
+        /// The attribute claimed first (lowercased).
+        first: Arc<str>,
+        /// The conflicting attribute (lowercased).
+        second: Arc<str>,
+    },
+}
+
+/// Explain why each [`PartitionPart`] of `spec` was rejected as a routing
+/// key: one rejection per failing part (the first reason encountered, in
+/// the same order [`routing_candidates`] checks them). Parts that qualify
+/// contribute nothing.
+pub(crate) fn routing_rejections(
+    spec: &PartitionSpec,
+    pattern: &CompiledPattern,
+    registry: &SchemaRegistry,
+) -> Vec<RoutingRejection> {
+    let type_name = |tid: EventTypeId| -> Arc<str> {
+        registry
+            .schema(tid)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| Arc::from("?"))
+    };
+    let mut rejections = Vec::new();
+    'part: for part in &spec.parts {
+        let mut per_type: Vec<(EventTypeId, Arc<str>)> = Vec::new();
+        for elem in &pattern.elements {
+            let Some(ka) = part.key_for_slot(elem.slot) else {
+                rejections.push(RoutingRejection::UncoveredSlot {
+                    var: elem.variable.clone(),
+                    negated: elem.negated,
+                });
+                continue 'part;
+            };
+            for &tid in &elem.type_ids {
+                let access = AttrAccess::resolve(&ka.attr, std::slice::from_ref(&tid), registry);
+                if matches!(access, AttrAccess::Dynamic { .. }) {
+                    rejections.push(RoutingRejection::DynamicAttr {
+                        type_name: type_name(tid),
+                        attr: ka.attr.clone(),
+                    });
+                    continue 'part;
+                }
+                let attr_lc: Arc<str> = if matches!(access, AttrAccess::Timestamp) {
+                    Arc::from("timestamp")
+                } else {
+                    Arc::from(ka.attr.to_ascii_lowercase().as_str())
+                };
+                if let Some((_, existing)) = per_type.iter().find(|(t, _)| *t == tid) {
+                    if *existing != attr_lc {
+                        rejections.push(RoutingRejection::ConflictingAttrs {
+                            type_name: type_name(tid),
+                            first: existing.clone(),
+                            second: attr_lc,
+                        });
+                        continue 'part;
+                    }
+                    continue;
+                }
+                per_type.push((tid, attr_lc));
+            }
+        }
+    }
+    rejections
+}
+
 /// The result of analyzing a WHERE clause against a pattern.
 #[derive(Debug, Clone, Default)]
 pub struct WhereAnalysis {

@@ -15,6 +15,7 @@
 mod analysis;
 mod planner;
 
+pub(crate) use analysis::{routing_rejections, RoutingRejection};
 pub use analysis::{PartitionPart, PartitionSpec, RoutingKey, TypeKeyAccess, WhereAnalysis};
 pub use planner::Planner;
 

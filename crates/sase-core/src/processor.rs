@@ -44,13 +44,17 @@
 //!   order, planned with the same options) resumes processing as if
 //!   nothing happened. See [`crate::snapshot`] for the restore protocol.
 
+use crate::analyze::{check_src, Diagnostic};
 use crate::engine::{Emission, Sink};
 use crate::error::Result;
 use crate::event::{Event, SchemaRegistry};
+use crate::functions::FunctionRegistry;
+use crate::lang::parse_query;
 use crate::output::ComplexEvent;
 use crate::plan::PlannerOptions;
 use crate::runtime::RuntimeStats;
 use crate::snapshot::SnapshotSet;
+use crate::time::TimeScale;
 
 /// An object-safe complex event processor: the one interface behind which
 /// single, sharded, and durable engine deployments are interchangeable.
@@ -66,6 +70,32 @@ pub trait EventProcessor: Send {
     /// Register a continuous query from source text with default options.
     fn register(&mut self, name: &str, src: &str) -> Result<()> {
         self.register_with(name, src, PlannerOptions::default())
+    }
+
+    /// Statically analyze query text against this deployment *without*
+    /// registering it: schema/type errors, unsatisfiable predicates,
+    /// routing/scaling hazards, and cross-query lints against the already
+    /// registered set (see [`crate::analyze()`] for the lint catalogue).
+    ///
+    /// The default implementation checks with the stdlib function set and
+    /// the default time scale; implementations with custom functions or
+    /// time scales override it.
+    fn check(&self, src: &str) -> Vec<Diagnostic> {
+        let existing: Vec<(String, crate::lang::Query)> = self
+            .query_names()
+            .into_iter()
+            .filter_map(|n| {
+                let text = self.query_text(&n).ok()?;
+                Some((n, parse_query(&text).ok()?))
+            })
+            .collect();
+        check_src(
+            src,
+            self.schemas(),
+            &FunctionRegistry::with_stdlib(),
+            TimeScale::default(),
+            &existing,
+        )
     }
 
     /// Delete a query. Returns true if it existed.

@@ -91,6 +91,7 @@ fn gen_attr(rng: &mut Rng) -> Expr {
     Expr::Attr(sase_core::lang::ast::AttrRef {
         var: VARS[rng.below(3) as usize].to_string(),
         attr: ATTRS[rng.below(ATTRS.len() as u64) as usize].to_string(),
+        span: sase_core::error::Span::default(),
     })
 }
 

@@ -33,12 +33,13 @@ use std::thread;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
+use sase_core::analyze;
 use sase_core::engine::{Emission, Engine, RoutingMode, Sink};
 use sase_core::error::{Result as CoreResult, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
 use sase_core::functions::FunctionRegistry;
 use sase_core::hash::FxHasher;
-use sase_core::lang::parse_query;
+use sase_core::lang::{parse_query, Query};
 use sase_core::output::ComplexEvent;
 use sase_core::plan::{Planner, PlannerOptions, QueryPlan, TypeKeyAccess};
 use sase_core::processor::EventProcessor;
@@ -53,6 +54,23 @@ use sase_stream::Tick;
 
 /// Channel capacity between stages (frames / event batches in flight).
 const STAGE_CAPACITY: usize = 64;
+
+/// Wrap a planner failure in a [`SaseError::Registration`], attaching the
+/// static analyzer's lint code when it can pin the failure to one.
+fn registration_error(
+    name: &str,
+    query: &Query,
+    registry: &SchemaRegistry,
+    functions: &FunctionRegistry,
+    time_scale: Option<TimeScale>,
+    err: SaseError,
+) -> SaseError {
+    let code = analyze::analyze_with(query, registry, functions, time_scale.unwrap_or_default())
+        .into_iter()
+        .find(|d| d.severity == analyze::Severity::Error)
+        .map(|d| d.code.to_string());
+    SaseError::registration(name, code, err.to_string())
+}
 
 /// Outcome of a pipelined run.
 #[derive(Debug)]
@@ -271,16 +289,28 @@ impl ShardedEngineBuilder {
         options: PlannerOptions,
     ) -> CoreResult<()> {
         if self.queries.iter().any(|(n, _)| n == name) {
-            return Err(SaseError::engine(format!(
-                "a query named `{name}` is already registered"
-            )));
+            return Err(SaseError::registration(
+                name,
+                None,
+                "a query with this name is already registered",
+            ));
         }
-        let query = parse_query(src)?;
+        let query =
+            parse_query(src).map_err(|e| SaseError::registration(name, None, e.to_string()))?;
         let mut planner = Planner::new(self.registry.clone(), self.functions.clone());
         if let Some(scale) = self.time_scale {
             planner = planner.with_time_scale(scale);
         }
-        let plan = planner.plan_with(&query, options)?;
+        let plan = planner.plan_with(&query, options).map_err(|e| {
+            registration_error(
+                name,
+                &query,
+                &self.registry,
+                &self.functions,
+                self.time_scale,
+                e,
+            )
+        })?;
         self.queries.push((name.to_string(), plan));
         Ok(())
     }
@@ -786,16 +816,28 @@ impl ShardedEngine {
         options: PlannerOptions,
     ) -> CoreResult<()> {
         if self.names.iter().any(|n| n == name) {
-            return Err(SaseError::engine(format!(
-                "a query named `{name}` is already registered"
-            )));
+            return Err(SaseError::registration(
+                name,
+                None,
+                "a query with this name is already registered",
+            ));
         }
-        let query = parse_query(src)?;
+        let query =
+            parse_query(src).map_err(|e| SaseError::registration(name, None, e.to_string()))?;
         let mut planner = Planner::new(self.registry.clone(), self.functions.clone());
         if let Some(scale) = self.time_scale {
             planner = planner.with_time_scale(scale);
         }
-        let plan = planner.plan_with(&query, options)?;
+        let plan = planner.plan_with(&query, options).map_err(|e| {
+            registration_error(
+                name,
+                &query,
+                &self.registry,
+                &self.functions,
+                self.time_scale,
+                e,
+            )
+        })?;
         let meta = QueryMeta::of(&plan);
         if self.partition.is_some() {
             return self.register_partitioned(name, plan, meta);
@@ -818,6 +860,27 @@ impl ShardedEngine {
         Ok(())
     }
 
+    /// Statically analyze query text against this deployment — its
+    /// schemas, functions, time scale, and registered queries — *without*
+    /// registering it. See [`sase_core::analyze()`] for the lint catalogue.
+    pub fn check(&self, src: &str) -> Vec<analyze::Diagnostic> {
+        let existing: Vec<(String, Query)> = self
+            .names
+            .iter()
+            .filter_map(|n| {
+                let text = self.query_text(n).ok()?;
+                Some((n.clone(), parse_query(&text).ok()?))
+            })
+            .collect();
+        analyze::check_src(
+            src,
+            &self.registry,
+            &self.functions,
+            self.time_scale.unwrap_or_default(),
+            &existing,
+        )
+    }
+
     /// The shard a new query's co-location links pin it to (`None` when
     /// unconstrained); an error when the links span two shards.
     fn place(&self, meta: &QueryMeta, name: &str) -> CoreResult<Option<usize>> {
@@ -836,11 +899,14 @@ impl ShardedEngine {
                 None => constrained = Some(shard),
                 Some(s) if s == shard => {}
                 Some(s) => {
-                    return Err(SaseError::engine(format!(
-                        "query `{name}` must be co-located with queries on shards {s} and \
-                         {shard}; rebuild the deployment with ShardedEngineBuilder to \
-                         repartition"
-                    )))
+                    return Err(SaseError::registration(
+                        name,
+                        None,
+                        format!(
+                            "must be co-located with queries on shards {s} and {shard}; \
+                             rebuild the deployment with ShardedEngineBuilder to repartition"
+                        ),
+                    ))
                 }
             }
         }
@@ -1461,6 +1527,10 @@ impl ShardedEngine {
 impl EventProcessor for ShardedEngine {
     fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> CoreResult<()> {
         ShardedEngine::register_with(self, name, src, options)
+    }
+
+    fn check(&self, src: &str) -> Vec<analyze::Diagnostic> {
+        ShardedEngine::check(self, src)
     }
 
     fn unregister(&mut self, name: &str) -> bool {

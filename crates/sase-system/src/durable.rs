@@ -436,6 +436,10 @@ impl<E: EventProcessor> EventProcessor for DurableEngine<E> {
         self.engine.register_with(name, src, options)
     }
 
+    fn check(&self, src: &str) -> Vec<sase_core::analyze::Diagnostic> {
+        self.engine.check(src)
+    }
+
     fn unregister(&mut self, name: &str) -> bool {
         self.engine.unregister(name)
     }

@@ -11,6 +11,7 @@
 //!
 //! ```text
 //! query <name> <sase-query-on-one-line>   register a continuous query
+//! check <sase-query-on-one-line>          static analysis without registering
 //! drop <name>                             delete a query
 //! event <TYPE> <ts> <tag> <product> <area> push one event
 //! sql <statement>                         ad-hoc SQL on the event database
@@ -59,25 +60,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "quit" | "exit" => break,
             "help" => {
                 println!(
-                    "query <name> <text> | drop <name> | event <TYPE> <ts> <tag> <product> <area>\n\
+                    "query <name> <text> | check <text> | drop <name> | \
+                     event <TYPE> <ts> <tag> <product> <area>\n\
                      sql <stmt> | explain <name> | stats <name> | queries | quit"
                 );
                 Ok(())
             }
             "query" => match rest.split_once(' ') {
                 // Each registered query gets a live push subscription, so
-                // detections print as events arrive.
-                Some((name, src)) => sase
-                    .register(name, src)
-                    .and_then(|handle| {
-                        let label = name.to_string();
-                        sase.subscribe(&handle, move |d| println!("  [{label}] {d}"))
-                    })
-                    .map(|_| println!("registered `{name}`"))
-                    .map_err(|e| e.to_string()),
+                // detections print as events arrive. Static analysis runs
+                // first; its findings print as compiler-style diagnostics.
+                Some((name, src)) => {
+                    print_diagnostics(&sase.check(src));
+                    sase.register(name, src)
+                        .and_then(|handle| {
+                            let label = name.to_string();
+                            sase.subscribe(&handle, move |d| println!("  [{label}] {d}"))
+                        })
+                        .map(|_| println!("registered `{name}`"))
+                        .map_err(|e| e.to_string())
+                }
                 None => Err("usage: query <name> <text>".to_string()),
             }
             .map_err(print_err),
+            "check" => {
+                let diags = sase.check(rest);
+                if diags.is_empty() {
+                    println!("no diagnostics");
+                } else {
+                    print_diagnostics(&diags);
+                }
+                Ok(())
+            }
             "drop" => {
                 match sase.handle(rest) {
                     Some(h) if sase.unregister(&h) => println!("dropped `{rest}`"),
@@ -147,6 +161,12 @@ fn named(sase: &Sase, name: &str) -> Result<QueryHandle, String> {
 
 fn print_err(e: impl std::fmt::Display) {
     println!("error: {e}");
+}
+
+fn print_diagnostics(diags: &[sase::Diagnostic]) {
+    for d in diags {
+        println!("  {d}");
+    }
 }
 
 fn push_event(

@@ -41,6 +41,7 @@
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
 
+use sase_core::analyze::{Diagnostic, Severity};
 use sase_core::engine::{Emission, Engine, RoutingMode, Sink};
 use sase_core::error::{Result, SaseError};
 use sase_core::event::{Event, SchemaRegistry};
@@ -129,6 +130,7 @@ enum Backend {
 /// [`sase_system::run_pipelined`].
 pub struct Sase {
     backend: Backend,
+    deny: Option<Severity>,
 }
 
 /// Configures and assembles a [`Sase`] deployment. Obtained from
@@ -142,6 +144,7 @@ pub struct SaseBuilder {
     shards: Option<usize>,
     sharding: Option<ShardingMode>,
     durable: Option<(PathBuf, DurableOptions)>,
+    deny: Option<Severity>,
 }
 
 impl SaseBuilder {
@@ -190,6 +193,19 @@ impl SaseBuilder {
     /// trade-offs.
     pub fn sharding(mut self, mode: ShardingMode) -> Self {
         self.sharding = Some(mode);
+        self
+    }
+
+    /// Strict registration: reject any query whose static analysis (see
+    /// [`sase_core::analyze()`]) reports a diagnostic at `threshold` severity
+    /// or above. `deny(Severity::Warning)` refuses queries with scaling
+    /// hazards or partial-coverage warnings; `deny(Severity::Error)`
+    /// refuses only provably broken queries (which would largely fail to
+    /// register anyway, but turns "registers yet can never match" into a
+    /// hard error). Default: off — diagnostics are advisory via
+    /// [`Sase::check`].
+    pub fn deny(mut self, threshold: Severity) -> Self {
+        self.deny = Some(threshold);
         self
     }
 
@@ -254,7 +270,10 @@ impl SaseBuilder {
                 )
             }
         };
-        Ok(Sase { backend })
+        Ok(Sase {
+            backend,
+            deny: self.deny,
+        })
     }
 
     /// Reopen an existing durable deployment: load the newest valid
@@ -270,6 +289,7 @@ impl SaseBuilder {
         let (dir, opts) = self.durable.take().ok_or_else(|| {
             SaseError::engine("Sase::recover requires a durable deployment (builder.durable(..))")
         })?;
+        let deny = self.deny;
         match self.shards {
             None => {
                 let (engine, report) = DurableEngine::recover(dir, opts, |snaps| {
@@ -284,6 +304,7 @@ impl SaseBuilder {
                 Ok((
                     Sase {
                         backend: Backend::Durable(engine),
+                        deny,
                     },
                     report,
                 ))
@@ -301,6 +322,7 @@ impl SaseBuilder {
                 Ok((
                     Sase {
                         backend: Backend::DurableSharded(engine),
+                        deny,
                     },
                     report,
                 ))
@@ -344,16 +366,41 @@ impl Sase {
     }
 
     /// Register a continuous query with explicit planner options.
+    ///
+    /// When the deployment was built with [`SaseBuilder::deny`], the query
+    /// is statically analyzed first and rejected (with the offending lint
+    /// code) if any diagnostic reaches the configured severity.
     pub fn register_with(
         &mut self,
         name: &str,
         src: &str,
         options: PlannerOptions,
     ) -> Result<QueryHandle> {
+        if let Some(threshold) = self.deny {
+            let diags = self.check(src);
+            if let Some(bad) = diags.iter().find(|d| d.severity >= threshold) {
+                return Err(SaseError::registration(
+                    name,
+                    Some(bad.code.to_string()),
+                    format!(
+                        "denied by strict mode ({} {}): {}",
+                        bad.severity, bad.code, bad.message
+                    ),
+                ));
+            }
+        }
         self.processor_mut().register_with(name, src, options)?;
         Ok(QueryHandle {
             name: Arc::from(name),
         })
+    }
+
+    /// Statically analyze query text against this deployment — schemas,
+    /// functions, time scale, and already-registered queries — *without*
+    /// registering it. Returns the analyzer's findings, most severe first;
+    /// see [`sase_core::analyze()`] for the lint catalogue.
+    pub fn check(&self, src: &str) -> Vec<Diagnostic> {
+        self.processor().check(src)
     }
 
     /// Handle of an already-registered query, if it exists (e.g. one
@@ -519,7 +566,11 @@ impl std::fmt::Debug for Sase {
 /// tests). Every method delegates to the configured backend.
 impl EventProcessor for Sase {
     fn register_with(&mut self, name: &str, src: &str, options: PlannerOptions) -> Result<()> {
-        self.processor_mut().register_with(name, src, options)
+        Sase::register_with(self, name, src, options).map(|_| ())
+    }
+
+    fn check(&self, src: &str) -> Vec<Diagnostic> {
+        Sase::check(self, src)
     }
 
     fn unregister(&mut self, name: &str) -> bool {

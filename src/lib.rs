@@ -34,6 +34,7 @@ pub use sase_stream as stream;
 pub use sase_system as system;
 
 pub use facade::{Collector, QueryHandle, Sase, SaseBuilder};
+pub use sase_core::analyze::{Diagnostic, Severity};
 pub use sase_core::engine::RoutingMode;
 pub use sase_core::processor::EventProcessor;
 pub use sase_core::snapshot::SnapshotSet;

@@ -1,0 +1,303 @@
+//! Differential proofs for the static analyzer (`sase_core::analyze`):
+//!
+//! * **Soundness of "unsatisfiable"**: any query the analyzer flags with an
+//!   error-severity never-match diagnostic (`SA003`–`SA006`) must emit zero
+//!   matches when actually run over randomized streams. A single
+//!   counterexample would mean the interval/equality propagation diverged
+//!   from the engine's comparison semantics.
+//! * **"No errors" means "registers"**: a query with no error-severity
+//!   diagnostics must register successfully on every deployment shape —
+//!   single engine, sharded (both modes), and durable.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sase::core::analyze::{analyze, Severity};
+use sase::core::engine::Engine;
+use sase::core::event::retail_registry;
+use sase::core::lang::parse_query;
+use sase::core::value::Value;
+use sase::core::Event;
+use sase::system::DurableOptions;
+use sase::{Sase, ShardingMode};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sase-analysis-diff-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Query generation: random conjunctions over the retail schema, skewed so
+// a healthy fraction is genuinely unsatisfiable (tight integer bounds).
+// ---------------------------------------------------------------------------
+
+const INT_ATTRS: [&str; 2] = ["TagId", "AreaId"];
+const PRODUCTS: [&str; 3] = ["soap", "milk", "tea"];
+const VARS: [&str; 2] = ["x", "z"];
+
+fn int_atom(rng: &mut StdRng) -> String {
+    let var = VARS[rng.gen_range(0..VARS.len())];
+    let attr = INT_ATTRS[rng.gen_range(0..INT_ATTRS.len())];
+    let cmp = ["=", "!=", "<", "<=", ">", ">="][rng.gen_range(0..6usize)];
+    let lit = rng.gen_range(0i64..6);
+    format!("{var}.{attr} {cmp} {lit}")
+}
+
+fn str_atom(rng: &mut StdRng) -> String {
+    let var = VARS[rng.gen_range(0..VARS.len())];
+    let cmp = ["=", "!="][rng.gen_range(0..2usize)];
+    let lit = PRODUCTS[rng.gen_range(0..PRODUCTS.len())];
+    format!("{var}.ProductName {cmp} '{lit}'")
+}
+
+fn atom(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..10u32) {
+        0..=5 => int_atom(rng),
+        6..=7 => str_atom(rng),
+        // Cross-kind comparison: evaluates to a constant truth value under
+        // the engine's coercion rules, and SA003 flags the strict ones.
+        8 => format!(
+            "{}.ProductName {} {}",
+            VARS[rng.gen_range(0..VARS.len())],
+            ["=", "!=", "<", ">"][rng.gen_range(0..4usize)],
+            rng.gen_range(0i64..6)
+        ),
+        // Constant atom, sometimes false (SA006 fodder).
+        _ => format!("{} = {}", rng.gen_range(0i64..3), rng.gen_range(0i64..3)),
+    }
+}
+
+/// A SEQ(SHELF_READING x, EXIT_READING z) query with a random conjunction
+/// (with occasional OR nesting) as its WHERE clause.
+fn gen_query(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1..=6usize);
+    let mut conjuncts = vec!["x.TagId = z.TagId".to_string()];
+    for _ in 0..n {
+        if rng.gen_bool(0.2) {
+            conjuncts.push(format!("({} OR {})", atom(rng), atom(rng)));
+        } else {
+            conjuncts.push(atom(rng));
+        }
+    }
+    format!(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE {} \
+         WITHIN 1000 RETURN x.TagId",
+        conjuncts.join(" AND ")
+    )
+}
+
+fn stream(rng: &mut StdRng, len: usize) -> Vec<Event> {
+    let registry = retail_registry();
+    let mut ts = 0u64;
+    (0..len)
+        .map(|_| {
+            ts += rng.gen_range(1..4u64);
+            let ty = ["SHELF_READING", "EXIT_READING", "COUNTER_READING"][rng.gen_range(0..3usize)];
+            registry
+                .build_event(
+                    ty,
+                    ts,
+                    vec![
+                        Value::Int(rng.gen_range(0..6i64)),
+                        Value::str(PRODUCTS[rng.gen_range(0..PRODUCTS.len())]),
+                        Value::Int(rng.gen_range(0..6i64)),
+                    ],
+                )
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Error-severity codes whose message asserts "this query never emits a
+/// match". `SA000`/`SA007` block registration outright and are excluded.
+fn claims_never_match(code: &str) -> bool {
+    matches!(code, "SA003" | "SA004" | "SA005" | "SA006")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness: a never-match verdict is a theorem about the engine.
+    /// Every query flagged with an error-severity SA003–SA006 diagnostic
+    /// must produce zero matches on randomized streams.
+    #[test]
+    fn flagged_unsatisfiable_queries_emit_nothing(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let registry = retail_registry();
+        // Generate until an unsat-flagged query appears (bounded tries:
+        // most seeds hit one quickly given the tight literal ranges).
+        for _ in 0..40 {
+            let src = gen_query(&mut rng);
+            let query = parse_query(&src).expect("generated query parses");
+            let flagged = analyze(&query, &registry)
+                .iter()
+                .any(|d| d.severity == Severity::Error && claims_never_match(d.code));
+            if !flagged {
+                continue;
+            }
+            let mut engine = Engine::new(registry.clone());
+            engine.register("q", &src).unwrap_or_else(|e| {
+                panic!("unsat-flagged query must still register: {e}\n  {src}")
+            });
+            let events = stream(&mut rng, 60);
+            // Feed events one at a time: an evaluation error on one event
+            // (possible for cross-kind arithmetic) must not mask matches
+            // that a later event could produce.
+            let mut matches = 0usize;
+            for ev in &events {
+                if let Ok(out) = engine.process_batch(std::slice::from_ref(ev)) {
+                    matches += out.len();
+                }
+            }
+            prop_assert_eq!(
+                matches, 0,
+                "analyzer called `{}` unsatisfiable but the engine matched", src
+            );
+        }
+    }
+
+    /// Completeness of the error verdict: no error diagnostics ⇒ the query
+    /// registers on every deployment shape.
+    #[test]
+    fn clean_queries_register_on_every_backend(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let registry = retail_registry();
+        let src = gen_query(&mut rng);
+        let query = parse_query(&src).expect("generated query parses");
+        let has_error = analyze(&query, &registry)
+            .iter()
+            .any(|d| d.severity == Severity::Error);
+        if !has_error {
+        let mut single = Engine::new(registry.clone());
+        single
+            .register("q", &src)
+            .unwrap_or_else(|e| panic!("single engine rejected clean query: {e}\n  {src}"));
+
+        for mode in [ShardingMode::ByQuery, ShardingMode::ByPartitionKey] {
+            let mut sase = Sase::builder()
+                .schemas(registry.clone())
+                .shards(2)
+                .sharding(mode)
+                .build()
+                .unwrap();
+            sase.register("q", &src).unwrap_or_else(|e| {
+                panic!("sharded ({mode:?}) rejected clean query: {e}\n  {src}")
+            });
+        }
+
+        let dir = tmp_dir();
+        let mut durable = Sase::builder()
+            .schemas(registry.clone())
+            .durable(&dir, DurableOptions::default())
+            .build()
+            .unwrap();
+        durable
+            .register("q", &src)
+            .unwrap_or_else(|e| panic!("durable rejected clean query: {e}\n  {src}"));
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration errors carry the analyzer's verdict
+// ---------------------------------------------------------------------------
+
+#[test]
+fn registration_error_names_query_and_diagnostic_code() {
+    let registry = retail_registry();
+    let mut engine = Engine::new(registry);
+    let err = engine
+        .register(
+            "typo",
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+             WHERE x.TagIdd = z.TagId WITHIN 100 RETURN x.TagId",
+        )
+        .expect_err("unknown attribute must fail registration");
+    let text = err.to_string();
+    assert!(text.contains("typo"), "error names the query: {text}");
+    assert!(
+        text.contains("SA001"),
+        "error carries the lint code: {text}"
+    );
+}
+
+#[test]
+fn sharded_registration_error_names_query_and_code() {
+    let mut sase = Sase::builder()
+        .schemas(retail_registry())
+        .shards(2)
+        .build()
+        .unwrap();
+    let err = sase
+        .register(
+            "typo",
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+             WHERE x.TagIdd = z.TagId WITHIN 100 RETURN x.TagId",
+        )
+        .expect_err("unknown attribute must fail registration");
+    let text = err.to_string();
+    assert!(text.contains("typo"), "{text}");
+    assert!(text.contains("SA001"), "{text}");
+}
+
+// ---------------------------------------------------------------------------
+// Strict mode: builder.deny(threshold)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deny_warning_blocks_pinning_query_but_allows_clean_one() {
+    let mut sase = Sase::builder()
+        .schemas(retail_registry())
+        .deny(Severity::Warning)
+        .build()
+        .unwrap();
+    // No partition key -> SA020 warning -> denied under strict mode.
+    let err = sase
+        .register(
+            "pinning",
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 100 RETURN x.TagId",
+        )
+        .expect_err("strict mode must deny warning-level diagnostics");
+    let text = err.to_string();
+    assert!(text.contains("SA020"), "{text}");
+    assert!(text.contains("denied by strict mode"), "{text}");
+
+    sase.register(
+        "clean",
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+         WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId",
+    )
+    .expect("clean query passes strict mode");
+}
+
+#[test]
+fn check_reports_cross_query_lints_against_registered_set() {
+    let mut sase = Sase::builder().schemas(retail_registry()).build().unwrap();
+    sase.register(
+        "orig",
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+         WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId",
+    )
+    .unwrap();
+    let diags = sase.check(
+        "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+         WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId",
+    );
+    assert!(
+        diags.iter().any(|d| d.code == "SA030"),
+        "duplicate plan lint expected: {diags:?}"
+    );
+}

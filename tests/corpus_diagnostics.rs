@@ -1,0 +1,164 @@
+//! Analyzer smoke over the in-repo query corpus: every SASE query string
+//! that appears in `examples/` or `tests/paper_queries.rs` must come out of
+//! `sase_core::analyze` with zero error-severity diagnostics. This is the
+//! CI gate that keeps the shipped corpus clean and, symmetrically, keeps
+//! the analyzer free of false positives on real queries.
+
+use std::path::{Path, PathBuf};
+
+use sase::core::analyze::{analyze_with, Severity};
+use sase::core::event::retail_registry;
+use sase::core::functions::FunctionRegistry;
+use sase::core::lang::parse_query;
+use sase::core::time::TimeScale;
+use sase::core::value::Value;
+
+/// Extract the contents of every double-quoted string literal in a Rust
+/// source file, resolving the escapes query strings actually use
+/// (`\"`, `\\`, `\n`, `\t`, and the backslash-newline line splice).
+fn string_literals(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut in_line_comment = false;
+    while let Some(c) = chars.next() {
+        if in_line_comment {
+            if c == '\n' {
+                in_line_comment = false;
+            }
+            continue;
+        }
+        if c == '/' && chars.peek() == Some(&'/') {
+            in_line_comment = true;
+            continue;
+        }
+        if c != '"' {
+            continue;
+        }
+        let mut lit = String::new();
+        loop {
+            match chars.next() {
+                None => return out, // unterminated; file is not ours to judge
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('n') => lit.push('\n'),
+                    Some('t') => lit.push('\t'),
+                    Some('\\') => lit.push('\\'),
+                    Some('"') => lit.push('"'),
+                    Some('\'') => lit.push('\''),
+                    Some('\n') => {
+                        // Line splice: swallow the following indentation.
+                        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                            chars.next();
+                        }
+                        lit.push(' ');
+                    }
+                    Some(other) => {
+                        lit.push('\\');
+                        lit.push(other);
+                    }
+                    None => return out,
+                },
+                Some(other) => lit.push(other),
+            }
+        }
+        out.push(lit);
+    }
+    out
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("tests/paper_queries.rs")];
+    for entry in std::fs::read_dir(root.join("examples")).expect("examples/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn queries_in(path: &Path) -> Vec<String> {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    string_literals(&src)
+        .into_iter()
+        .filter(|s| {
+            let t = s.trim_start();
+            t.starts_with("EVENT") || t.starts_with("FROM")
+        })
+        .filter(|s| parse_query(s).is_ok())
+        .collect()
+}
+
+#[test]
+fn corpus_queries_are_free_of_error_diagnostics() {
+    let registry = retail_registry();
+    let functions = FunctionRegistry::with_stdlib();
+
+    let mut corpus: Vec<(PathBuf, String)> = Vec::new();
+    for file in corpus_files() {
+        for q in queries_in(&file) {
+            corpus.push((file.clone(), q));
+        }
+    }
+    assert!(
+        corpus.len() >= 6,
+        "corpus extraction broke: only {} queries found",
+        corpus.len()
+    );
+
+    // Host functions the corpus calls (e.g. `_retrieveLocation`) are
+    // registered by the examples at run time; stand-ins keep the planner
+    // satisfied so the analyzer can do its real work.
+    for (_, q) in &corpus {
+        let query = parse_query(q).expect("filtered to parsable");
+        for f in query.called_functions() {
+            if functions.get(&f).is_none() {
+                functions.register_fn(&f, None, |args| {
+                    Ok(args.first().cloned().unwrap_or(Value::Int(0)))
+                });
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    for (file, q) in &corpus {
+        let query = parse_query(q).expect("filtered to parsable");
+        let errors: Vec<String> = analyze_with(&query, &registry, &functions, TimeScale::default())
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.to_string())
+            .collect();
+        if !errors.is_empty() {
+            failures.push(format!(
+                "{}:\n  query: {}\n  {}",
+                file.display(),
+                q.split_whitespace().collect::<Vec<_>>().join(" "),
+                errors.join("\n  ")
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "error-severity diagnostics in the shipped query corpus:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn string_literal_extraction_handles_splices() {
+    let src = r#"
+        let q = "EVENT SEQ(A x, B y) \
+                 WHERE x.a = y.a";
+        // "EVENT commented out"
+        let other = "not a query";
+    "#;
+    let lits = string_literals(src);
+    assert_eq!(lits.len(), 2, "{lits:?}");
+    assert_eq!(
+        lits[0].split_whitespace().collect::<Vec<_>>().join(" "),
+        "EVENT SEQ(A x, B y) WHERE x.a = y.a"
+    );
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Hot-path hygiene lint.
+#
+# The per-event code paths (predicate evaluation, AIS/SSC runtime, key
+# extraction) must not regress to SipHash-based std collections: every map
+# or set keyed on the hot path goes through `sase_core::hash` (FxHash).
+# This script fails the build when a hot-path module names a std hasher
+# type, and when `unsafe` appears anywhere outside the explicit allowlist.
+#
+# Usage: tools/lint-hotpath.sh   (run from the repository root)
+
+set -u
+
+fail=0
+
+# Modules on the per-event hot path. engine.rs (registration/dispatch
+# control plane) and analyze.rs (plan-time only) are intentionally absent,
+# though today they also use FxHash throughout.
+HOT_PATHS="
+crates/sase-core/src/program.rs
+crates/sase-core/src/expr.rs
+crates/sase-core/src/event.rs
+crates/sase-core/src/value.rs
+crates/sase-core/src/nfa.rs
+crates/sase-core/src/pattern.rs
+crates/sase-core/src/hash.rs
+crates/sase-core/src/output.rs
+crates/sase-core/src/runtime
+"
+
+# Hasher types that silently reintroduce SipHash. Plain `HashMap<`/
+# `HashSet<` are also banned: hot-path modules alias through
+# `sase_core::hash::{FxHashMap, FxHashSet}` instead.
+BANNED='std::collections::HashMap|std::collections::HashSet|DefaultHasher|SipHasher|RandomState|[^x]HashMap<|[^x]HashSet<|^HashMap<|^HashSet<'
+
+for path in $HOT_PATHS; do
+    [ -e "$path" ] || { echo "lint-hotpath: missing hot-path module $path" >&2; fail=1; continue; }
+    # Lines naming FxBuildHasher explicitly are the aliasing site itself
+    # (sase_core::hash) — the one legitimate spelling of HashMap here.
+    hits=$(grep -rnE "$BANNED" "$path" --include='*.rs' 2>/dev/null | grep -v 'FxBuildHasher' || true)
+    if [ -n "$hits" ]; then
+        echo "lint-hotpath: std hasher on the hot path (use sase_core::hash):" >&2
+        echo "$hits" >&2
+        fail=1
+    fi
+done
+
+# `unsafe` allowlist: files permitted to contain unsafe code. All product
+# code is safe Rust; the only exception is the counting global allocator
+# the zero-allocation proof test installs.
+ALLOW_UNSAFE="crates/sase-core/tests/zero_alloc.rs"
+
+unsafe_hits=$(grep -rn 'unsafe' crates src --include='*.rs' 2>/dev/null \
+    | grep -vE '^[^:]+:[0-9]+:\s*(//|//!|///)' || true)
+if [ -n "$unsafe_hits" ]; then
+    filtered="$unsafe_hits"
+    for allowed in $ALLOW_UNSAFE; do
+        filtered=$(echo "$filtered" | grep -v "^$allowed:" || true)
+    done
+    if [ -n "$filtered" ]; then
+        echo "lint-hotpath: unsafe outside the allowlist:" >&2
+        echo "$filtered" >&2
+        fail=1
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint-hotpath: FAILED" >&2
+    exit 1
+fi
+echo "lint-hotpath: OK"
