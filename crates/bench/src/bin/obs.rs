@@ -1,0 +1,46 @@
+//! Emit `BENCH_obs.json`: ingest throughput at 128 standing queries with
+//! metrics off vs on, plus the unit cost of one histogram/counter record
+//! through resolved registry handles.
+//!
+//! ```text
+//! cargo run --release -p sase-bench --bin obs            # full run
+//! cargo run --release -p sase-bench --bin obs -- --test  # CI smoke
+//! ```
+//!
+//! Flags: `--test` (tiny stream, shape-check only), `--events N`,
+//! `--rounds N` (interleaved repetitions, default 3), `--out PATH`
+//! (default `BENCH_obs.json`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test = args.iter().any(|a| a == "--test");
+    let mut out_path = "BENCH_obs.json".to_string();
+    let mut events: usize = if test { 2_000 } else { 120_000 };
+    let mut rounds: usize = if test { 1 } else { 3 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--events" if i + 1 < args.len() => {
+                events = args[i + 1].parse().expect("--events takes a count");
+                i += 1;
+            }
+            "--rounds" if i + 1 < args.len() => {
+                rounds = args[i + 1].parse().expect("--rounds takes a count");
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let mode = if test { "test" } else { "full" };
+    let json = sase_bench::obs::obs_report(events, rounds, mode);
+    sase_bench::minijson::validate(&json).expect("report must be well-formed JSON");
+    std::fs::write(&out_path, json.as_bytes()).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path} ({events} events, {rounds} rounds, mode {mode})");
+}

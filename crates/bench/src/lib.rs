@@ -11,6 +11,7 @@
 pub mod evalbench;
 pub mod ingest;
 pub mod minijson;
+pub mod obs;
 pub mod replay;
 
 use std::time::Instant;

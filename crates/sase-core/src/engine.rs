@@ -143,6 +143,54 @@ impl RouterIndex {
     }
 }
 
+/// The engine's registry handles, resolved once when metrics are
+/// enabled (see [`Engine::enable_metrics`]) so the ingest path records
+/// through pre-resolved atomic cells — wait-free and allocation-free.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    registry: sase_obs::MetricsRegistry,
+    /// Input events accepted by `process_batch*` (not counting derived
+    /// INTO re-ingestions).
+    events_ingested: sase_obs::Counter,
+    /// `process_batch*` calls.
+    batches: sase_obs::Counter,
+    /// Wall-clock nanoseconds per `process_batch*` call.
+    batch_latency_ns: sase_obs::Histogram,
+    /// Composite events emitted (all queries, including INTO producers).
+    emissions: sase_obs::Counter,
+    /// Events (input or derived) the router matched to ≥ 1 query.
+    router_hits: sase_obs::Counter,
+    /// Events the router matched to no query.
+    router_misses: sase_obs::Counter,
+    /// Derived (`INTO`) events re-ingested.
+    derived_events: sase_obs::Counter,
+    /// Analyzer diagnostics observed at registration, by severity
+    /// (`diagnostics_emitted{severity=…}`).
+    diagnostics: [sase_obs::Counter; 3],
+}
+
+impl EngineMetrics {
+    fn new(registry: sase_obs::MetricsRegistry) -> Self {
+        EngineMetrics {
+            events_ingested: registry.counter("sase_ingest_events_total", &[]),
+            batches: registry.counter("sase_ingest_batches_total", &[]),
+            batch_latency_ns: registry.histogram("sase_ingest_batch_latency_ns", &[]),
+            emissions: registry.counter("sase_ingest_emissions_total", &[]),
+            router_hits: registry.counter("sase_router_hit_total", &[]),
+            router_misses: registry.counter("sase_router_miss_total", &[]),
+            derived_events: registry.counter("sase_derived_events_total", &[]),
+            diagnostics: ["info", "warning", "error"].map(|sev| {
+                registry.counter("sase_diagnostics_emitted_total", &[("severity", sev)])
+            }),
+            registry,
+        }
+    }
+}
+
+/// The breadth-first derivation queue of [`Engine::ingest`], kept as an
+/// engine-owned scratch buffer so steady-state batches allocate nothing.
+type IngestQueue = VecDeque<(Option<String>, Event, u16, Vec<EmissionHop>)>;
+
 /// Memoized event type of a derived (`INTO`) output stream.
 #[derive(Debug, Clone, Copy)]
 struct DerivedEntry {
@@ -174,6 +222,15 @@ pub struct Engine {
     /// (per-query runtimes repeat the check for defense in depth, but
     /// under indexed routing they only see their relevant events).
     stream_clocks: FxHashMap<Option<String>, crate::time::Timestamp>,
+    /// Pre-resolved metric handles; `None` (the default) keeps ingest
+    /// entirely uninstrumented.
+    metrics: Option<EngineMetrics>,
+    /// Sampled lifecycle tracing; disabled by default (one branch).
+    tracer: sase_obs::Tracer,
+    /// Batch sequence number — the provenance id of batch-ingest spans.
+    batch_seq: u64,
+    /// Reusable derivation queue (see [`IngestQueue`]).
+    ingest_scratch: IngestQueue,
 }
 
 /// Maximum chain of query-to-query derivations one input event may cause;
@@ -209,7 +266,32 @@ impl Engine {
             derived_types: FxHashMap::default(),
             reusable_derived: FxHashSet::default(),
             stream_clocks: FxHashMap::default(),
+            metrics: None,
+            tracer: sase_obs::Tracer::disabled(),
+            batch_seq: 0,
+            ingest_scratch: IngestQueue::new(),
         }
+    }
+
+    /// Enable metrics: resolve this engine's series in `registry` once,
+    /// so every subsequent batch records through pre-resolved atomic
+    /// handles (see the `sase_obs` crate docs for the cost model). The
+    /// registry handle is shared — pass the same registry to several
+    /// components to aggregate, or a fresh one per engine and merge
+    /// snapshots later.
+    pub fn enable_metrics(&mut self, registry: &sase_obs::MetricsRegistry) {
+        self.metrics = Some(EngineMetrics::new(registry.clone()));
+    }
+
+    /// The metrics registry enabled on this engine, if any.
+    pub fn metrics_registry(&self) -> Option<&sase_obs::MetricsRegistry> {
+        self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// Install a lifecycle tracer (batch-ingest and query-eval spans).
+    /// The default is [`sase_obs::Tracer::disabled`].
+    pub fn set_tracer(&mut self, tracer: sase_obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Set the logical time scale used for WITHIN conversion in queries
@@ -260,18 +342,44 @@ impl Engine {
         }
         let query =
             parse_query(src).map_err(|e| SaseError::registration(name, None, e.to_string()))?;
-        let planner = Planner::new(self.registry.clone(), self.functions.clone())
-            .with_time_scale(self.time_scale);
-        let plan = planner.plan_with(&query, options).map_err(|e| {
-            let code = crate::analyze::analyze_with(
+        // With metrics enabled, every registration runs the static
+        // analyzer and counts what it reports into
+        // `sase_diagnostics_emitted_total{severity=…}`, so operators see
+        // warning-heavy query sets without scraping logs. Without
+        // metrics the analyzer still runs, but lazily — only to attach a
+        // lint code to a planner failure.
+        let diags = self.metrics.as_ref().map(|m| {
+            let ds = crate::analyze::analyze_with(
                 &query,
                 &self.registry,
                 &self.functions,
                 self.time_scale,
-            )
-            .into_iter()
-            .find(|d| d.severity == crate::analyze::Severity::Error)
-            .map(|d| d.code.to_string());
+            );
+            for d in &ds {
+                let sev = match d.severity {
+                    crate::analyze::Severity::Info => 0,
+                    crate::analyze::Severity::Warning => 1,
+                    crate::analyze::Severity::Error => 2,
+                };
+                m.diagnostics[sev].inc();
+            }
+            ds
+        });
+        let planner = Planner::new(self.registry.clone(), self.functions.clone())
+            .with_time_scale(self.time_scale);
+        let plan = planner.plan_with(&query, options).map_err(|e| {
+            let code = diags
+                .unwrap_or_else(|| {
+                    crate::analyze::analyze_with(
+                        &query,
+                        &self.registry,
+                        &self.functions,
+                        self.time_scale,
+                    )
+                })
+                .into_iter()
+                .find(|d| d.severity == crate::analyze::Severity::Error)
+                .map(|d| d.code.to_string());
             SaseError::registration(name, code, e.to_string())
         })?;
         self.install(name, plan)
@@ -501,10 +609,53 @@ impl Engine {
         stream: Option<&str>,
         events: &[Event],
         out: &mut Vec<ComplexEvent>,
+        tags: Option<&mut Vec<(u32, u16, Vec<EmissionHop>)>>,
+    ) -> Result<()> {
+        // Instrumentation wraps the core loop at batch grain: one
+        // latency sample, one batch-ingest span, and counter deltas per
+        // call. Per-event cost is limited to the router hit/miss
+        // counters inside the loop — pre-resolved atomic cells.
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let span = self.tracer.begin(
+            sase_obs::TraceKind::BatchIngest,
+            self.batch_seq,
+            events.len() as u64,
+        );
+        self.batch_seq = self.batch_seq.wrapping_add(1);
+        let out_before = out.len();
+
+        // The derivation queue is engine-owned scratch: take it for the
+        // duration of the call, clear and give it back (capacity kept)
+        // so steady-state batches allocate nothing.
+        let mut queue = std::mem::take(&mut self.ingest_scratch);
+        let result = self.ingest_queued(stream, events, out, tags, &mut queue);
+        queue.clear();
+        self.ingest_scratch = queue;
+
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+            m.events_ingested.add(events.len() as u64);
+            m.emissions.add((out.len() - out_before) as u64);
+            if let Some(t0) = t0 {
+                m.batch_latency_ns.record_duration(t0.elapsed());
+            }
+        }
+        if let Some(span) = span {
+            self.tracer.end(span, (out.len() - out_before) as u64);
+        }
+        result
+    }
+
+    /// The ingest loop proper, over a caller-provided derivation queue.
+    fn ingest_queued(
+        &mut self,
+        stream: Option<&str>,
+        events: &[Event],
+        out: &mut Vec<ComplexEvent>,
         mut tags: Option<&mut Vec<(u32, u16, Vec<EmissionHop>)>>,
+        queue: &mut IngestQueue,
     ) -> Result<()> {
         let stream_key = stream.map(str::to_ascii_lowercase);
-        let mut queue: VecDeque<(Option<String>, Event, u16, Vec<EmissionHop>)> = VecDeque::new();
         for (input_index, input) in events.iter().enumerate() {
             queue.push_back((stream_key.clone(), input.clone(), 0, Vec::new()));
             while let Some((stream, event, depth, path)) = queue.pop_front() {
@@ -545,10 +696,23 @@ impl Engine {
                         &scanned
                     }
                 };
+                if let Some(m) = &self.metrics {
+                    if routed.is_empty() {
+                        m.router_misses.inc();
+                    } else {
+                        m.router_hits.inc();
+                    }
+                }
                 for &qi in routed {
+                    let qspan = self
+                        .tracer
+                        .begin(sase_obs::TraceKind::QueryEval, qi as u64, 0);
                     let q = &mut self.queries[qi];
                     let start = out.len();
                     q.runtime.process(&event, out)?;
+                    if let Some(qspan) = qspan {
+                        self.tracer.end(qspan, (out.len() - start) as u64);
+                    }
                     for (j, ce) in out[start..].iter().enumerate() {
                         for sink in &mut q.sinks {
                             sink(ce);
@@ -569,6 +733,9 @@ impl Engine {
                 }
                 for (ce, hop_path) in derived {
                     let (derived_stream, derived_event) = self.derive_event(&ce)?;
+                    if let Some(m) = &self.metrics {
+                        m.derived_events.inc();
+                    }
                     queue.push_back((Some(derived_stream), derived_event, depth + 1, hop_path));
                 }
             }
@@ -809,6 +976,10 @@ impl crate::processor::EventProcessor for Engine {
 
     fn stats(&self, name: &str) -> Result<RuntimeStats> {
         Engine::stats(self, name)
+    }
+
+    fn metrics_registry(&self) -> Option<&sase_obs::MetricsRegistry> {
+        Engine::metrics_registry(self)
     }
 
     fn explain(&self, name: &str) -> Result<String> {

@@ -55,6 +55,7 @@ use crate::plan::PlannerOptions;
 use crate::runtime::RuntimeStats;
 use crate::snapshot::SnapshotSet;
 use crate::time::TimeScale;
+use sase_obs::{MetricsRegistry, MetricsSnapshot};
 
 /// An object-safe complex event processor: the one interface behind which
 /// single, sharded, and durable engine deployments are interchangeable.
@@ -129,6 +130,38 @@ pub trait EventProcessor: Send {
 
     /// Runtime counters of a query.
     fn stats(&self, name: &str) -> Result<RuntimeStats>;
+
+    /// The deployment's metrics registry, when metrics are enabled
+    /// (e.g. [`Engine::enable_metrics`](crate::engine::Engine::enable_metrics)).
+    /// The default is `None`: an uninstrumented deployment.
+    fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        None
+    }
+
+    /// A typed, point-in-time metrics view of the deployment: every
+    /// series of the enabled registry (engine ingest, router, WAL,
+    /// shard routing — whatever the deployment wires up) plus the
+    /// per-query [`RuntimeStats`] counters promoted to
+    /// `sase_query_*{query=…}` series. Always available — without an
+    /// enabled registry the snapshot still carries the per-query
+    /// series. Render with
+    /// [`render_prometheus`](sase_obs::render_prometheus).
+    ///
+    /// Multi-worker deployments override this to merge worker-local
+    /// registries deterministically; the default covers single-engine
+    /// shapes.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self
+            .metrics_registry()
+            .map(|r| r.snapshot())
+            .unwrap_or_default();
+        for name in self.query_names() {
+            if let Ok(s) = self.stats(&name) {
+                s.export_metrics(&name, &mut snap);
+            }
+        }
+        snap
+    }
 
     /// EXPLAIN output of a query's plan.
     fn explain(&self, name: &str) -> Result<String>;

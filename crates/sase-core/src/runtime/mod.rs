@@ -58,6 +58,77 @@ pub struct RuntimeStats {
     pub partitions: u64,
 }
 
+impl RuntimeStats {
+    /// The counters as `(label, value, is_monotonic)` rows, in a fixed
+    /// presentation order. Monotonic rows export as Prometheus counters;
+    /// the rest (`partial_runs_peak`, `partitions`) as gauges.
+    pub fn rows(&self) -> [(&'static str, u64, bool); 11] {
+        [
+            ("events_processed", self.events_processed, true),
+            ("instances_appended", self.instances_appended, true),
+            ("instances_pruned", self.instances_pruned, true),
+            ("sequences_constructed", self.sequences_constructed, true),
+            (
+                "construction_filter_rejects",
+                self.construction_filter_rejects,
+                true,
+            ),
+            ("dropped_by_window", self.dropped_by_window, true),
+            ("dropped_by_negation", self.dropped_by_negation, true),
+            (
+                "negation_candidates_buffered",
+                self.negation_candidates_buffered,
+                true,
+            ),
+            ("matches_emitted", self.matches_emitted, true),
+            ("partial_runs_peak", self.partial_runs_peak, false),
+            ("partitions", self.partitions, false),
+        ]
+    }
+
+    /// Render the counters as an aligned two-column table (label left,
+    /// value right), one row per counter — what the repl's
+    /// `stats <query>` prints.
+    pub fn render_table(&self) -> String {
+        let rows = self.rows();
+        let label_w = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+        let value_w = rows
+            .iter()
+            .map(|(_, v, _)| v.to_string().len())
+            .max()
+            .unwrap_or(1);
+        let mut out = String::new();
+        for (label, value, _) in rows {
+            out.push_str(&format!("{label:<label_w$}  {value:>value_w$}\n"));
+        }
+        out
+    }
+
+    /// Export the counters into a metrics snapshot as per-query series
+    /// (`sase_query_<counter>{query="…"}`), counters and gauges per
+    /// [`RuntimeStats::rows`]. This is how every deployment's
+    /// `metrics()` surface promotes per-query runtime counters into the
+    /// registry view without putting atomics on the per-event path.
+    pub fn export_metrics(&self, query: &str, snap: &mut sase_obs::MetricsSnapshot) {
+        for (label, value, monotonic) in self.rows() {
+            let value = if monotonic {
+                sase_obs::MetricValue::Counter(value)
+            } else {
+                sase_obs::MetricValue::Gauge(value as f64)
+            };
+            snap.push(format!("sase_query_{label}"), &[("query", query)], value);
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    /// The aligned table of [`RuntimeStats::render_table`], without the
+    /// trailing newline.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.render_table().trim_end_matches('\n'))
+    }
+}
+
 #[derive(Debug)]
 enum SeqRunner {
     Ssc(SscOperator),

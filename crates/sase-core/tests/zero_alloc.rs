@@ -12,8 +12,10 @@
 //! the counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use sase_core::engine::Engine;
 use sase_core::event::{retail_registry, Event, SchemaRegistry};
 use sase_core::expr::SlotProbe;
 use sase_core::functions::FunctionRegistry;
@@ -21,29 +23,41 @@ use sase_core::lang::parse_query;
 use sase_core::plan::{Planner, PlannerOptions};
 use sase_core::runtime::QueryRuntime;
 use sase_core::value::Value;
+use sase_obs::{MetricsRegistry, TraceKind, Tracer};
 
 struct CountingAlloc;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+// Counting is scoped to the measuring thread: the libtest harness's main
+// thread allocates concurrently (channel wakers, timing bookkeeping), so
+// a process-global flag would pick up noise that has nothing to do with
+// the section under measurement. The thread-local is const-initialized —
+// reading it from inside the allocator never itself allocates.
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn counting() -> bool {
+    ENABLED.try_with(Cell::get).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -57,12 +71,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Run `f` with allocation counting enabled; returns the allocation count.
+/// Run `f` with allocation counting enabled on this thread; returns the
+/// allocation count.
 fn counted(f: impl FnOnce()) -> u64 {
     ALLOCS.store(0, Ordering::SeqCst);
-    ENABLED.store(true, Ordering::SeqCst);
+    ENABLED.with(|e| e.set(true));
     f();
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.with(|e| e.set(false));
     ALLOCS.load(Ordering::SeqCst)
 }
 
@@ -200,4 +215,60 @@ fn steady_state_predicate_evaluation_is_allocation_free() {
         allocs, 0,
         "steady-state Q2 sequence construction must not allocate"
     );
+
+    // ---- 4. Metrics primitives: recording through registry handles is
+    //         wait-free and allocation-free. -----------------------------
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("sase_test_total", &[]);
+    let gauge = registry.gauge("sase_test_depth", &[]);
+    let histogram = registry.histogram("sase_test_latency_ns", &[]);
+    let tracer = Tracer::disabled();
+    let allocs = counted(|| {
+        for i in 0..10_000u64 {
+            counter.inc();
+            counter.add(3);
+            gauge.set(i as f64);
+            histogram.record(i * 17);
+            // The disabled tracer's begin is the single branch the hot
+            // path pays when tracing is off.
+            assert!(tracer.begin(TraceKind::BatchIngest, i, 1).is_none());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "counter/gauge/histogram recording and disabled-tracer begin \
+         must not allocate"
+    );
+
+    // ---- 5. The engine batch path with metrics ENABLED: per-batch
+    //         counters, the batch-latency histogram, and router hit/miss
+    //         accounting add zero allocations at steady state. -----------
+    let mut engine = Engine::new(reg.clone());
+    engine.enable_metrics(&MetricsRegistry::new());
+    engine.register("q2", Q2).unwrap();
+    // Same-tag same-area stream: construction runs and rejects every
+    // candidate, no emissions — the all-work-no-output steady state.
+    let batches: Vec<Vec<Event>> = (0..100u64)
+        .map(|b| {
+            (0..8u64)
+                .map(|k| ev(&reg, "SHELF_READING", b * 8 + k + 1, 5, 1))
+                .collect()
+        })
+        .collect();
+    for batch in &batches[..50] {
+        assert!(engine.process_batch(batch).unwrap().is_empty());
+    }
+    let allocs = counted(|| {
+        for batch in &batches[50..] {
+            assert!(engine.process_batch(batch).unwrap().is_empty());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state engine batch ingest with metrics enabled must not \
+         allocate"
+    );
+    let snap = engine.metrics_registry().unwrap().snapshot();
+    assert_eq!(snap.counter("sase_ingest_events_total", &[]), 800);
+    assert_eq!(snap.counter("sase_ingest_batches_total", &[]), 100);
 }

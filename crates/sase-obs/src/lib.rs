@@ -1,0 +1,50 @@
+//! Observability spine for the SASE reproduction.
+//!
+//! The engine family (single `Engine`, sharded, durable, and the `Sase`
+//! facade) shares one instrumentation vocabulary, defined here so every
+//! crate in the workspace can speak it without depending on each other:
+//!
+//! * [`MetricsRegistry`] — a lock-free registry of named
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s. Handles
+//!   are resolved **once**, at registration/build time; after that every
+//!   hot-path update is a single relaxed atomic read-modify-write —
+//!   wait-free and allocation-free (proven by the workspace
+//!   `zero_alloc` test).
+//! * [`MetricsSnapshot`] — a typed, point-in-time view of a registry
+//!   (or several registries merged deterministically, as the sharded
+//!   engine does with its worker-local registries).
+//! * [`render_prometheus`] — the Prometheus text exposition renderer.
+//! * [`Tracer`] / [`TraceSink`] — opt-in, sampled lifecycle tracing
+//!   with monotonic timestamps and provenance ids. When no sink is
+//!   installed the per-span cost is a single branch.
+//!
+//! The crate is dependency-free and knows nothing about events or
+//! queries: the engine crates own *what* to measure, this crate owns
+//! *how* measurement stays off the hot path.
+//!
+//! ```
+//! use sase_obs::{MetricsRegistry, render_prometheus};
+//!
+//! let reg = MetricsRegistry::new();
+//! // Resolve handles once, at build time …
+//! let batches = reg.counter("sase_engine_batches_total", &[]);
+//! let lat = reg.histogram("sase_engine_batch_latency_ns", &[]);
+//! // … then the hot path is pure atomics.
+//! batches.inc();
+//! lat.record(1_500);
+//! let snap = reg.snapshot();
+//! assert!(render_prometheus(&snap).contains("sase_engine_batches_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod prom;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use prom::render_prometheus;
+pub use trace::{now_nanos, MemorySink, TraceEvent, TraceKind, TracePhase, TraceSink, Tracer};

@@ -1,0 +1,710 @@
+//! The lock-free metrics registry: counters, gauges, and log-bucketed
+//! latency histograms.
+//!
+//! Design rule: **all name lookup happens at registration time**. A
+//! [`Counter`]/[`Gauge`]/[`Histogram`] handle is an `Arc` straight to the
+//! atomic cells, so recording is wait-free (one or a few relaxed
+//! atomic RMWs), never allocates, and never touches the registry's
+//! registration lock. Registration itself (rare, control-plane) takes a
+//! mutex and deduplicates on `(kind, name, labels)`, so re-registering
+//! the same series — e.g. on engine restore — returns a handle to the
+//! same cells.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two latency buckets. Bucket `i` counts values `v`
+/// with `bucket_index(v) == i`; the last bucket absorbs everything from
+/// `2^62` up (≈ 146 years in nanoseconds — effectively +Inf).
+pub(crate) const BUCKETS: usize = 64;
+
+/// Bucket index of a recorded value: 0 for 0, otherwise
+/// `bit_length(v)` clamped to the last bucket, so bucket `i ≥ 1` spans
+/// `[2^(i-1), 2^i)`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`le` in Prometheus terms).
+#[inline]
+fn bucket_le(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (all updates are kept but
+    /// only visible through [`Counter::get`]). Useful as a default.
+    pub fn detached() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge: an instantaneous `f64` value (stored as bits in an
+/// `AtomicU64`). Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (CAS loop; gauges are not hot-path cells).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .cell
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram of non-negative integer samples (latencies
+/// in nanoseconds, batch sizes, …): power-of-two buckets plus running
+/// count / sum / max. Recording is four relaxed atomic RMWs; quantiles
+/// (p50/p95/p99) are estimated at snapshot time by linear interpolation
+/// inside the winning bucket. Cloning shares the cells.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore::new()),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| c.buckets[i].load(Ordering::Relaxed)),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "Histogram(count={}, p50={:.0}, p99={:.0}, max={})",
+            s.count,
+            s.quantile(0.50),
+            s.quantile(0.99),
+            s.max
+        )
+    }
+}
+
+/// Frozen view of a [`Histogram`]: per-bucket counts plus count / sum /
+/// max, with quantile estimation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i ≥ 1` spans `[2^(i-1), 2^i)`).
+    buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`: finds the bucket holding the
+    /// rank and interpolates linearly inside its `[2^(i-1), 2^i)` span,
+    /// clamped to the observed max. Exact for p100/max; within one
+    /// octave otherwise.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = bucket_le(i).min(self.max);
+                let frac = (rank - seen) as f64 / n as f64;
+                return (lo as f64 + frac * (hi.saturating_sub(lo)) as f64).min(self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs for the
+    /// non-empty prefix of buckets, as Prometheus `le` series.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            out.push((bucket_le(i), cum));
+        }
+        out
+    }
+
+    /// Merge another distribution into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HistogramSnapshot {{ count: {}, sum: {}, max: {}, p50: {:.0}, p95: {:.0}, p99: {:.0} }}",
+            self.count,
+            self.sum,
+            self.max,
+            self.p50(),
+            self.p95(),
+            self.p99()
+        )
+    }
+}
+
+/// The value of one metric series in a snapshot.
+// Snapshot values live on the scrape path, one per series; boxing the
+// histogram variant would buy nothing on the hot path and cost an
+// indirection in every accessor.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(f64),
+    /// Latency/size distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn kind(&self) -> u8 {
+        match self {
+            MetricValue::Counter(_) => 0,
+            MetricValue::Gauge(_) => 1,
+            MetricValue::Histogram(_) => 2,
+        }
+    }
+}
+
+/// One metric series: name, sorted label pairs, and a typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Prometheus-style metric name (`sase_engine_batches_total`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    fn identity(&self) -> (&str, &[(String, String)], u8) {
+        (&self.name, &self.labels, self.value.kind())
+    }
+}
+
+/// A typed, point-in-time view of one or more registries: the value the
+/// `EventProcessor::metrics()` surface returns and the input to
+/// [`render_prometheus`](crate::render_prometheus).
+///
+/// Samples are kept sorted by `(name, labels)` so merged multi-worker
+/// snapshots are deterministic and diffable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All series, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Sample lookup by name and labels (labels in any order).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| &s.value)
+    }
+
+    /// Counter value by name/labels, 0 when absent.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name/labels, 0.0 when absent.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Histogram by name/labels, empty when absent.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramSnapshot {
+        match self.get(name, labels) {
+            Some(MetricValue::Histogram(h)) => h.clone(),
+            _ => HistogramSnapshot::empty(),
+        }
+    }
+
+    /// Sum of all counters with this name, across any labels.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Push one sample and restore the sort order.
+    pub fn push(&mut self, name: impl Into<String>, labels: &[(&str, &str)], value: MetricValue) {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        self.samples.push(MetricSample {
+            name: name.into(),
+            labels,
+            value,
+        });
+        self.sort();
+    }
+
+    /// Merge `other` into `self` **deterministically**: series with the
+    /// same `(name, labels, kind)` identity combine — counters and
+    /// histograms sum, gauges sum (per-worker gauges like queue depth
+    /// are additive across shards) — and the result is re-sorted. This
+    /// is how the sharded engine folds worker-local registries into one
+    /// deployment view.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for s in &other.samples {
+            match self
+                .samples
+                .iter_mut()
+                .find(|have| have.identity() == s.identity())
+            {
+                Some(have) => match (&mut have.value, &s.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => unreachable!("identity includes the kind"),
+                },
+                None => self.samples.push(s.clone()),
+            }
+        }
+        self.sort();
+    }
+
+    /// Merge many snapshots into one (deterministic regardless of input
+    /// order, since combination is commutative and output is sorted).
+    pub fn merged(parts: impl IntoIterator<Item = MetricsSnapshot>) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for p in parts {
+            out.merge(&p);
+        }
+        out
+    }
+
+    fn sort(&mut self) {
+        self.samples
+            .sort_by(|a, b| (a.identity()).cmp(&b.identity()));
+    }
+}
+
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Cell {
+    fn kind(&self) -> u8 {
+        match self {
+            Cell::Counter(_) => 0,
+            Cell::Gauge(_) => 1,
+            Cell::Histogram(_) => 2,
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// A registry of metric series. Cloning shares the underlying store, so
+/// one registry can be handed to several components (engine, WAL,
+/// router) which each resolve their own handles at build time.
+///
+/// Registration is control-plane (mutex + linear scan, deduplicating on
+/// `(kind, name, labels)`); recording through the returned handles never
+/// touches the registry again.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn canonical(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn resolve(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: u8,
+        make: impl FnOnce() -> Cell,
+    ) -> Cell {
+        let labels = Self::canonical(labels);
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.cell.kind() == kind && e.name == name && e.labels == labels)
+        {
+            return match &e.cell {
+                Cell::Counter(c) => Cell::Counter(c.clone()),
+                Cell::Gauge(g) => Cell::Gauge(g.clone()),
+                Cell::Histogram(h) => Cell::Histogram(h.clone()),
+            };
+        }
+        let cell = make();
+        let handle = match &cell {
+            Cell::Counter(c) => Cell::Counter(c.clone()),
+            Cell::Gauge(g) => Cell::Gauge(g.clone()),
+            Cell::Histogram(h) => Cell::Histogram(h.clone()),
+        };
+        entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            cell,
+        });
+        handle
+    }
+
+    /// Register (or re-resolve) a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.resolve(name, labels, 0, || Cell::Counter(Counter::detached())) {
+            Cell::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or re-resolve) a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.resolve(name, labels, 1, || Cell::Gauge(Gauge::detached())) {
+            Cell::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or re-resolve) a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.resolve(name, labels, 2, || Cell::Histogram(Histogram::detached())) {
+            Cell::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Freeze every registered series into a sorted [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot {
+            samples: entries
+                .iter()
+                .map(|e| MetricSample {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    value: match &e.cell {
+                        Cell::Counter(c) => MetricValue::Counter(c.get()),
+                        Cell::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Cell::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        };
+        snap.sort();
+        snap
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        write!(f, "MetricsRegistry({n} series)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_deduplicated() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits", &[("shard", "0")]);
+        let b = reg.counter("hits", &[("shard", "0")]);
+        let other = reg.counter("hits", &[("shard", "1")]);
+        a.add(3);
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits", &[("shard", "0")]), 4);
+        assert_eq!(snap.counter("hits", &[("shard", "1")]), 1);
+        assert_eq!(snap.counter_sum("hits"), 5);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("c", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("c", &[("b", "2"), ("a", "1")]), 2);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = MetricsRegistry::new().gauge("depth", &[]);
+        g.set(4.0);
+        g.add(-1.5);
+        assert!((g.get() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let h = Histogram::detached();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        // Log-bucketed estimates are within one octave of the truth.
+        let p50 = s.p50();
+        assert!((256.0..=1000.0).contains(&p50), "p50 = {p50}");
+        assert!(s.p95() <= 1000.0 && s.p95() >= s.p50());
+        assert!(s.p99() <= 1000.0 && s.p99() >= s.p95());
+        assert_eq!(s.quantile(1.0), 1000.0);
+        // Cumulative buckets end at the total count.
+        assert_eq!(s.cumulative_buckets().last().unwrap().1, 1000);
+    }
+
+    #[test]
+    fn histogram_zero_and_max_samples() {
+        let h = Histogram::detached();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_deterministically() {
+        let mk = |n: u64| {
+            let reg = MetricsRegistry::new();
+            reg.counter("events", &[]).add(n);
+            let h = reg.histogram("lat", &[]);
+            h.record(n);
+            reg.gauge("depth", &[]).set(n as f64);
+            reg.snapshot()
+        };
+        let ab = MetricsSnapshot::merged([mk(2), mk(40)]);
+        let ba = MetricsSnapshot::merged([mk(40), mk(2)]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("events", &[]), 42);
+        assert_eq!(ab.histogram("lat", &[]).count, 2);
+        assert_eq!(ab.histogram("lat", &[]).max, 40);
+        assert!((ab.gauge("depth", &[]) - 42.0).abs() < 1e-9);
+    }
+}

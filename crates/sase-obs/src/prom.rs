@@ -1,0 +1,243 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricSample, MetricValue, MetricsSnapshot};
+
+/// Render a snapshot in the Prometheus text exposition format: one
+/// `# TYPE` line per metric family followed by its series. Histograms
+/// render the conventional `_bucket{le=…}` / `_sum` / `_count` triple
+/// (cumulative buckets at the registry's power-of-two bounds) plus
+/// `_max` as an auxiliary gauge.
+///
+/// Series arrive sorted by `(name, labels)` from
+/// [`MetricsSnapshot`], so families are contiguous and the output is
+/// deterministic.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<(&str, u8)> = None;
+    for s in &snap.samples {
+        let kind = match &s.value {
+            MetricValue::Counter(_) => 0,
+            MetricValue::Gauge(_) => 1,
+            MetricValue::Histogram(_) => 2,
+        };
+        if last_family != Some((s.name.as_str(), kind)) {
+            let type_name = ["counter", "gauge", "histogram"][kind as usize];
+            let _ = writeln!(out, "# TYPE {} {}", s.name, type_name);
+            last_family = Some((s.name.as_str(), kind));
+        }
+        render_sample(&mut out, s);
+    }
+    out
+}
+
+fn render_sample(out: &mut String, s: &MetricSample) {
+    match &s.value {
+        MetricValue::Counter(v) => {
+            let _ = writeln!(out, "{}{} {}", s.name, labelset(&s.labels, &[]), v);
+        }
+        MetricValue::Gauge(v) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                s.name,
+                labelset(&s.labels, &[]),
+                fmt_f64(*v)
+            );
+        }
+        MetricValue::Histogram(h) => {
+            for (le, cum) in h.cumulative_buckets() {
+                if le == u64::MAX {
+                    // Covered by the explicit +Inf line below.
+                    continue;
+                }
+                let le = le.to_string();
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    s.name,
+                    labelset(&s.labels, &[("le", &le)]),
+                    cum
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                s.name,
+                labelset(&s.labels, &[("le", "+Inf")]),
+                h.count
+            );
+            let _ = writeln!(out, "{}_sum{} {}", s.name, labelset(&s.labels, &[]), h.sum);
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                s.name,
+                labelset(&s.labels, &[]),
+                h.count
+            );
+            let _ = writeln!(out, "{}_max{} {}", s.name, labelset(&s.labels, &[]), h.max);
+        }
+    }
+}
+
+/// Format a label set `{k="v",…}` (empty string when no labels), with
+/// `extra` pairs appended (used for `le`). Values are escaped per the
+/// exposition format (`\\`, `\"`, `\n`).
+fn labelset(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{k}=\"{}\"", escape(v));
+    }
+    s.push('}');
+    s
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    /// A strict checker for the subset of the exposition format we emit:
+    /// every line is either `# TYPE <name> <kind>` or
+    /// `name[{k="v",…}] <number>`, TYPE lines precede their family's
+    /// samples, and histogram families carry `_sum`/`_count`.
+    fn assert_valid_exposition(text: &str) {
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && n.chars().next().unwrap().is_ascii_alphabetic()
+                && n.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut typed: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE name");
+                let kind = it.next().expect("TYPE kind");
+                assert!(it.next().is_none(), "trailing TYPE tokens: {line}");
+                assert!(name_ok(name), "bad metric name {name:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "bad kind {kind:?}"
+                );
+                typed.push((name.to_string(), kind.to_string()));
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value == "+Inf"
+                    || value == "-Inf"
+                    || value == "NaN"
+                    || value.parse::<f64>().is_ok(),
+                "bad sample value {value:?} in {line:?}"
+            );
+            let (name, labels) = match series.find('{') {
+                Some(i) => {
+                    assert!(series.ends_with('}'), "unterminated labels: {line}");
+                    (&series[..i], &series[i + 1..series.len() - 1])
+                }
+                None => (series, ""),
+            };
+            assert!(name_ok(name), "bad series name {name:?}");
+            if !labels.is_empty() {
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    assert!(name_ok(k), "bad label key {k:?}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value {v:?}"
+                    );
+                }
+            }
+            // The family must have been typed, allowing histogram suffixes.
+            let family_of = |n: &str| {
+                for suf in ["_bucket", "_sum", "_count", "_max"] {
+                    if let Some(stem) = n.strip_suffix(suf) {
+                        if typed.iter().any(|(t, k)| t == stem && k == "histogram") {
+                            return stem.to_string();
+                        }
+                    }
+                }
+                n.to_string()
+            };
+            let fam = family_of(name);
+            assert!(
+                typed.iter().any(|(t, _)| *t == fam),
+                "sample before TYPE line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_output_is_valid_exposition_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sase_events_ingested_total", &[]).add(1234);
+        reg.counter("sase_shard_events_routed_total", &[("shard", "0")])
+            .add(7);
+        reg.counter("sase_shard_events_routed_total", &[("shard", "1")])
+            .add(8);
+        reg.gauge("sase_shard_queue_depth", &[("shard", "0")])
+            .set(3.0);
+        reg.gauge("sase_imbalance_ratio", &[]).set(1.25);
+        let h = reg.histogram("sase_batch_latency_ns", &[]);
+        for v in [0u64, 1, 90, 1_000, 65_000, 2_000_000] {
+            h.record(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        assert_valid_exposition(&text);
+        assert!(text.contains("# TYPE sase_events_ingested_total counter"));
+        assert!(text.contains("sase_events_ingested_total 1234"));
+        assert!(text.contains("sase_shard_events_routed_total{shard=\"0\"} 7"));
+        assert!(text.contains("# TYPE sase_batch_latency_ns histogram"));
+        assert!(text.contains("sase_batch_latency_ns_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("sase_batch_latency_ns_count 6"));
+        assert!(text.contains("sase_imbalance_ratio 1.25"));
+        // One TYPE line per family, not per series.
+        assert_eq!(
+            text.matches("# TYPE sase_shard_events_routed_total")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("q", "a\"b\\c\nd")]).inc();
+        let text = render_prometheus(&reg.snapshot());
+        assert_valid_exposition(&text);
+        assert!(text.contains("c{q=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

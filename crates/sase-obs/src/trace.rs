@@ -1,0 +1,264 @@
+//! Sampled lifecycle tracing.
+//!
+//! A [`Tracer`] wraps an optional [`TraceSink`] and a sampling rate.
+//! Instrumented seams call [`Tracer::begin`] at the start of a unit of
+//! work and [`Tracer::end`] with the returned span token; the sink
+//! receives paired [`TraceEvent`]s with monotonic timestamps and the
+//! caller-supplied provenance id (batch sequence number, WAL record
+//! seq, shard index, …).
+//!
+//! Cost model: with no sink installed, `begin` is **one branch** (the
+//! `Option` check) and returns `None`, so `end` is never reached. With
+//! a sink, the sampling decision is one relaxed `fetch_add` per unit of
+//! work; only sampled spans pay for timestamps and the sink call.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Monotonic nanoseconds since the first observability call in this
+/// process. All [`TraceEvent`] timestamps share this clock, so begin/end
+/// pairs and cross-component orderings are directly comparable.
+pub fn now_nanos() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The lifecycle stage a trace event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// One `process_batch` call on an engine (id = engine-local batch
+    /// sequence number; `n` = events in / emissions out).
+    BatchIngest,
+    /// One event offered to one query runtime (id = query index in
+    /// registration order; `n` = emissions so far / produced).
+    QueryEval,
+    /// One WAL commit — flush + fsync (id = last appended record seq).
+    WalCommit,
+    /// One checkpoint write (id = checkpoint tick).
+    Checkpoint,
+    /// One sharded dispatch round (id = router batch sequence number;
+    /// `n` = events routed).
+    ShardDispatch,
+    /// WAL replay during recovery (id = records replayed so far).
+    Recovery,
+}
+
+impl TraceKind {
+    /// Stable lowercase name (used by sinks that render text).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::BatchIngest => "batch_ingest",
+            TraceKind::QueryEval => "query_eval",
+            TraceKind::WalCommit => "wal_commit",
+            TraceKind::Checkpoint => "checkpoint",
+            TraceKind::ShardDispatch => "shard_dispatch",
+            TraceKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// Begin or end of a unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Work started.
+    Begin,
+    /// Work finished.
+    End,
+}
+
+/// One typed lifecycle event delivered to a [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What kind of work.
+    pub kind: TraceKind,
+    /// Begin or end of that work.
+    pub phase: TracePhase,
+    /// Provenance id — what *instance* of the work (see [`TraceKind`]
+    /// for each kind's id semantics). Begin/end pairs share the id.
+    pub id: u64,
+    /// Kind-specific magnitude (events in a batch, emissions produced,
+    /// bytes appended, …).
+    pub n: u64,
+    /// Monotonic timestamp from [`now_nanos`].
+    pub at_ns: u64,
+}
+
+/// Receiver of sampled lifecycle events. Sinks are shared across
+/// engine worker threads, so implementations must be `Send + Sync`;
+/// events for one unit of work arrive on the thread doing that work.
+pub trait TraceSink: Send + Sync {
+    /// Observe one event. Called inline on the instrumented path — keep
+    /// it cheap or hand off.
+    fn event(&self, ev: TraceEvent);
+}
+
+/// A sampled span in flight: token returned by [`Tracer::begin`],
+/// consumed by [`Tracer::end`]. `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSpan {
+    kind: TraceKind,
+    id: u64,
+}
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    /// Emit 1 of every `sample_every` units of work (1 = all).
+    sample_every: u64,
+    /// Unit-of-work counter driving the sampling decision.
+    ticket: AtomicU64,
+}
+
+/// A cloneable handle wiring instrumented seams to an optional
+/// [`TraceSink`]. The default ([`Tracer::disabled`]) has no sink and
+/// costs one branch per potential span.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that samples nothing (the default).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer delivering 1 of every `sample_every` units of work to
+    /// `sink` (`sample_every` is clamped to ≥ 1).
+    pub fn sampled(sink: Arc<dyn TraceSink>, sample_every: u64) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                sink,
+                sample_every: sample_every.max(1),
+                ticket: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Is any sink installed?
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a unit of work. Returns `Some(span)` only when this unit
+    /// is sampled; pass the span to [`Tracer::end`] when the work
+    /// finishes. Disabled tracers return `None` after a single branch.
+    #[inline]
+    pub fn begin(&self, kind: TraceKind, id: u64, n: u64) -> Option<TraceSpan> {
+        let inner = self.inner.as_ref()?;
+        if inner.ticket.fetch_add(1, Ordering::Relaxed) % inner.sample_every != 0 {
+            return None;
+        }
+        inner.sink.event(TraceEvent {
+            kind,
+            phase: TracePhase::Begin,
+            id,
+            n,
+            at_ns: now_nanos(),
+        });
+        Some(TraceSpan { kind, id })
+    }
+
+    /// Finish a sampled unit of work (`n` = result magnitude, e.g.
+    /// emissions produced).
+    #[inline]
+    pub fn end(&self, span: TraceSpan, n: u64) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.sink.event(TraceEvent {
+                kind: span.kind,
+                phase: TracePhase::End,
+                id: span.id,
+                n,
+                at_ns: now_nanos(),
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(i) => write!(f, "Tracer(1/{} sampled)", i.sample_every),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+/// A [`TraceSink`] that buffers events in memory — for tests and the
+/// repl's `watch` view.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Drain everything observed so far.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().expect("trace sink poisoned"))
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// True when nothing has been observed (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, ev: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert!(t.begin(TraceKind::BatchIngest, 0, 10).is_none());
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_with_paired_begin_end() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::sampled(sink.clone(), 4);
+        for i in 0..16u64 {
+            if let Some(span) = t.begin(TraceKind::BatchIngest, i, 100) {
+                t.end(span, 1);
+            }
+        }
+        let evs = sink.drain();
+        // 16 units at 1-in-4 → 4 sampled units, each a begin/end pair.
+        assert_eq!(evs.len(), 8);
+        for pair in evs.chunks(2) {
+            assert_eq!(pair[0].phase, TracePhase::Begin);
+            assert_eq!(pair[1].phase, TracePhase::End);
+            assert_eq!(pair[0].id, pair[1].id);
+            assert!(pair[0].at_ns <= pair[1].at_ns, "monotonic timestamps");
+        }
+    }
+
+    #[test]
+    fn sample_every_one_traces_everything() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::sampled(sink.clone(), 1);
+        for i in 0..3u64 {
+            let span = t.begin(TraceKind::WalCommit, i, 0).expect("all sampled");
+            t.end(span, 0);
+        }
+        assert_eq!(sink.len(), 6);
+    }
+}

@@ -33,4 +33,4 @@ pub use checkpoint::{
     list_checkpoints, load_latest_checkpoint, prune_checkpoints, write_checkpoint, Checkpoint,
 };
 pub use error::{Result, StoreError};
-pub use log::{EventLog, LogIter, LogOptions, Record, SegmentInfo};
+pub use log::{EventLog, LogIter, LogOptions, Record, SegmentInfo, WalMetrics};

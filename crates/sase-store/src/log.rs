@@ -239,6 +239,44 @@ fn scan_segment(
     }
 }
 
+/// Pre-resolved WAL metric handles (`sase_wal_*` series): append and
+/// fsync latency histograms, batch-size distribution, and byte/record
+/// counters. Resolve once with [`WalMetrics::new`] and attach via
+/// [`EventLog::set_metrics`]; after that the append/commit paths record
+/// through the handles without touching the registry.
+#[derive(Debug, Clone)]
+pub struct WalMetrics {
+    /// Records appended (`sase_wal_append_total`).
+    pub appends: sase_obs::Counter,
+    /// Events across all appended records (`sase_wal_append_events_total`).
+    pub appended_events: sase_obs::Counter,
+    /// Encoded bytes written (`sase_wal_append_bytes_total`).
+    pub appended_bytes: sase_obs::Counter,
+    /// Wall-clock ns per append (`sase_wal_append_latency_ns`).
+    pub append_latency_ns: sase_obs::Histogram,
+    /// Events per appended record (`sase_wal_append_batch_events`).
+    pub batch_events: sase_obs::Histogram,
+    /// Commits — flush + fsync (`sase_wal_fsync_total`).
+    pub fsyncs: sase_obs::Counter,
+    /// Wall-clock ns per commit (`sase_wal_fsync_latency_ns`).
+    pub fsync_latency_ns: sase_obs::Histogram,
+}
+
+impl WalMetrics {
+    /// Resolve the `sase_wal_*` series in `registry`.
+    pub fn new(registry: &sase_obs::MetricsRegistry) -> Self {
+        WalMetrics {
+            appends: registry.counter("sase_wal_append_total", &[]),
+            appended_events: registry.counter("sase_wal_append_events_total", &[]),
+            appended_bytes: registry.counter("sase_wal_append_bytes_total", &[]),
+            append_latency_ns: registry.histogram("sase_wal_append_latency_ns", &[]),
+            batch_events: registry.histogram("sase_wal_append_batch_events", &[]),
+            fsyncs: registry.counter("sase_wal_fsync_total", &[]),
+            fsync_latency_ns: registry.histogram("sase_wal_fsync_latency_ns", &[]),
+        }
+    }
+}
+
 /// The durable, segmented, append-only event log.
 pub struct EventLog {
     dir: PathBuf,
@@ -247,6 +285,7 @@ pub struct EventLog {
     writer: BufWriter<File>,
     next_seq: u64,
     uncommitted: u64,
+    metrics: Option<WalMetrics>,
 }
 
 impl EventLog {
@@ -287,6 +326,7 @@ impl EventLog {
                 writer,
                 next_seq: 0,
                 uncommitted: 0,
+                metrics: None,
             });
         }
 
@@ -359,7 +399,15 @@ impl EventLog {
             segments,
             writer,
             uncommitted: 0,
+            metrics: None,
         })
+    }
+
+    /// Attach pre-resolved WAL metric handles: every subsequent
+    /// [`EventLog::append`] / [`EventLog::commit`] records its latency,
+    /// sizes, and counts through them.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The directory backing this log.
@@ -395,6 +443,7 @@ impl EventLog {
     /// The record is buffered; it is durable only after
     /// [`EventLog::commit`] returns.
     pub fn append(&mut self, tick: Timestamp, events: &[Event]) -> Result<u64> {
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         if let Some(last) = self.last_tick() {
             if tick < last {
                 return Err(StoreError::InvalidArgument(format!(
@@ -434,6 +483,15 @@ impl EventLog {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.uncommitted += 1;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.appended_events.add(events.len() as u64);
+            m.appended_bytes.add(bytes.len() as u64);
+            m.batch_events.record(events.len() as u64);
+            if let Some(t0) = t0 {
+                m.append_latency_ns.record_duration(t0.elapsed());
+            }
+        }
         Ok(seq)
     }
 
@@ -441,6 +499,7 @@ impl EventLog {
     /// appended so far is durable when this returns. One fsync covers any
     /// number of appends (fsync-on-commit batching).
     pub fn commit(&mut self) -> Result<()> {
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let path = &self.segments.last().expect("always a segment").path;
         self.writer
             .flush()
@@ -450,6 +509,12 @@ impl EventLog {
             .sync_data()
             .map_err(|e| StoreError::io(path, "fsync", e))?;
         self.uncommitted = 0;
+        if let Some(m) = &self.metrics {
+            m.fsyncs.inc();
+            if let Some(t0) = t0 {
+                m.fsync_latency_ns.record_duration(t0.elapsed());
+            }
+        }
         Ok(())
     }
 

@@ -46,6 +46,7 @@ use sase_core::processor::EventProcessor;
 use sase_core::runtime::RuntimeStats;
 use sase_core::snapshot::SnapshotSet;
 use sase_core::time::{TimeScale, Timestamp};
+use sase_obs::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot, TraceKind, Tracer};
 
 use sase_rfid::wire::{decode_frame, encode_frame};
 use sase_stream::pipeline::CleaningPipeline;
@@ -70,6 +71,76 @@ fn registration_error(
         .find(|d| d.severity == analyze::Severity::Error)
         .map(|d| d.code.to_string());
     SaseError::registration(name, code, err.to_string())
+}
+
+/// The slot a diagnostic severity counts into (`sase_diagnostics_emitted_total`).
+fn severity_index(s: analyze::Severity) -> usize {
+    match s {
+        analyze::Severity::Info => 0,
+        analyze::Severity::Warning => 1,
+        analyze::Severity::Error => 2,
+    }
+}
+
+/// Deployment-level shard-router metrics: per-shard routing counters and
+/// queue-depth gauges, plus the registration-time diagnostics counter.
+/// Handles are resolved once at build time; the dispatch path only does
+/// atomic adds.
+struct ShardMetrics {
+    /// The deployment's own registry (worker engines each keep a
+    /// worker-local registry; [`ShardedEngine::metrics`] merges them).
+    registry: MetricsRegistry,
+    /// Per shard: cumulative events shipped to that worker.
+    events_routed: Vec<Counter>,
+    /// Per shard: cumulative batches shipped to that worker.
+    batches: Vec<Counter>,
+    /// Per shard: events currently in flight to the worker — set at
+    /// dispatch, cleared once the worker's result is drained. (The
+    /// vendored channel exposes no queue length, so the router maintains
+    /// the gauge at its own send/recv seam.)
+    queue_depth: Vec<Gauge>,
+    /// Diagnostics surfaced at query registration, indexed by
+    /// [`severity_index`].
+    diagnostics: [Counter; 3],
+}
+
+impl ShardMetrics {
+    fn new(registry: MetricsRegistry, shards: usize) -> ShardMetrics {
+        let mut events_routed = Vec::with_capacity(shards);
+        let mut batches = Vec::with_capacity(shards);
+        let mut queue_depth = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let shard = s.to_string();
+            let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+            events_routed.push(registry.counter("sase_shard_events_routed_total", labels));
+            batches.push(registry.counter("sase_shard_batches_total", labels));
+            queue_depth.push(registry.gauge("sase_shard_queue_depth", labels));
+        }
+        let diagnostics = [
+            registry.counter("sase_diagnostics_emitted_total", &[("severity", "info")]),
+            registry.counter("sase_diagnostics_emitted_total", &[("severity", "warning")]),
+            registry.counter("sase_diagnostics_emitted_total", &[("severity", "error")]),
+        ];
+        ShardMetrics {
+            registry,
+            events_routed,
+            batches,
+            queue_depth,
+            diagnostics,
+        }
+    }
+
+    /// Record a sub-batch of `events` leaving for `shard`.
+    fn dispatched(&self, shard: usize, events: usize) {
+        self.events_routed[shard].add(events as u64);
+        self.batches[shard].inc();
+        self.queue_depth[shard].set(events as f64);
+    }
+
+    /// Record `shard`'s result having been drained.
+    fn drained(&self, shard: usize) {
+        self.queue_depth[shard].set(0.0);
+    }
 }
 
 /// Outcome of a pipelined run.
@@ -235,6 +306,11 @@ pub struct ShardedEngineBuilder {
     time_scale: Option<TimeScale>,
     routing: Option<RoutingMode>,
     mode: ShardingMode,
+    metrics: bool,
+    /// Diagnostics counted at builder registrations (by
+    /// [`severity_index`]), transferred into the deployment registry at
+    /// [`ShardedEngineBuilder::build`].
+    diag_counts: [u64; 3],
     queries: Vec<(String, QueryPlan)>,
 }
 
@@ -254,8 +330,19 @@ impl ShardedEngineBuilder {
             time_scale: None,
             routing: None,
             mode: ShardingMode::ByQuery,
+            metrics: false,
+            diag_counts: [0; 3],
             queries: Vec::new(),
         }
+    }
+
+    /// Enable metrics on the deployment (default: off). Each worker engine
+    /// gets a worker-local [`MetricsRegistry`] (see
+    /// [`Engine::enable_metrics`]) and the router keeps per-shard routing
+    /// counters; [`ShardedEngine::metrics`] merges all of them into one
+    /// deterministic snapshot.
+    pub fn set_metrics(&mut self, on: bool) {
+        self.metrics = on;
     }
 
     /// Select how the deployment splits work across workers (default:
@@ -297,6 +384,19 @@ impl ShardedEngineBuilder {
         }
         let query =
             parse_query(src).map_err(|e| SaseError::registration(name, None, e.to_string()))?;
+        if self.metrics {
+            // Mirror `Engine::register_with`: every diagnostic the static
+            // analyzer raises at registration is counted by severity (the
+            // counts land in the deployment registry at `build`).
+            for d in analyze::analyze_with(
+                &query,
+                &self.registry,
+                &self.functions,
+                self.time_scale.unwrap_or_default(),
+            ) {
+                self.diag_counts[severity_index(d.severity)] += 1;
+            }
+        }
         let mut planner = Planner::new(self.registry.clone(), self.functions.clone());
         if let Some(scale) = self.time_scale {
             planner = planner.with_time_scale(scale);
@@ -406,6 +506,11 @@ impl ShardedEngineBuilder {
                 if let Some(mode) = self.routing {
                     e.set_routing(mode);
                 }
+                if self.metrics {
+                    // Worker-local registry: recording stays uncontended;
+                    // `ShardedEngine::metrics` merges the workers' views.
+                    e.enable_metrics(&MetricsRegistry::new());
+                }
                 e
             })
             .collect();
@@ -443,7 +548,23 @@ impl ShardedEngineBuilder {
             meta,
             components: component_of.len(),
             partition: None,
+            metrics: Self::deployment_metrics(self.metrics, shard_count, self.diag_counts),
+            tracer: Tracer::disabled(),
+            batch_seq: 0,
         })
+    }
+
+    /// Build the deployment-level [`ShardMetrics`] (when enabled),
+    /// seeding the diagnostics counter with the builder-time counts.
+    fn deployment_metrics(on: bool, shards: usize, diag_counts: [u64; 3]) -> Option<ShardMetrics> {
+        if !on {
+            return None;
+        }
+        let m = ShardMetrics::new(MetricsRegistry::new(), shards);
+        for (slot, n) in m.diagnostics.iter().zip(diag_counts) {
+            slot.add(n);
+        }
+        Some(m)
     }
 
     /// Instantiate a [`ShardingMode::ByPartitionKey`] deployment: `shards`
@@ -460,6 +581,9 @@ impl ShardedEngineBuilder {
             }
             if let Some(mode) = self.routing {
                 e.set_routing(mode);
+            }
+            if self.metrics {
+                e.enable_metrics(&MetricsRegistry::new());
             }
             e
         };
@@ -504,6 +628,10 @@ impl ShardedEngineBuilder {
             meta,
             components: 0,
             partition: Some(Box::new(st)),
+            // `data + 1` shards: the pinned worker is the last index.
+            metrics: Self::deployment_metrics(self.metrics, data + 1, self.diag_counts),
+            tracer: Tracer::disabled(),
+            batch_seq: 0,
         })
     }
 }
@@ -771,6 +899,14 @@ pub struct ShardedEngine {
     /// Data-parallel router state; `Some` iff the deployment was built
     /// with [`ShardingMode::ByPartitionKey`].
     partition: Option<Box<PartitionState>>,
+    /// Deployment-level router metrics; `Some` iff the deployment was
+    /// built with [`ShardedEngineBuilder::set_metrics`] on.
+    metrics: Option<ShardMetrics>,
+    /// Lifecycle tracing hook ([`ShardedEngine::set_tracer`]); disabled
+    /// by default (one branch per batch).
+    tracer: Tracer,
+    /// Monotone batch id stamped on [`TraceKind::ShardDispatch`] spans.
+    batch_seq: u64,
 }
 
 impl ShardedEngine {
@@ -824,6 +960,19 @@ impl ShardedEngine {
         }
         let query =
             parse_query(src).map_err(|e| SaseError::registration(name, None, e.to_string()))?;
+        if let Some(m) = &self.metrics {
+            // Post-build registrations count their diagnostics straight
+            // into the deployment registry (the builder path accumulates
+            // and transfers at `build`).
+            for d in analyze::analyze_with(
+                &query,
+                &self.registry,
+                &self.functions,
+                self.time_scale.unwrap_or_default(),
+            ) {
+                m.diagnostics[severity_index(d.severity)].inc();
+            }
+        }
         let mut planner = Planner::new(self.registry.clone(), self.functions.clone());
         if let Some(scale) = self.time_scale {
             planner = planner.with_time_scale(scale);
@@ -1141,6 +1290,80 @@ impl ShardedEngine {
         &self.registry
     }
 
+    /// Install a lifecycle tracer on the router and every worker engine
+    /// ([`TraceKind::ShardDispatch`] spans here, per-engine batch/query
+    /// spans inside the workers). Worker spans fire on the worker threads.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        if let Some(engine) = &mut self.inline {
+            engine.set_tracer(tracer);
+            return;
+        }
+        for w in &self.workers {
+            let t = tracer.clone();
+            let _ = w.call(move |engine| engine.set_tracer(t));
+        }
+    }
+
+    /// The deployment-level registry (per-shard routing series), when the
+    /// deployment was built with [`ShardedEngineBuilder::set_metrics`] on.
+    /// Worker-local engine registries are folded in by
+    /// [`ShardedEngine::metrics`], not reachable from here.
+    pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// A deterministic metrics snapshot of the whole deployment: the
+    /// router's per-shard series, every worker engine's local registry
+    /// (merged — same-identity series sum), a derived
+    /// `sase_shard_imbalance_ratio` gauge (max/mean events routed across
+    /// data shards), and the per-query [`RuntimeStats`] promoted to
+    /// `sase_query_*{query=…}` series.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut parts: Vec<MetricsSnapshot> = Vec::new();
+        if let Some(m) = &self.metrics {
+            parts.push(m.registry.snapshot());
+        }
+        if let Some(engine) = &self.inline {
+            if let Some(r) = engine.metrics_registry() {
+                parts.push(r.snapshot());
+            }
+        }
+        for w in &self.workers {
+            if let Ok(Some(snap)) = w.call(|engine| engine.metrics_registry().map(|r| r.snapshot()))
+            {
+                parts.push(snap);
+            }
+        }
+        let mut snap = MetricsSnapshot::merged(parts);
+        if let Some(m) = &self.metrics {
+            // Imbalance over the shards that share routed work: the data
+            // workers in ByPartitionKey mode, every shard in ByQuery mode.
+            let data = self
+                .partition
+                .as_ref()
+                .map(|st| st.data)
+                .unwrap_or(m.events_routed.len());
+            let routed: Vec<u64> = m.events_routed[..data].iter().map(|c| c.get()).collect();
+            let total: u64 = routed.iter().sum();
+            if total > 0 {
+                let mean = total as f64 / routed.len() as f64;
+                let max = routed.iter().copied().max().unwrap_or(0) as f64;
+                snap.push(
+                    "sase_shard_imbalance_ratio",
+                    &[],
+                    MetricValue::Gauge(max / mean),
+                );
+            }
+        }
+        for name in &self.names {
+            if let Ok(s) = self.stats(name) {
+                s.export_metrics(name, &mut snap);
+            }
+        }
+        snap
+    }
+
     /// Serializable image of every shard's engine state, one
     /// [`sase_core::snapshot::EngineSnapshot`] per shard in shard order.
     ///
@@ -1283,12 +1506,31 @@ impl ShardedEngine {
         stream: Option<&str>,
         events: &[Event],
     ) -> CoreResult<Vec<Emission>> {
+        let seq = self.batch_seq;
+        self.batch_seq = self.batch_seq.wrapping_add(1);
         if let Some(engine) = &mut self.inline {
-            return engine.process_batch_tagged(stream, events);
+            let span = self
+                .tracer
+                .begin(TraceKind::ShardDispatch, seq, events.len() as u64);
+            if let Some(m) = &self.metrics {
+                m.dispatched(0, events.len());
+            }
+            let out = engine.process_batch_tagged(stream, events);
+            if let Some(m) = &self.metrics {
+                m.drained(0);
+            }
+            if let Some(span) = span {
+                self.tracer
+                    .end(span, out.as_ref().map(|v| v.len() as u64).unwrap_or(0));
+            }
+            return out;
         }
         if self.partition.is_some() {
-            return self.process_batch_partitioned(stream, events);
+            return self.process_batch_partitioned(stream, events, seq);
         }
+        let span = self
+            .tracer
+            .begin(TraceKind::ShardDispatch, seq, events.len() as u64);
         // One shared copy of the batch; events are cheap `Arc` handles.
         // Shards hosting no queries are skipped entirely — a deployment
         // with more shards than queries pays nothing for the idle workers.
@@ -1306,7 +1548,12 @@ impl ShardedEngine {
                 stream: stream.map(str::to_string),
                 events: shared.clone(),
             }) {
-                Ok(()) => dispatched.push(shard),
+                Ok(()) => {
+                    if let Some(m) = &self.metrics {
+                        m.dispatched(shard, events.len());
+                    }
+                    dispatched.push(shard);
+                }
                 Err(e) => {
                     send_err = Some(e);
                     break;
@@ -1327,6 +1574,9 @@ impl ShardedEngine {
                     .map_err(|_| SaseError::engine("engine shard worker disconnected"))
                     .and_then(|r| r),
             ));
+            if let Some(m) = &self.metrics {
+                m.drained(shard);
+            }
         }
         if let Some(e) = send_err {
             return Err(e);
@@ -1342,6 +1592,9 @@ impl ShardedEngine {
             }
         }
         merged.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
+        if let Some(span) = span {
+            self.tracer.end(span, merged.len() as u64);
+        }
         Ok(merged)
     }
 
@@ -1354,7 +1607,11 @@ impl ShardedEngine {
         &mut self,
         stream: Option<&str>,
         events: &[Event],
+        seq: u64,
     ) -> CoreResult<Vec<Emission>> {
+        let span = self
+            .tracer
+            .begin(TraceKind::ShardDispatch, seq, events.len() as u64);
         let st: &mut PartitionState = self.partition.as_mut().expect("partition mode");
         if st.poisoned {
             return Err(SaseError::engine(POISONED_MSG));
@@ -1426,11 +1683,17 @@ impl ShardedEngine {
             if sub.is_empty() {
                 continue;
             }
+            let routed = sub.len();
             match self.workers[w].send(ShardCmd::Batch {
                 stream: None,
                 events: Arc::new(std::mem::take(sub)),
             }) {
-                Ok(()) => dispatched.push(w),
+                Ok(()) => {
+                    if let Some(m) = &self.metrics {
+                        m.dispatched(w, routed);
+                    }
+                    dispatched.push(w);
+                }
                 Err(e) => {
                     send_err = Some(e);
                     break;
@@ -1442,7 +1705,12 @@ impl ShardedEngine {
                 stream: stream.map(str::to_string),
                 events: Arc::new(events[..cut].to_vec()),
             }) {
-                Ok(()) => dispatched.push(data),
+                Ok(()) => {
+                    if let Some(m) = &self.metrics {
+                        m.dispatched(data, cut);
+                    }
+                    dispatched.push(data);
+                }
                 Err(e) => send_err = Some(e),
             }
         }
@@ -1460,6 +1728,9 @@ impl ShardedEngine {
                     .map_err(|_| SaseError::engine("engine shard worker disconnected"))
                     .and_then(|r| r),
             ));
+            if let Some(m) = &self.metrics {
+                m.drained(w);
+            }
         }
         if let Some(e) = send_err {
             return Err(e);
@@ -1515,6 +1786,9 @@ impl ShardedEngine {
             return Err(e);
         }
         merged.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
+        if let Some(span) = span {
+            self.tracer.end(span, merged.len() as u64);
+        }
         Ok(merged)
     }
 }
@@ -1559,6 +1833,14 @@ impl EventProcessor for ShardedEngine {
 
     fn stats(&self, name: &str) -> CoreResult<RuntimeStats> {
         ShardedEngine::stats(self, name)
+    }
+
+    fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        ShardedEngine::metrics_registry(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ShardedEngine::metrics(self)
     }
 
     fn explain(&self, name: &str) -> CoreResult<String> {

@@ -118,6 +118,41 @@ impl DurableOptions {
     }
 }
 
+/// The durable layer's registry handles, resolved once per deployment:
+/// checkpoint and recovery-progress counters (the WAL's own
+/// `sase_wal_*` series are resolved by [`sase_store::WalMetrics`] on
+/// the same registry). Recovery counters advance record-by-record
+/// during replay, so a scrape mid-recovery shows live progress.
+#[derive(Debug, Clone)]
+struct DurableMetrics {
+    registry: sase_obs::MetricsRegistry,
+    /// Checkpoints written (`sase_checkpoints_total`).
+    checkpoints: sase_obs::Counter,
+    /// Recovery/replay runs completed (`sase_recovery_runs_total`).
+    recovery_runs: sase_obs::Counter,
+    /// Log records replayed (`sase_recovery_records_replayed_total`).
+    recovery_records: sase_obs::Counter,
+    /// Events replayed (`sase_recovery_events_replayed_total`).
+    recovery_events: sase_obs::Counter,
+    /// Engine rejections during replay
+    /// (`sase_recovery_replay_errors_total`).
+    recovery_errors: sase_obs::Counter,
+}
+
+impl DurableMetrics {
+    fn new() -> Self {
+        let registry = sase_obs::MetricsRegistry::new();
+        DurableMetrics {
+            checkpoints: registry.counter("sase_checkpoints_total", &[]),
+            recovery_runs: registry.counter("sase_recovery_runs_total", &[]),
+            recovery_records: registry.counter("sase_recovery_records_replayed_total", &[]),
+            recovery_events: registry.counter("sase_recovery_events_replayed_total", &[]),
+            recovery_errors: registry.counter("sase_recovery_replay_errors_total", &[]),
+            registry,
+        }
+    }
+}
+
 /// What recovery did: which checkpoint it started from, how much log tail
 /// it replayed, and the emissions that replay produced (byte-identical
 /// re-emissions of whatever the crashed process emitted after the
@@ -249,6 +284,8 @@ pub struct DurableEngine<E: EventProcessor> {
     opts: DurableOptions,
     log: EventLog,
     engine: E,
+    metrics: DurableMetrics,
+    tracer: sase_obs::Tracer,
 }
 
 impl<E: EventProcessor> DurableEngine<E> {
@@ -259,7 +296,9 @@ impl<E: EventProcessor> DurableEngine<E> {
     /// desynchronize engine state from the log.
     pub fn create(dir: impl Into<PathBuf>, engine: E, opts: DurableOptions) -> Result<Self> {
         let dir = dir.into();
-        let log = EventLog::open(&dir, opts.log())?;
+        let metrics = DurableMetrics::new();
+        let mut log = EventLog::open(&dir, opts.log())?;
+        log.set_metrics(sase_store::WalMetrics::new(&metrics.registry));
         if log.next_seq() > 0 {
             return Err(StoreError::InvalidArgument(format!(
                 "{} already holds {} log records; use DurableEngine::recover",
@@ -280,6 +319,8 @@ impl<E: EventProcessor> DurableEngine<E> {
             opts,
             log,
             engine,
+            metrics,
+            tracer: sase_obs::Tracer::disabled(),
         })
     }
 
@@ -312,11 +353,22 @@ impl<E: EventProcessor> DurableEngine<E> {
             }
             None => 0,
         };
+        let metrics = DurableMetrics::new();
         let mut log = EventLog::open(&dir, opts.log())?;
+        log.set_metrics(sase_store::WalMetrics::new(&metrics.registry));
         ensure_log_covers(&dir, &log, replay_from)?;
         let registry = engine.schemas().clone();
         let records = log.replay_from(&registry, replay_from)?;
-        let run = drive_replay(records, |events| engine.process_batch(events))?;
+        // Progress counters advance per record, so a concurrent metrics
+        // scrape (the registry handle is shareable) sees replay advance.
+        let m = &metrics;
+        let run = drive_replay(records, |events| {
+            m.recovery_records.inc();
+            m.recovery_events.add(events.len() as u64);
+            engine.process_batch(events)
+        })?;
+        m.recovery_errors.add(run.errors.len() as u64);
+        m.recovery_runs.inc();
         let report = RecoveryReport {
             checkpoint_seq: ckpt_seq,
             records_replayed: run.records,
@@ -331,9 +383,27 @@ impl<E: EventProcessor> DurableEngine<E> {
                 opts,
                 log,
                 engine,
+                metrics,
+                tracer: sase_obs::Tracer::disabled(),
             },
             report,
         ))
+    }
+
+    /// Install a lifecycle tracer (WAL-commit, checkpoint, and replay
+    /// spans). To trace the wrapped engine's batch/query spans too, set
+    /// a tracer on it via [`DurableEngine::engine_mut`] (or build it
+    /// traced before wrapping).
+    pub fn set_tracer(&mut self, tracer: sase_obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The durable layer's metrics registry (`sase_wal_*`,
+    /// `sase_checkpoints_total`, `sase_recovery_*` series). Always
+    /// enabled: WAL instrumentation cost is noise next to the I/O it
+    /// measures.
+    pub fn metrics_registry(&self) -> &sase_obs::MetricsRegistry {
+        &self.metrics.registry
     }
 
     /// The wrapped engine.
@@ -374,26 +444,50 @@ impl<E: EventProcessor> DurableEngine<E> {
         let tick = tick.max(self.log.last_tick().unwrap_or(0));
         self.log.append(tick, events)?;
         if self.opts.sync_each_batch {
-            self.log.commit()?;
+            self.traced_commit()?;
         }
         Ok(self.engine.process_batch(events)?)
     }
 
     /// Make every ingested batch durable (one fsync).
     pub fn commit(&mut self) -> Result<()> {
-        Ok(self.log.commit()?)
+        self.traced_commit()
+    }
+
+    /// Commit under a WAL-commit trace span (id = last appended seq).
+    fn traced_commit(&mut self) -> Result<()> {
+        let span = self.tracer.begin(
+            sase_obs::TraceKind::WalCommit,
+            self.log.next_seq().saturating_sub(1),
+            self.log.uncommitted(),
+        );
+        let result = self.log.commit();
+        if let Some(span) = span {
+            self.tracer.end(span, result.is_ok() as u64);
+        }
+        Ok(result?)
     }
 
     /// Write an atomic checkpoint of the engine state referencing the
     /// current log position, then prune old checkpoints. Returns the
     /// checkpoint's log position.
     pub fn checkpoint(&mut self) -> Result<u64> {
-        write_engine_checkpoint(
+        let span = self
+            .tracer
+            .begin(sase_obs::TraceKind::Checkpoint, self.log.next_seq(), 0);
+        let result = write_engine_checkpoint(
             &self.dir,
             self.opts.keep_checkpoints,
             &mut self.log,
             self.engine.snapshot().engines,
-        )
+        );
+        if result.is_ok() {
+            self.metrics.checkpoints.inc();
+        }
+        if let Some(span) = span {
+            self.tracer.end(span, result.is_ok() as u64);
+        }
+        result
     }
 
     /// Replay mode: re-drive the logged tick range `[min_tick, max_tick]`
@@ -407,8 +501,25 @@ impl<E: EventProcessor> DurableEngine<E> {
         max_tick: Timestamp,
     ) -> Result<ReplayRun> {
         let registry = engine.schemas().clone();
+        let span = self
+            .tracer
+            .begin(sase_obs::TraceKind::Recovery, min_tick, 0);
+        let m = &self.metrics;
         let records = self.log.replay_ticks(&registry, min_tick, max_tick)?;
-        drive_replay(records, |events| engine.process_batch(events))
+        let run = drive_replay(records, |events| {
+            m.recovery_records.inc();
+            m.recovery_events.add(events.len() as u64);
+            engine.process_batch(events)
+        });
+        if let Ok(run) = &run {
+            m.recovery_errors.add(run.errors.len() as u64);
+            m.recovery_runs.inc();
+        }
+        if let Some(span) = span {
+            self.tracer
+                .end(span, run.as_ref().map(|r| r.records).unwrap_or(0));
+        }
+        run
     }
 }
 
@@ -470,6 +581,19 @@ impl<E: EventProcessor> EventProcessor for DurableEngine<E> {
         self.engine.stats(name)
     }
 
+    fn metrics_registry(&self) -> Option<&sase_obs::MetricsRegistry> {
+        Some(&self.metrics.registry)
+    }
+
+    fn metrics(&self) -> sase_obs::MetricsSnapshot {
+        // The wrapped deployment's full view (its registry, worker
+        // merges, per-query series) plus this layer's WAL / checkpoint /
+        // recovery series.
+        let mut snap = self.engine.metrics();
+        snap.merge(&self.metrics.registry.snapshot());
+        snap
+    }
+
     fn explain(&self, name: &str) -> CoreResult<String> {
         self.engine.explain(name)
     }
@@ -517,8 +641,7 @@ impl<E: EventProcessor> DurableEngine<E> {
             .append(tick, events)
             .map_err(|e| SaseError::engine(format!("event log: {e}")))?;
         if self.opts.sync_each_batch {
-            self.log
-                .commit()
+            self.traced_commit()
                 .map_err(|e| SaseError::engine(format!("event log: {e}")))?;
         }
         Ok(())
@@ -541,6 +664,8 @@ pub struct DurableSystem {
     /// the start of the next [`DurableSystem::tick`] instead of being
     /// dropped.
     pending: Option<(Timestamp, Vec<Event>)>,
+    metrics: DurableMetrics,
+    tracer: sase_obs::Tracer,
 }
 
 impl DurableSystem {
@@ -552,7 +677,9 @@ impl DurableSystem {
         opts: DurableOptions,
     ) -> Result<DurableSystem> {
         let dir = dir.into();
-        let log = EventLog::open(&dir, opts.log())?;
+        let metrics = DurableMetrics::new();
+        let mut log = EventLog::open(&dir, opts.log())?;
+        log.set_metrics(sase_store::WalMetrics::new(&metrics.registry));
         if log.next_seq() > 0 || !sase_store::list_checkpoints(&dir)?.is_empty() {
             return Err(StoreError::InvalidArgument(format!(
                 "{} already holds a durable deployment; recover the engine instead",
@@ -566,6 +693,8 @@ impl DurableSystem {
             opts,
             log,
             pending: None,
+            metrics,
+            tracer: sase_obs::Tracer::disabled(),
         })
     }
 
@@ -590,16 +719,40 @@ impl DurableSystem {
         register: impl FnOnce(&mut SaseSystem) -> CoreResult<()>,
     ) -> Result<(DurableSystem, RecoveryReport)> {
         let dir = dir.into();
-        let log = EventLog::open(&dir, opts.log())?;
+        let metrics = DurableMetrics::new();
+        let mut log = EventLog::open(&dir, opts.log())?;
+        log.set_metrics(sase_store::WalMetrics::new(&metrics.registry));
         let mut durable = DurableSystem {
             sys,
             dir,
             opts,
             log,
             pending: None,
+            metrics,
+            tracer: sase_obs::Tracer::disabled(),
         };
         let report = durable.recover_engine(register)?;
         Ok((durable, report))
+    }
+
+    /// Install a lifecycle tracer (WAL-commit, checkpoint, and recovery
+    /// spans).
+    pub fn set_tracer(&mut self, tracer: sase_obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The durable layer's metrics registry (`sase_wal_*`,
+    /// `sase_checkpoints_total`, `sase_recovery_*` series).
+    pub fn metrics_registry(&self) -> &sase_obs::MetricsRegistry {
+        &self.metrics.registry
+    }
+
+    /// A typed metrics view of the whole deployment: the processor's
+    /// series plus this layer's WAL / checkpoint / recovery series.
+    pub fn metrics(&self) -> sase_obs::MetricsSnapshot {
+        let mut snap = self.sys.processor().metrics();
+        snap.merge(&self.metrics.registry.snapshot());
+        snap
     }
 
     /// The wrapped system.
@@ -691,12 +844,22 @@ impl DurableSystem {
 
     /// Checkpoint the engine against the current log position.
     pub fn checkpoint(&mut self) -> Result<u64> {
-        write_engine_checkpoint(
+        let span = self
+            .tracer
+            .begin(sase_obs::TraceKind::Checkpoint, self.log.next_seq(), 0);
+        let result = write_engine_checkpoint(
             &self.dir,
             self.opts.keep_checkpoints,
             &mut self.log,
             self.sys.processor().snapshot().engines,
-        )
+        );
+        if result.is_ok() {
+            self.metrics.checkpoints.inc();
+        }
+        if let Some(span) = span {
+            self.tracer.end(span, result.is_ok() as u64);
+        }
+        result
     }
 
     /// Simulate an engine crash: all queries, runtime state, and stream
@@ -740,9 +903,22 @@ impl DurableSystem {
         };
         ensure_log_covers(&self.dir, &self.log, replay_from)?;
         let registry = self.sys.schemas().clone();
+        let span = self
+            .tracer
+            .begin(sase_obs::TraceKind::Recovery, replay_from, 0);
         let records = self.log.replay_from(&registry, replay_from)?;
         let sys = &mut self.sys;
-        let run = drive_replay(records, |events| sys.processor_mut().process_batch(events))?;
+        let m = &self.metrics;
+        let run = drive_replay(records, |events| {
+            m.recovery_records.inc();
+            m.recovery_events.add(events.len() as u64);
+            sys.processor_mut().process_batch(events)
+        })?;
+        m.recovery_errors.add(run.errors.len() as u64);
+        m.recovery_runs.inc();
+        if let Some(span) = span {
+            self.tracer.end(span, run.records);
+        }
         Ok(RecoveryReport {
             checkpoint_seq: ckpt_seq,
             records_replayed: run.records,

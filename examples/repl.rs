@@ -16,7 +16,9 @@
 //! event <TYPE> <ts> <tag> <product> <area> push one event
 //! sql <statement>                         ad-hoc SQL on the event database
 //! explain <name>                          show the query plan
-//! stats <name>                            runtime counters
+//! stats <name>                            runtime counters (aligned table)
+//! watch [name]                            runtime counter tables, one per query
+//! metrics                                 Prometheus-style metrics dump
 //! queries                                 list registered queries
 //! quit
 //! ```
@@ -39,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sase = Sase::builder()
         .schemas(registry.clone())
         .functions(functions)
+        .metrics(true)
         .build()?;
 
     println!("SASE console. `help` for commands, `quit` to exit.");
@@ -62,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!(
                     "query <name> <text> | check <text> | drop <name> | \
                      event <TYPE> <ts> <tag> <product> <area>\n\
-                     sql <stmt> | explain <name> | stats <name> | queries | quit"
+                     sql <stmt> | explain <name> | stats <name> | watch [name] | \
+                     metrics | queries | quit"
                 );
                 Ok(())
             }
@@ -129,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "stats" => {
                 match named(&sase, rest).and_then(|h| sase.stats(&h).map_err(|e| e.to_string())) {
                     Ok(s) => {
-                        println!("{s:#?}");
+                        println!("{s}");
                         Ok(())
                     }
                     Err(e) => {
@@ -137,6 +141,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         Ok(())
                     }
                 }
+            }
+            "watch" => {
+                // One aligned counter table per query (or just the named
+                // one) — a point-in-time dashboard of the deployment.
+                let names = if rest.is_empty() {
+                    sase.query_names()
+                } else {
+                    vec![rest.to_string()]
+                };
+                for name in names {
+                    match named(&sase, &name)
+                        .and_then(|h| sase.stats(&h).map_err(|e| e.to_string()))
+                    {
+                        Ok(s) => println!("{name}:\n{}", s.render_table()),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Ok(())
+            }
+            "metrics" => {
+                // The full merged deployment snapshot in Prometheus text
+                // exposition format (0.0.4).
+                print!("{}", sase::render_prometheus(&sase.metrics()));
+                Ok(())
             }
             "queries" => {
                 for q in sase.query_names() {

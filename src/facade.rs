@@ -40,6 +40,7 @@
 
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use sase_core::analyze::{Diagnostic, Severity};
 use sase_core::engine::{Emission, Engine, RoutingMode, Sink};
@@ -52,6 +53,7 @@ use sase_core::processor::EventProcessor;
 use sase_core::runtime::RuntimeStats;
 use sase_core::snapshot::SnapshotSet;
 use sase_core::time::TimeScale;
+use sase_obs::{MetricsRegistry, MetricsSnapshot, TraceSink, Tracer};
 use sase_system::{
     DurableEngine, DurableOptions, RecoveryReport, ShardedEngine, ShardedEngineBuilder,
     ShardingMode,
@@ -112,13 +114,27 @@ impl Collector {
 
 /// The deployment shapes [`SaseBuilder::build`] can assemble. Kept as an
 /// enum (rather than a `Box<dyn ...>`) so durable-only operations like
-/// [`Sase::checkpoint`] stay available without downcasting.
+/// [`Sase::checkpoint`] stay available without downcasting. One exists
+/// per deployment, so the variant size spread is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Engine(Engine),
     Sharded(ShardedEngine),
     Durable(DurableEngine<Engine>),
     DurableSharded(DurableEngine<ShardedEngine>),
 }
+
+/// A periodic metrics push installed by [`SaseBuilder::on_metrics`]: the
+/// callback fires on the processing thread after a batch completes, at
+/// most once per interval. No extra threads are involved.
+struct MetricsPush {
+    interval: Duration,
+    last: Instant,
+    f: MetricsPushFn,
+}
+
+/// The boxed callback [`SaseBuilder::on_metrics`] installs.
+type MetricsPushFn = Box<dyn FnMut(&MetricsSnapshot) + Send>;
 
 /// The assembled system facade: an engine deployment (single, sharded,
 /// durable, or both) behind one ingestion and subscription surface. Build
@@ -131,6 +147,7 @@ enum Backend {
 pub struct Sase {
     backend: Backend,
     deny: Option<Severity>,
+    push: Option<MetricsPush>,
 }
 
 /// Configures and assembles a [`Sase`] deployment. Obtained from
@@ -145,6 +162,9 @@ pub struct SaseBuilder {
     sharding: Option<ShardingMode>,
     durable: Option<(PathBuf, DurableOptions)>,
     deny: Option<Severity>,
+    metrics: bool,
+    on_metrics: Option<(Duration, MetricsPushFn)>,
+    trace: Option<Tracer>,
 }
 
 impl SaseBuilder {
@@ -209,6 +229,41 @@ impl SaseBuilder {
         self
     }
 
+    /// Enable the metrics registry on every engine the deployment
+    /// contains (default: off — the per-event hot path pays nothing).
+    /// When on, [`Sase::metrics`] returns the full instrumentation view:
+    /// ingest counters and batch-latency histograms, router hit/miss,
+    /// per-shard routing series, WAL series on durable deployments, and
+    /// the per-query [`RuntimeStats`] promoted to `sase_query_*` series.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Install a periodic metrics push: after a processed batch, if at
+    /// least `interval` elapsed since the last push, `f` observes a fresh
+    /// [`MetricsSnapshot`] on the processing thread. Implies
+    /// [`SaseBuilder::metrics`]`(true)`.
+    pub fn on_metrics(
+        mut self,
+        interval: Duration,
+        f: impl FnMut(&MetricsSnapshot) + Send + 'static,
+    ) -> Self {
+        self.metrics = true;
+        self.on_metrics = Some((interval, Box::new(f)));
+        self
+    }
+
+    /// Install a sampled lifecycle tracer: 1 of every `sample_every`
+    /// units of work emits typed begin/end [`TraceEvent`](sase_obs::TraceEvent)s
+    /// (batch ingest, query evaluation, shard dispatch, WAL commit,
+    /// checkpoint, recovery) to `sink`. Spans of work done on worker or
+    /// durable layers fire on those layers' threads.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>, sample_every: u64) -> Self {
+        self.trace = Some(Tracer::sampled(sink, sample_every));
+        self
+    }
+
     /// Put the deployment behind a write-ahead event log with atomic
     /// checkpoints in `dir`. [`SaseBuilder::build`] requires `dir` to be
     /// fresh; reopening an existing deployment goes through
@@ -236,6 +291,12 @@ impl SaseBuilder {
         if let Some(mode) = self.routing {
             engine.set_routing(mode);
         }
+        if self.metrics {
+            engine.enable_metrics(&MetricsRegistry::new());
+        }
+        if let Some(t) = &self.trace {
+            engine.set_tracer(t.clone());
+        }
         engine
     }
 
@@ -251,12 +312,17 @@ impl SaseBuilder {
         if let Some(mode) = self.sharding {
             builder.set_sharding(mode);
         }
-        builder.build(shards)
+        builder.set_metrics(self.metrics);
+        let mut sharded = builder.build(shards)?;
+        if let Some(t) = &self.trace {
+            sharded.set_tracer(t.clone());
+        }
+        Ok(sharded)
     }
 
     /// Assemble a fresh deployment.
-    pub fn build(self) -> Result<Sase> {
-        let backend = match (self.shards, &self.durable) {
+    pub fn build(mut self) -> Result<Sase> {
+        let mut backend = match (self.shards, &self.durable) {
             (None, None) => Backend::Engine(self.make_engine()),
             (Some(n), None) => Backend::Sharded(self.make_sharded(n)?),
             (None, Some((dir, opts))) => Backend::Durable(
@@ -270,9 +336,20 @@ impl SaseBuilder {
                 )
             }
         };
+        if let Some(t) = &self.trace {
+            // The inner engines got the tracer in make_engine/make_sharded;
+            // the durable wrapper's own spans (WAL commit, checkpoint,
+            // recovery) need it too.
+            match &mut backend {
+                Backend::Durable(e) => e.set_tracer(t.clone()),
+                Backend::DurableSharded(e) => e.set_tracer(t.clone()),
+                _ => {}
+            }
+        }
         Ok(Sase {
             backend,
             deny: self.deny,
+            push: self.on_metrics.take().map(MetricsPush::new),
         })
     }
 
@@ -290,9 +367,11 @@ impl SaseBuilder {
             SaseError::engine("Sase::recover requires a durable deployment (builder.durable(..))")
         })?;
         let deny = self.deny;
+        let push = self.on_metrics.take().map(MetricsPush::new);
+        let trace = self.trace.clone();
         match self.shards {
             None => {
-                let (engine, report) = DurableEngine::recover(dir, opts, |snaps| {
+                let (mut engine, report) = DurableEngine::recover(dir, opts, |snaps| {
                     let mut engine = self.make_engine();
                     if let Some(snaps) = snaps {
                         snaps.preregister_derived(engine.schemas())?;
@@ -301,16 +380,20 @@ impl SaseBuilder {
                     Ok(engine)
                 })
                 .map_err(durable_err)?;
+                if let Some(t) = trace {
+                    engine.set_tracer(t);
+                }
                 Ok((
                     Sase {
                         backend: Backend::Durable(engine),
                         deny,
+                        push,
                     },
                     report,
                 ))
             }
             Some(n) => {
-                let (engine, report) = DurableEngine::recover(dir, opts, |snaps| {
+                let (mut engine, report) = DurableEngine::recover(dir, opts, |snaps| {
                     let mut sharded = self.make_sharded(n)?;
                     if let Some(snaps) = snaps {
                         snaps.preregister_derived(ShardedEngine::schemas(&sharded))?;
@@ -319,14 +402,28 @@ impl SaseBuilder {
                     Ok(sharded)
                 })
                 .map_err(durable_err)?;
+                if let Some(t) = trace {
+                    engine.set_tracer(t);
+                }
                 Ok((
                     Sase {
                         backend: Backend::DurableSharded(engine),
                         deny,
+                        push,
                     },
                     report,
                 ))
             }
+        }
+    }
+}
+
+impl MetricsPush {
+    fn new((interval, f): (Duration, MetricsPushFn)) -> MetricsPush {
+        MetricsPush {
+            interval,
+            last: Instant::now(),
+            f,
         }
     }
 }
@@ -424,7 +521,9 @@ impl Sase {
     /// Process a batch of events on the default input stream, returning
     /// the emitted composite events (subscriptions fire as well).
     pub fn process(&mut self, events: &[Event]) -> Result<Vec<ComplexEvent>> {
-        self.processor_mut().process_batch(events)
+        let out = self.processor_mut().process_batch(events);
+        self.maybe_push();
+        out
     }
 
     /// Process a batch on a named stream (`None` = the default stream).
@@ -433,7 +532,39 @@ impl Sase {
         stream: Option<&str>,
         events: &[Event],
     ) -> Result<Vec<ComplexEvent>> {
-        self.processor_mut().process_batch_on(stream, events)
+        let out = self.processor_mut().process_batch_on(stream, events);
+        self.maybe_push();
+        out
+    }
+
+    /// Fire the [`SaseBuilder::on_metrics`] callback when its interval
+    /// has elapsed. Called after every processed batch.
+    fn maybe_push(&mut self) {
+        let Some(mut push) = self.push.take() else {
+            return;
+        };
+        if push.last.elapsed() >= push.interval {
+            let snap = self.metrics();
+            (push.f)(&snap);
+            push.last = Instant::now();
+        }
+        self.push = Some(push);
+    }
+
+    /// A typed, point-in-time metrics view of the deployment: every
+    /// enabled registry series (merged deterministically across engines,
+    /// shards, and the durable layer) plus the per-query
+    /// [`RuntimeStats`] promoted to `sase_query_*{query=…}` series.
+    /// Render textually with [`sase_obs::render_prometheus`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.processor().metrics()
+    }
+
+    /// The deployment's top-level metrics registry, when metrics are
+    /// enabled ([`SaseBuilder::metrics`]). Worker-local and durable-layer
+    /// registries are folded in by [`Sase::metrics`], not reachable here.
+    pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        self.processor().metrics_registry()
     }
 
     /// Subscribe a callback to a query: it observes every emission of that
@@ -582,7 +713,7 @@ impl EventProcessor for Sase {
         stream: Option<&str>,
         events: &[Event],
     ) -> Result<Vec<ComplexEvent>> {
-        self.processor_mut().process_batch_on(stream, events)
+        Sase::process_on(self, stream, events)
     }
 
     fn process_batch_tagged(
@@ -590,7 +721,9 @@ impl EventProcessor for Sase {
         stream: Option<&str>,
         events: &[Event],
     ) -> Result<Vec<Emission>> {
-        self.processor_mut().process_batch_tagged(stream, events)
+        let out = self.processor_mut().process_batch_tagged(stream, events);
+        self.maybe_push();
+        out
     }
 
     fn query_names(&self) -> Vec<String> {
@@ -599,6 +732,14 @@ impl EventProcessor for Sase {
 
     fn stats(&self, name: &str) -> Result<RuntimeStats> {
         self.processor().stats(name)
+    }
+
+    fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        Sase::metrics_registry(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Sase::metrics(self)
     }
 
     fn explain(&self, name: &str) -> Result<String> {

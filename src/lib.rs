@@ -10,6 +10,8 @@
 //!   synthetic workload generators.
 //! * [`db`] — the event database (in-memory relational store, SQL subset,
 //!   location/containment history, track-and-trace).
+//! * [`obs`] — observability: the zero-alloc metrics registry, latency
+//!   histograms, Prometheus-style exposition, and lifecycle trace hooks.
 //! * [`store`] — durability: the segmented event log and engine
 //!   checkpoint files.
 //! * [`system`] — full-system wiring: devices → cleaning → event processor
@@ -28,6 +30,7 @@ pub mod facade;
 
 pub use sase_core as core;
 pub use sase_db as db;
+pub use sase_obs as obs;
 pub use sase_rfid as rfid;
 pub use sase_store as store;
 pub use sase_stream as stream;
@@ -38,4 +41,8 @@ pub use sase_core::analyze::{Diagnostic, Severity};
 pub use sase_core::engine::RoutingMode;
 pub use sase_core::processor::EventProcessor;
 pub use sase_core::snapshot::SnapshotSet;
+pub use sase_obs::{
+    render_prometheus, MemorySink, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceKind,
+    TraceSink, Tracer,
+};
 pub use sase_system::{DurableOptions, RecoveryReport, ShardingMode};
