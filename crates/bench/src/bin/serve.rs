@@ -1,0 +1,42 @@
+//! Emit `BENCH_serve.json`: sustained acknowledged ingest and fan-out
+//! push latency (p50/p95/p99) through the network serving layer, at 128
+//! standing queries with 1k+ concurrent connections.
+//!
+//! ```text
+//! cargo run --release -p sase-bench --bin serve            # full run
+//! cargo run --release -p sase-bench --bin serve -- --test  # CI smoke
+//! ```
+//!
+//! Flags: `--test` (small fleet, shape-check only), `--out PATH`
+//! (default `BENCH_serve.json`).
+
+use sase_bench::serve::ServeParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test = args.iter().any(|a| a == "--test");
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--out" && i + 1 < args.len() {
+            out_path = args[i + 1].clone();
+            i += 1;
+        }
+        i += 1;
+    }
+
+    let (params, mode) = if test {
+        (ServeParams::test(), "test")
+    } else {
+        (ServeParams::full(), "full")
+    };
+    let json = sase_bench::serve::serve_report(params, mode);
+    sase_bench::minijson::validate(&json).expect("report must be well-formed JSON");
+    std::fs::write(&out_path, json.as_bytes()).expect("write report");
+    println!("{json}");
+    eprintln!(
+        "wrote {out_path} ({} connections, {} queries, mode {mode})",
+        params.ingesters + params.subscribers,
+        params.queries
+    );
+}

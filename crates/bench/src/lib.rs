@@ -13,6 +13,7 @@ pub mod ingest;
 pub mod minijson;
 pub mod obs;
 pub mod replay;
+pub mod serve;
 
 use std::time::Instant;
 

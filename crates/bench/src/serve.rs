@@ -1,0 +1,385 @@
+//! The concurrent-clients serving benchmark.
+//!
+//! Measures what the network layer adds on top of the engine: **sustained
+//! acknowledged ingest** through round-tripping line-protocol clients,
+//! and **fan-out latency** from the moment an ingester stamps an event to
+//! the moment a WebSocket subscriber receives the pushed emission — p50,
+//! p95, p99 over every delivered push, at 128 standing queries with a
+//! thousand-plus concurrent connections.
+//!
+//! The workload is self-describing: each event carries its send time
+//! (`SendNs`, nanoseconds since a shared epoch) and a `Shard` key; query
+//! `q<k>` selects `Shard = k` and returns `SendNs` as `lat`, so the
+//! subscriber can compute one-way latency from the pushed text alone.
+//! Ingesters use server-assigned ticks, so any number of them can write
+//! concurrently without out-of-order rejections. Ingester connections
+//! stay open (parked) until the drain completes, so the reported
+//! connection count is genuinely concurrent, not sequential.
+//!
+//! The `serve` binary renders the measurements as `BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sase::server::client::{Client, PushClient};
+use sase::server::wire::TickMode;
+use sase::{Sase, ServerConfig};
+use sase_core::event::{Event, SchemaRegistry};
+use sase_core::value::{Value, ValueType};
+
+/// Client-side thread stacks: like the server's connection threads, small
+/// enough that a thousand-plus of them are cheap.
+const BENCH_STACK: usize = 256 * 1024;
+
+/// Workload shape for one serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeParams {
+    /// Concurrent line-protocol ingest connections.
+    pub ingesters: usize,
+    /// Concurrent WebSocket push subscribers.
+    pub subscribers: usize,
+    /// Standing queries `q0..q{n-1}`, one per shard key.
+    pub queries: usize,
+    /// Total events across all ingesters (rounded down to a multiple of
+    /// `ingesters`).
+    pub events: usize,
+    /// Events per ingest request.
+    pub batch: usize,
+}
+
+impl ServeParams {
+    /// The full configuration: 128 standing queries, 1k+ concurrent
+    /// connections (32 ingesters + 1024 subscribers).
+    pub fn full() -> Self {
+        ServeParams {
+            ingesters: 32,
+            subscribers: 1024,
+            queries: 128,
+            events: 65_536,
+            batch: 64,
+        }
+    }
+
+    /// The CI smoke configuration: same shape, two orders of magnitude
+    /// smaller, so the report schema is exercised in seconds.
+    pub fn test() -> Self {
+        ServeParams {
+            ingesters: 8,
+            subscribers: 16,
+            queries: 8,
+            events: 2_048,
+            batch: 32,
+        }
+    }
+}
+
+/// The bench registry: one event type whose attributes carry the
+/// workload's own instrumentation.
+pub fn serve_registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        "SRV_EV",
+        &[
+            ("Shard", ValueType::Int),
+            ("SendNs", ValueType::Int),
+            ("Tag", ValueType::Int),
+        ],
+    )
+    .expect("bench schema registers");
+    reg
+}
+
+/// Standing query `k`: select this shard, echo the send stamp.
+pub fn serve_query(k: usize) -> String {
+    format!("EVENT SRV_EV x WHERE x.Shard = {k} RETURN x.SendNs AS lat, x.Shard AS shard")
+}
+
+fn now_ns(epoch: &Instant) -> i64 {
+    epoch.elapsed().as_nanos() as i64
+}
+
+/// Extract the `lat` value from a pushed emission line
+/// (`[q3@17] {lat: 123456, shard: 3} <- …`).
+pub fn parse_lat(line: &str) -> Option<i64> {
+    let rest = line.split("lat: ").nth(1)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// First sample of an unlabeled series in a Prometheus exposition.
+fn scrape_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        l.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Sum of every labeled sample of a series (e.g. per-session gauges).
+fn scrape_sum(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(name)?;
+            let rest = rest.strip_prefix('{').map(|r| r.split_once('}'))??.1;
+            rest.trim().parse::<f64>().ok()
+        })
+        .sum()
+}
+
+/// Run the workload and render `BENCH_serve.json`.
+///
+/// `mode_label` records how the report was produced (`full` or `test`);
+/// only the full run's throughput and latency numbers are meaningful.
+pub fn serve_report(p: ServeParams, mode_label: &str) -> String {
+    let reg = serve_registry();
+    let mut sase = Sase::builder()
+        .schemas(reg.clone())
+        .metrics(true)
+        .build()
+        .expect("facade builds");
+    for k in 0..p.queries {
+        sase.register(&format!("q{k}"), &serve_query(k))
+            .expect("bench query registers");
+    }
+    let config = ServerConfig {
+        max_connections: p.ingesters + p.subscribers + 8,
+        ..ServerConfig::default()
+    };
+    let handle = sase.serve("127.0.0.1:0", config).expect("server binds");
+    let addr = handle.local_addr();
+    let epoch = Arc::new(Instant::now());
+
+    // Subscribers first, so every push of the measured stream has its
+    // audience in place.
+    let ready = Arc::new(AtomicUsize::new(0));
+    let mut subscribers = Vec::with_capacity(p.subscribers);
+    for j in 0..p.subscribers {
+        let (ready, epoch) = (Arc::clone(&ready), Arc::clone(&epoch));
+        let query = format!("q{}", j % p.queries);
+        let sub = thread::Builder::new()
+            .name(format!("bench-sub-{j}"))
+            .stack_size(BENCH_STACK)
+            .spawn(move || {
+                let mut push = PushClient::connect(addr).expect("subscriber connects");
+                push.subscribe(&query).expect("subscribes");
+                ready.fetch_add(1, Ordering::SeqCst);
+                let mut latencies: Vec<u64> = Vec::new();
+                // Runs until the server's graceful shutdown closes the
+                // stream; a dropped push simply never arrives.
+                while let Ok(Some(line)) = push.next_event() {
+                    if let Some(sent) = parse_lat(&line) {
+                        latencies.push((now_ns(&epoch) - sent).max(0) as u64);
+                    }
+                }
+                latencies
+            })
+            .expect("subscriber thread spawns");
+        subscribers.push(sub);
+    }
+    while ready.load(Ordering::SeqCst) < p.subscribers {
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // Ingesters: round-tripping acknowledged batches, then parking with
+    // the connection open until the drain is observed.
+    let per_ingester = (p.events / p.ingesters).max(1);
+    let total_events = per_ingester * p.ingesters;
+    let done = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut ingesters = Vec::with_capacity(p.ingesters);
+    for i in 0..p.ingesters {
+        let (done, release, epoch, reg) = (
+            Arc::clone(&done),
+            Arc::clone(&release),
+            Arc::clone(&epoch),
+            reg.clone(),
+        );
+        let ing = thread::Builder::new()
+            .name(format!("bench-ing-{i}"))
+            .stack_size(BENCH_STACK)
+            .spawn(move || {
+                let mut client = Client::connect(addr).expect("ingester connects");
+                let mut sent = 0usize;
+                while sent < per_ingester {
+                    let n = p.batch.min(per_ingester - sent);
+                    let send_ns = now_ns(&epoch);
+                    let batch: Vec<Event> = (0..n)
+                        .map(|j| {
+                            let shard = (i + (sent + j) * p.ingesters) % p.queries;
+                            reg.build_event(
+                                "SRV_EV",
+                                0, // rebased by server-assigned ticks
+                                vec![
+                                    Value::Int(shard as i64),
+                                    Value::Int(send_ns),
+                                    Value::Int((sent + j) as i64),
+                                ],
+                            )
+                            .expect("bench event builds")
+                        })
+                        .collect();
+                    let acked = client
+                        .ingest(None, TickMode::ServerAssigned, &batch)
+                        .expect("batch acknowledged");
+                    assert_eq!(acked.len(), n, "each event matches its shard query");
+                    sent += n;
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(5));
+                }
+            })
+            .expect("ingester thread spawns");
+        ingesters.push(ing);
+    }
+    while done.load(Ordering::SeqCst) < p.ingesters {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let ingest_seconds = start.elapsed().as_secs_f64();
+
+    // Drain: poll the server's own metrics until the fan-out queues are
+    // empty and the push counter has stopped moving, then read the final
+    // counters while every benchmarked connection is still open.
+    let mut monitor = Client::connect(addr).expect("monitor connects");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last_pushes = -1.0;
+    let mut text = monitor.metrics().expect("metrics scrape");
+    loop {
+        let pushes = scrape_value(&text, "sase_server_pushes_total").unwrap_or(0.0);
+        let depth = scrape_sum(&text, "sase_server_fanout_queue_depth");
+        if (pushes == last_pushes && depth == 0.0) || Instant::now() > deadline {
+            break;
+        }
+        last_pushes = pushes;
+        thread::sleep(Duration::from_millis(100));
+        text = monitor.metrics().expect("metrics scrape");
+    }
+    let pushes = scrape_value(&text, "sase_server_pushes_total").unwrap_or(0.0) as u64;
+    let dropped = scrape_value(&text, "sase_server_pushes_dropped_total").unwrap_or(0.0) as u64;
+    let observed_connections = scrape_value(&text, "sase_server_connections").unwrap_or(0.0) as u64;
+    drop(monitor);
+
+    release.store(true, Ordering::SeqCst);
+    for ing in ingesters {
+        ing.join().expect("ingester thread");
+    }
+    drop(handle.shutdown()); // closes every subscriber stream
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for sub in subscribers {
+        latencies.extend(sub.join().expect("subscriber thread"));
+    }
+    latencies.sort_unstable();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode_label}\",\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"standing_queries\": {},\n", p.queries));
+    out.push_str(&format!(
+        "  \"connections\": {},\n",
+        p.ingesters + p.subscribers
+    ));
+    out.push_str(&format!("  \"ingesters\": {},\n", p.ingesters));
+    out.push_str(&format!("  \"subscribers\": {},\n", p.subscribers));
+    out.push_str(&format!(
+        "  \"observed_connections\": {observed_connections},\n"
+    ));
+    out.push_str(&format!("  \"events\": {total_events},\n"));
+    out.push_str(&format!("  \"batch\": {},\n", p.batch));
+    out.push_str(&format!("  \"ingest_seconds\": {ingest_seconds:.6},\n"));
+    out.push_str(&format!(
+        "  \"sustained_events_per_sec\": {:.1},\n",
+        total_events as f64 / ingest_seconds.max(1e-12)
+    ));
+    out.push_str(&format!("  \"pushes\": {pushes},\n"));
+    out.push_str(&format!("  \"pushes_dropped\": {dropped},\n"));
+    out.push_str(&format!("  \"pushes_received\": {},\n", latencies.len()));
+    out.push_str(&format!(
+        "  \"fanout_latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}\n",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lat_parses_from_pushed_lines() {
+        assert_eq!(
+            parse_lat("[q3@17] {lat: 123456, shard: 3} <- x=SRV_EV@17(…)"),
+            Some(123_456)
+        );
+        assert_eq!(parse_lat("[q3@17] {shard: 3} <- …"), None);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn scrapes_prometheus_samples() {
+        let text = "sase_server_pushes_total 42\n\
+                    sase_server_pushes_dropped_total 7\n\
+                    sase_server_fanout_queue_depth{session=\"1\"} 3\n\
+                    sase_server_fanout_queue_depth{session=\"2\"} 4\n";
+        assert_eq!(scrape_value(text, "sase_server_pushes_total"), Some(42.0));
+        assert_eq!(
+            scrape_value(text, "sase_server_pushes_dropped_total"),
+            Some(7.0)
+        );
+        assert_eq!(scrape_sum(text, "sase_server_fanout_queue_depth"), 7.0);
+    }
+
+    #[test]
+    fn tiny_end_to_end_report_is_valid() {
+        let p = ServeParams {
+            ingesters: 2,
+            subscribers: 4,
+            queries: 2,
+            events: 128,
+            batch: 16,
+        };
+        let json = serve_report(p, "unit");
+        crate::minijson::validate(&json).expect("well-formed JSON");
+        for key in [
+            "\"bench\": \"serve\"",
+            "\"host_cores\"",
+            "\"connections\": 6",
+            "\"sustained_events_per_sec\"",
+            "\"p50\"",
+            "\"p95\"",
+            "\"p99\"",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in:\n{json}");
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! The server proper: listener, protocol sniffing, per-connection
+//! threads, the WebSocket push session, and graceful shutdown.
+//!
+//! One listener port serves all three protocols. The first four bytes of
+//! a connection decide its fate: an ASCII HTTP method selects the
+//! HTTP/1.1 handler (WebSocket upgrades arrive as HTTP `GET`s), anything
+//! else is the line protocol — whose length prefix always starts with a
+//! zero byte, so the two are unambiguous.
+//!
+//! Shutdown protocol (`ServerHandle::shutdown`):
+//!
+//! 1. the accept loop stops taking connections;
+//! 2. every open connection's read half is shut down, unblocking reader
+//!    threads; requests already submitted to the engine queue stay in
+//!    flight;
+//! 3. connection threads are joined;
+//! 4. the engine thread drains its (FIFO) queue, flushes the backend —
+//!    fsyncing the WAL on durable deployments — and hands it back.
+//!
+//! An ingest batch that was *acknowledged* before `shutdown` returned is
+//! therefore durable on durable backends; batches cut off mid-request
+//! were never acknowledged and may be dropped.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sase_core::event::SchemaRegistry;
+
+use crate::core::{call, run_engine, Cmd, Hub, ServerMetrics, Subscriber, WsOut};
+use crate::http;
+use crate::wire::{self, Request, ResponseParts};
+use crate::ws;
+use crate::{Backend, Result, ServerError};
+
+pub use crate::core::SlowPolicy;
+
+/// Stack size for connection, writer, and engine threads. The serving
+/// code is shallow; small stacks keep thousand-connection fan-in cheap.
+const THREAD_STACK: usize = 256 * 1024;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections beyond this are answered with a typed `AtCapacity`
+    /// rejection (line protocol) or `503` (HTTP) and closed.
+    pub max_connections: usize,
+    /// Bound of the engine command queue. A full queue blocks request
+    /// threads — backpressure, not buffering.
+    pub cmd_queue: usize,
+    /// Bound of each push subscriber's fan-out queue.
+    pub subscriber_queue: usize,
+    /// What happens to a subscriber whose queue is full.
+    pub slow_policy: SlowPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 4096,
+            cmd_queue: 256,
+            subscriber_queue: 128,
+            slow_policy: SlowPolicy::Drop,
+        }
+    }
+}
+
+/// Shared server state: what every connection thread needs.
+pub(crate) struct Ctx {
+    pub tx: crossbeam::channel::Sender<Cmd>,
+    pub hub: Arc<Hub>,
+    pub metrics: Arc<ServerMetrics>,
+    pub schemas: SchemaRegistry,
+    pub shutdown: Arc<AtomicBool>,
+    pub config: ServerConfig,
+}
+
+/// The serving entry point; see [`Server::serve`].
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` and serve `backend` until
+    /// [`ServerHandle::shutdown`]. Port `0` picks an ephemeral port;
+    /// [`ServerHandle::local_addr`] reports the bound address.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        backend: Box<dyn Backend>,
+        config: ServerConfig,
+    ) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let metrics = Arc::new(ServerMetrics::new());
+        let hub = Arc::new(Hub::new(&metrics));
+        let schemas = backend.schemas().clone();
+        let (tx, rx) = crossbeam::channel::bounded::<Cmd>(config.cmd_queue);
+        let (done_tx, done_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let engine = {
+            let hub = Arc::clone(&hub);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("sase-engine".into())
+                .spawn(move || run_engine(backend, rx, hub, metrics, done_tx))
+                .map_err(|e| ServerError::Io(e.to_string()))?
+        };
+
+        let ctx = Arc::new(Ctx {
+            tx: tx.clone(),
+            hub,
+            metrics,
+            schemas,
+            shutdown: Arc::clone(&shutdown),
+            config,
+        });
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            let conns = Arc::clone(&conns);
+            let joins = Arc::clone(&joins);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("sase-accept".into())
+                .spawn(move || accept_loop(listener, ctx, conns, joins, shutdown))
+                .map_err(|e| ServerError::Io(e.to_string()))?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shutdown,
+            tx,
+            done_rx,
+            accept: Some(accept),
+            engine: Some(engine),
+            conns,
+            joins,
+        })
+    }
+}
+
+/// Handle to a running server; dropping it does *not* stop the server —
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    tx: crossbeam::channel::Sender<Cmd>,
+    done_rx: mpsc::Receiver<Box<dyn Backend>>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Gracefully stop the server (see the module docs for the exact
+    /// protocol) and hand the backend — flushed, with every
+    /// acknowledged batch applied — back to the caller.
+    pub fn shutdown(mut self) -> Box<dyn Backend> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop has stopped, so the registry is final: unblock
+        // every reader while letting in-flight responses still write.
+        for stream in self.conns.lock().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let joins: Vec<_> = std::mem::take(&mut *self.joins.lock());
+        for j in joins {
+            let _ = j.join();
+        }
+        // All producers are gone; everything already queued drains first
+        // (FIFO), then the engine flushes and returns the backend.
+        let _ = self.tx.send(Cmd::Shutdown);
+        let backend = self
+            .done_rx
+            .recv()
+            .expect("engine thread always returns the backend");
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        backend
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let next_session = AtomicU64::new(1);
+    let active = Arc::new(AtomicUsize::new(0));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let session = next_session.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().insert(session, clone);
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                ctx.metrics.connections.add(1.0);
+                ctx.metrics.sessions_total.inc();
+                let (tctx, tconns, tactive) =
+                    (Arc::clone(&ctx), Arc::clone(&conns), Arc::clone(&active));
+                let spawned = std::thread::Builder::new()
+                    .name(format!("sase-conn-{session}"))
+                    .stack_size(THREAD_STACK)
+                    .spawn(move || {
+                        let over_cap = tactive.load(Ordering::SeqCst) > tctx.config.max_connections;
+                        connection(&tctx, session, stream, over_cap);
+                        tconns.lock().remove(&session);
+                        tactive.fetch_sub(1, Ordering::SeqCst);
+                        tctx.metrics.connections.add(-1.0);
+                        tctx.hub.drop_session(session);
+                    });
+                match spawned {
+                    Ok(handle) => joins.lock().push(handle),
+                    Err(_) => {
+                        // Thread exhaustion: undo the bookkeeping and drop
+                        // the socket.
+                        conns.lock().remove(&session);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        ctx.metrics.connections.add(-1.0);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+enum Sniffed {
+    Http,
+    Line,
+    /// Peer closed before sending four bytes.
+    Gone,
+}
+
+fn sniff(stream: &mut TcpStream, buf: &mut [u8; 4]) -> Sniffed {
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Sniffed::Gone,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::Interrupted
+                    || e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return Sniffed::Gone,
+        }
+    }
+    const METHODS: [&[u8; 4]; 7] = [
+        b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"PATC", b"OPTI",
+    ];
+    if METHODS.iter().any(|m| *m == buf) {
+        Sniffed::Http
+    } else {
+        Sniffed::Line
+    }
+}
+
+/// One connection, sniff to teardown. Errors tear down *this* connection
+/// only; the listener and other sessions are unaffected.
+fn connection(ctx: &Arc<Ctx>, session: u64, mut stream: TcpStream, over_cap: bool) {
+    let mut first = [0u8; 4];
+    match sniff(&mut stream, &mut first) {
+        Sniffed::Gone => {}
+        Sniffed::Http => {
+            ctx.metrics.conn_total("http").inc();
+            serve_http(ctx, session, stream, first, over_cap);
+        }
+        Sniffed::Line => {
+            ctx.metrics.conn_total("line").inc();
+            serve_line(ctx, session, stream, first, over_cap);
+        }
+    }
+}
+
+fn serve_http(ctx: &Arc<Ctx>, session: u64, stream: TcpStream, first: [u8; 4], over_cap: bool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = (&first[..]).chain(read_half);
+    let mut write_half = stream;
+    let req = match http::read_request(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = http::respond(
+                &mut write_half,
+                400,
+                "Bad Request",
+                "text/plain; charset=utf-8",
+                &format!("{e}\n"),
+            );
+            return;
+        }
+    };
+    if over_cap || ctx.shutdown.load(Ordering::SeqCst) {
+        let _ = http::respond(
+            &mut write_half,
+            503,
+            "Service Unavailable",
+            "text/plain; charset=utf-8",
+            "server is at capacity or shutting down\n",
+        );
+        return;
+    }
+    match http::handle_request(ctx, &req, &mut write_half) {
+        Ok(http::HttpOutcome::Done) | Err(_) => {}
+        Ok(http::HttpOutcome::Upgrade) => {
+            ctx.metrics.conn_total("ws").inc();
+            ws_session(ctx, session, write_half, reader);
+        }
+    }
+}
+
+fn serve_line(ctx: &Arc<Ctx>, session: u64, stream: TcpStream, first: [u8; 4], over_cap: bool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = (&first[..]).chain(read_half);
+    let mut write_half = stream;
+    if over_cap {
+        let _ = wire::write_frame(
+            &mut write_half,
+            &wire::encode_error(&ServerError::AtCapacity),
+        );
+        return;
+    }
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            let _ = wire::write_frame(
+                &mut write_half,
+                &wire::encode_error(&ServerError::ShuttingDown),
+            );
+            break;
+        }
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(e) => {
+                // Framing damage: answer with the typed fault when the
+                // socket still writes, then tear this connection down.
+                ctx.metrics.wire_errors.inc();
+                let _ = wire::write_frame(&mut write_half, &wire::encode_error(&e));
+                break;
+            }
+        };
+        let request = match wire::decode_request(&payload, &ctx.schemas) {
+            Ok(r) => r,
+            Err(fault) => {
+                ctx.metrics.wire_errors.inc();
+                let _ = wire::write_frame(
+                    &mut write_half,
+                    &wire::encode_error(&ServerError::Wire(fault)),
+                );
+                break;
+            }
+        };
+        let frame = line_response(ctx, session, request);
+        if wire::write_frame(&mut write_half, &frame).is_err() {
+            break;
+        }
+    }
+}
+
+/// Execute one line-protocol request and encode its response frame.
+fn line_response(ctx: &Arc<Ctx>, session: u64, request: Request) -> Vec<u8> {
+    match request {
+        Request::Ping => wire::encode_response_parts(&ResponseParts::Pong),
+        Request::Ingest {
+            stream,
+            ticks,
+            events,
+        } => {
+            match call(&ctx.tx, |reply| Cmd::Ingest {
+                stream,
+                ticks,
+                events,
+                reply,
+            })
+            .and_then(|r| r)
+            {
+                Ok(emissions) => wire::encode_response_parts(&ResponseParts::Ingested(&emissions)),
+                Err(e) => wire::encode_error(&e),
+            }
+        }
+        Request::Register { name, src } => {
+            match call(&ctx.tx, |reply| Cmd::Register {
+                session: Some(session),
+                name,
+                src,
+                reply,
+            })
+            .and_then(|r| r)
+            {
+                Ok(diags) => wire::encode_response_parts(&ResponseParts::Registered(&diags)),
+                Err(e) => wire::encode_error(&e),
+            }
+        }
+        Request::Unregister { name } => {
+            match call(&ctx.tx, |reply| Cmd::Unregister {
+                session: Some(session),
+                name,
+                reply,
+            })
+            .and_then(|r| r)
+            {
+                Ok(existed) => wire::encode_response_parts(&ResponseParts::Unregistered(existed)),
+                Err(e) => wire::encode_error(&e),
+            }
+        }
+        Request::Check { src } => match call(&ctx.tx, |reply| Cmd::Check { src, reply }) {
+            Ok(diags) => wire::encode_response_parts(&ResponseParts::Checked(&diags)),
+            Err(e) => wire::encode_error(&e),
+        },
+        Request::Stats { name } => {
+            match call(&ctx.tx, |reply| Cmd::Stats { name, reply }).and_then(|r| r) {
+                Ok(stats) => wire::encode_response_parts(&ResponseParts::Stats(&stats)),
+                Err(e) => wire::encode_error(&e),
+            }
+        }
+        Request::Metrics => match call(&ctx.tx, |reply| Cmd::Metrics { reply }) {
+            Ok(mut snap) => {
+                snap.merge(&ctx.metrics.registry.snapshot());
+                wire::encode_response_parts(&ResponseParts::Metrics(&sase_obs::render_prometheus(
+                    &snap,
+                )))
+            }
+            Err(e) => wire::encode_error(&e),
+        },
+        Request::Queries => match call(&ctx.tx, |reply| Cmd::Queries { reply }) {
+            Ok(names) => wire::encode_response_parts(&ResponseParts::Queries(&names)),
+            Err(e) => wire::encode_error(&e),
+        },
+        Request::Explain { name } => {
+            match call(&ctx.tx, |reply| Cmd::Explain { name, reply }).and_then(|r| r) {
+                Ok(text) => wire::encode_response_parts(&ResponseParts::Explain(&text)),
+                Err(e) => wire::encode_error(&e),
+            }
+        }
+    }
+}
+
+/// The push session: reader half of an upgraded WebSocket connection.
+/// All socket writes happen on a dedicated writer thread fed by a bounded
+/// queue — the engine thread enqueues pushes with `try_send` and never
+/// blocks on a peer.
+fn ws_session(ctx: &Arc<Ctx>, session: u64, stream: TcpStream, mut reader: impl Read) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let sock = Arc::new(stream);
+    let dead = Arc::new(AtomicBool::new(false));
+    let (push_tx, push_rx) = mpsc::sync_channel::<WsOut>(ctx.config.subscriber_queue);
+    let depth = ctx.metrics.queue_depth(session);
+
+    let writer = {
+        let send_latency = ctx.metrics.send_latency.clone();
+        let depth = depth.clone();
+        let dead = Arc::clone(&dead);
+        std::thread::Builder::new()
+            .name(format!("sase-ws-writer-{session}"))
+            .stack_size(THREAD_STACK)
+            .spawn(move || ws_writer(write_half, push_rx, send_latency, depth, dead))
+    };
+    let Ok(writer) = writer else {
+        return;
+    };
+
+    while let Ok(Some(frame)) = ws::read_frame(&mut reader, true) {
+        let reply = match frame {
+            (ws::Opcode::Close, _) => {
+                let _ = push_tx.send(WsOut::Control(String::new())); // wake writer
+                break;
+            }
+            (ws::Opcode::Ping, payload) => {
+                let _ = push_tx.send(WsOut::Pong(payload));
+                continue;
+            }
+            (ws::Opcode::Pong, _) => continue,
+            (ws::Opcode::Binary, _) => "error binary frames are not part of this protocol".into(),
+            (ws::Opcode::Text, payload) => match std::str::from_utf8(&payload) {
+                Err(_) => "error non-UTF-8 text frame".into(),
+                Ok(text) => ws_command(ctx, session, text, &push_tx, &sock, &dead),
+            },
+        };
+        if !reply.is_empty() && push_tx.send(WsOut::Control(reply)).is_err() {
+            break;
+        }
+        if dead.load(Ordering::Relaxed) || ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    ctx.hub.drop_session(session);
+    drop(push_tx);
+    let _ = writer.join();
+}
+
+/// Execute one text command of the subscription protocol; returns the
+/// control reply (empty string = no reply).
+fn ws_command(
+    ctx: &Arc<Ctx>,
+    session: u64,
+    text: &str,
+    push_tx: &mpsc::SyncSender<WsOut>,
+    sock: &Arc<TcpStream>,
+    dead: &Arc<AtomicBool>,
+) -> String {
+    let mut parts = text.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("ping"), None, _) => "pong".into(),
+        (Some("subscribe"), Some(query), None) => {
+            let sub = Subscriber {
+                session,
+                tx: push_tx.clone(),
+                depth: ctx.metrics.queue_depth(session),
+                policy: ctx.config.slow_policy,
+                dead: Arc::clone(dead),
+                sock: Arc::clone(sock),
+            };
+            match call(&ctx.tx, |reply| Cmd::Subscribe {
+                query: query.to_string(),
+                sub,
+                reply,
+            })
+            .and_then(|r| r)
+            {
+                Ok(()) => format!("subscribed {query}"),
+                Err(e) => format!("error {e}"),
+            }
+        }
+        (Some("unsubscribe"), Some(query), None) => {
+            if ctx.hub.unsubscribe(query, session) {
+                format!("unsubscribed {query}")
+            } else {
+                format!("error no subscription to `{query}`")
+            }
+        }
+        _ => format!("error unknown command `{text}`"),
+    }
+}
+
+/// Drains a WS connection's outbound queue onto the socket. Exits when
+/// every sender is gone (session teardown) or a write fails.
+fn ws_writer(
+    mut sock: TcpStream,
+    rx: mpsc::Receiver<WsOut>,
+    send_latency: sase_obs::Histogram,
+    depth: sase_obs::Gauge,
+    dead: Arc<AtomicBool>,
+) {
+    for msg in rx.iter() {
+        if dead.load(Ordering::Relaxed) {
+            break;
+        }
+        let ok = match msg {
+            WsOut::Control(text) => {
+                if text.is_empty() {
+                    // Teardown wake-up from the reader.
+                    let _ = ws::write_frame(&mut sock, ws::Opcode::Close, &[], None);
+                    break;
+                }
+                ws::write_frame(&mut sock, ws::Opcode::Text, text.as_bytes(), None).is_ok()
+            }
+            WsOut::Pong(payload) => {
+                ws::write_frame(&mut sock, ws::Opcode::Pong, &payload, None).is_ok()
+            }
+            WsOut::Push { text, enqueued } => {
+                depth.add(-1.0);
+                let ok =
+                    ws::write_frame(&mut sock, ws::Opcode::Text, text.as_bytes(), None).is_ok();
+                send_latency.record(elapsed_ns(enqueued));
+                ok
+            }
+        };
+        if !ok {
+            break;
+        }
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,493 @@
+//! Loopback integration tests: a real listener on an ephemeral port, real
+//! sockets, all three protocols.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use sase_core::engine::Engine;
+use sase_core::event::{retail_registry, Event, SchemaRegistry};
+use sase_core::value::Value;
+use sase_server::client::{Client, PushClient};
+use sase_server::wire::TickMode;
+use sase_server::{Server, ServerConfig, ServerError, ServerHandle, SlowPolicy};
+
+const Q_PAIR: &str = "EVENT SEQ(SHELF_READING x, EXIT_READING z) \
+                      WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId AS tag";
+const Q_EXIT: &str = "EVENT EXIT_READING z RETURN z.TagId AS tag, z.ProductName AS product";
+
+fn reading(reg: &SchemaRegistry, ty: &str, ts: u64, tag: i64) -> Event {
+    reg.build_event(
+        ty,
+        ts,
+        vec![Value::Int(tag), Value::str("soap"), Value::Int(1)],
+    )
+    .unwrap()
+}
+
+fn serve_default() -> (ServerHandle, SchemaRegistry) {
+    let reg = retail_registry();
+    let engine = Engine::new(reg.clone());
+    let handle = Server::serve("127.0.0.1:0", Box::new(engine), ServerConfig::default()).unwrap();
+    (handle, reg)
+}
+
+#[test]
+fn line_protocol_full_lifecycle() {
+    let (handle, reg) = serve_default();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.ping().unwrap();
+
+    let diags = client.register("pairs", Q_PAIR).unwrap();
+    assert!(
+        diags.is_empty()
+            || diags
+                .iter()
+                .all(|d| d.severity < sase_core::analyze::Severity::Error),
+        "clean query must not produce analyzer errors: {diags:?}"
+    );
+
+    // The same batch through an embedded engine is the oracle.
+    let mut oracle = Engine::new(reg.clone());
+    oracle.register("pairs", Q_PAIR).unwrap();
+    let batch = vec![
+        reading(&reg, "SHELF_READING", 1, 7),
+        reading(&reg, "SHELF_READING", 2, 8),
+        reading(&reg, "EXIT_READING", 3, 7),
+        reading(&reg, "EXIT_READING", 4, 8),
+    ];
+    let want: Vec<String> = oracle
+        .process_batch(&batch)
+        .unwrap()
+        .iter()
+        .map(|ce| ce.to_string())
+        .collect();
+
+    let got: Vec<String> = client
+        .ingest(None, TickMode::Explicit, &batch)
+        .unwrap()
+        .iter()
+        .map(|ce| ce.to_string())
+        .collect();
+    assert_eq!(got, want, "wire emissions must render identically");
+    assert_eq!(got.len(), 2);
+
+    let stats = client.stats("pairs").unwrap();
+    assert_eq!(stats.events_processed, 4);
+    assert_eq!(stats.matches_emitted, 2);
+
+    assert_eq!(client.queries().unwrap(), vec!["pairs".to_string()]);
+    assert!(client.explain("pairs").unwrap().contains("SHELF_READING"));
+
+    let check = client
+        .check("EVENT EXIT_READING z WHERE z.TagId = 'nope' RETURN z.TagId AS t")
+        .unwrap();
+    assert!(
+        check
+            .iter()
+            .any(|d| d.severity == sase_core::analyze::Severity::Error),
+        "type error must surface over the wire: {check:?}"
+    );
+
+    assert!(client.unregister("pairs").unwrap());
+    assert!(!client.unregister("pairs").unwrap());
+
+    let backend = handle.shutdown();
+    assert!(backend.query_names().is_empty());
+}
+
+#[test]
+fn malformed_frames_tear_down_the_connection_not_the_server() {
+    let (handle, _reg) = serve_default();
+    let addr = handle.local_addr();
+
+    // 1. CRC damage.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let payload = [0x01u8]; // Ping opcode
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&0xDEAD_BEEFu32.to_be_bytes()); // wrong CRC
+        sock.write_all(&frame).unwrap();
+        let reply = sase_server::wire::read_frame(&mut sock).unwrap().unwrap();
+        match sase_server::wire::decode_response(&reply).unwrap() {
+            sase_server::wire::Response::Error { code, message } => {
+                assert_eq!(code, 2, "wire-fault code");
+                assert!(message.contains("CRC"), "{message}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // The connection is torn down: next read sees EOF.
+        let mut buf = [0u8; 1];
+        assert_eq!(sock.read(&mut buf).unwrap(), 0);
+    }
+
+    // 2. Trailing bytes inside a well-framed payload.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let mut payload = vec![0x01u8]; // Ping
+        payload.push(0x55); // trailing garbage
+        sase_server::wire::write_frame(&mut sock, &payload).unwrap();
+        let reply = sase_server::wire::read_frame(&mut sock).unwrap().unwrap();
+        match sase_server::wire::decode_response(&reply).unwrap() {
+            sase_server::wire::Response::Error { code, message } => {
+                assert_eq!(code, 2);
+                assert!(message.contains("trailing"), "{message}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let mut buf = [0u8; 1];
+        assert_eq!(sock.read(&mut buf).unwrap(), 0);
+    }
+
+    // 3. Truncated frame: declared length never arrives.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&100u32.to_be_bytes()).unwrap();
+        sock.write_all(&[1, 2, 3]).unwrap();
+        drop(sock.try_clone().unwrap());
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        // Server sees truncation and closes; reply may be an error frame
+        // or a straight close depending on timing — both are fine, the
+        // requirement is that the server survives.
+        let mut sink = Vec::new();
+        let _ = sock.read_to_end(&mut sink);
+    }
+
+    // The server is still serving fresh connections.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn sessions_own_their_queries() {
+    let (handle, _reg) = serve_default();
+    let mut alice = Client::connect(handle.local_addr()).unwrap();
+    let mut bob = Client::connect(handle.local_addr()).unwrap();
+
+    alice.register("exits", Q_EXIT).unwrap();
+
+    // Bob sees the query but cannot drop it.
+    assert_eq!(bob.queries().unwrap(), vec!["exits".to_string()]);
+    match bob.unregister("exits") {
+        Err(ServerError::NotOwner { query }) => assert_eq!(query, "exits"),
+        other => panic!("expected NotOwner, got {other:?}"),
+    }
+
+    // Duplicate registration fails with an engine error, not a panic.
+    match bob.register("exits", Q_EXIT) {
+        Err(ServerError::Engine(m)) => assert!(m.contains("exits"), "{m}"),
+        other => panic!("expected Engine error, got {other:?}"),
+    }
+
+    // The owner can drop it.
+    assert!(alice.unregister("exits").unwrap());
+    assert_eq!(bob.queries().unwrap(), Vec::<String>::new());
+    handle.shutdown();
+}
+
+#[test]
+fn server_assigned_ticks_accept_concurrent_ingesters() {
+    let (handle, reg) = serve_default();
+    let mut a = Client::connect(handle.local_addr()).unwrap();
+    a.register("exits", Q_EXIT).unwrap();
+
+    // Two clients, both sending ts=1 events: explicit mode would reject
+    // the second batch as out-of-order; server-assigned mode rebases.
+    let mk = |tag| vec![reading(&reg, "EXIT_READING", 1, tag)];
+    let mut b = Client::connect(handle.local_addr()).unwrap();
+    let out_a = a.ingest(None, TickMode::ServerAssigned, &mk(1)).unwrap();
+    let out_b = b.ingest(None, TickMode::ServerAssigned, &mk(2)).unwrap();
+    assert_eq!(out_a.len(), 1);
+    assert_eq!(out_b.len(), 1);
+    // Ticks are strictly increasing across both connections.
+    assert!(out_b[0].detected_at > out_a[0].detected_at);
+
+    // Explicit mode still enforces monotonicity after the rebased ticks.
+    match a.ingest(None, TickMode::Explicit, &mk(3)) {
+        Err(ServerError::Engine(m)) => assert!(m.contains("out-of-order"), "{m}"),
+        other => panic!("expected out-of-order rejection, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn websocket_push_end_to_end() {
+    let (handle, reg) = serve_default();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.register("pairs", Q_PAIR).unwrap();
+
+    let mut push = PushClient::connect(handle.local_addr()).unwrap();
+    push.ping().unwrap();
+    push.subscribe("pairs").unwrap();
+    match push.subscribe("no_such_query") {
+        Err(ServerError::Protocol(m)) => assert!(m.contains("no_such_query"), "{m}"),
+        other => panic!("expected error reply, got {other:?}"),
+    }
+
+    let batch = vec![
+        reading(&reg, "SHELF_READING", 1, 7),
+        reading(&reg, "EXIT_READING", 2, 7),
+    ];
+    let emissions = client.ingest(None, TickMode::Explicit, &batch).unwrap();
+    assert_eq!(emissions.len(), 1);
+
+    // The push line is byte-identical to the wire (and thus embedded)
+    // rendering.
+    let pushed = push.next_event().unwrap().expect("one push expected");
+    assert_eq!(pushed, emissions[0].to_string());
+
+    push.unsubscribe("pairs").unwrap();
+    let more = client
+        .ingest(
+            None,
+            TickMode::Explicit,
+            &[
+                reading(&reg, "SHELF_READING", 11, 9),
+                reading(&reg, "EXIT_READING", 12, 9),
+            ],
+        )
+        .unwrap();
+    assert_eq!(more.len(), 1);
+    // No longer subscribed: the metrics must show exactly one push total.
+    let metrics = client.metrics().unwrap();
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with("sase_server_pushes_total"))
+        .expect("pushes_total series");
+    assert!(line.ends_with(" 1"), "exactly one push expected: {line}");
+    handle.shutdown();
+}
+
+#[test]
+fn slow_subscribers_drop_instead_of_buffering() {
+    let reg = retail_registry();
+    let engine = Engine::new(reg.clone());
+    let config = ServerConfig {
+        subscriber_queue: 2,
+        slow_policy: SlowPolicy::Drop,
+        ..ServerConfig::default()
+    };
+    let handle = Server::serve("127.0.0.1:0", Box::new(engine), config).unwrap();
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.register("exits", Q_EXIT).unwrap();
+    let mut push = PushClient::connect(handle.local_addr()).unwrap();
+    push.subscribe("exits").unwrap();
+
+    // 64 matching events while the subscriber reads nothing: the queue
+    // (capacity 2) must overflow into counted drops, never unbounded
+    // buffering or a blocked engine.
+    let batch: Vec<Event> = (0..64)
+        .map(|i| reading(&reg, "EXIT_READING", 1 + i, i as i64))
+        .collect();
+    let emissions = client.ingest(None, TickMode::Explicit, &batch).unwrap();
+    assert_eq!(emissions.len(), 64);
+
+    let metrics = client.metrics().unwrap();
+    let value = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|v| v as u64)
+            .unwrap_or(0)
+    };
+    let delivered = value("sase_server_pushes_total");
+    let dropped = value("sase_server_pushes_dropped_total");
+    assert_eq!(delivered + dropped, 64, "{metrics}");
+    assert!(dropped >= 62, "queue of 2 must drop most pushes: {dropped}");
+    handle.shutdown();
+}
+
+#[test]
+fn http_endpoints_work() {
+    let (handle, _reg) = serve_default();
+    let addr = handle.local_addr();
+
+    let http = |request: String| -> (u16, String) {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        sock.read_to_string(&mut response).unwrap();
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+    let post = |path: &str, body: &str| {
+        http(format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    };
+    let get = |path: &str| http(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"));
+
+    // Register via HTTP; response carries rendered diagnostics (none).
+    let (status, body) = post("/query?name=pairs", Q_PAIR);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.trim().is_empty(),
+        "clean query, no diagnostics: {body}"
+    );
+
+    // A broken query returns its analyzer findings.
+    let (status, body) = post(
+        "/query?name=broken",
+        "EVENT EXIT_READING z WHERE z.TagId = RETURN",
+    );
+    assert_eq!(status, 400, "parse failure registers nothing: {body}");
+
+    // Ingest; emissions come back one per line.
+    let (status, body) = post(
+        "/ingest",
+        "SHELF_READING 1 7 soap 1\nEXIT_READING 2 7 soap 4\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.lines().count(), 1, "{body}");
+    assert!(body.contains("[pairs@2]"), "{body}");
+
+    // Bad ingest line → 400 with a useful message.
+    let (status, body) = post("/ingest", "EXIT_READING 3 notanint soap 4\n");
+    assert_eq!(status, 400);
+    assert!(body.contains("not an Int"), "{body}");
+
+    // Stats.
+    let (status, body) = get("/stats?query=pairs");
+    assert_eq!(status, 200);
+    assert!(body.contains("matches_emitted 1"), "{body}");
+    let (status, _) = get("/stats?query=absent");
+    assert_eq!(status, 404);
+
+    // Queries list.
+    let (status, body) = get("/queries");
+    assert_eq!(status, 200);
+    assert_eq!(body.trim(), "pairs");
+
+    // Unknown route and wrong method.
+    assert_eq!(get("/nope").0, 404);
+    assert_eq!(get("/ingest").0, 405);
+
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_covers_server_families() {
+    let (handle, reg) = serve_default();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.register("exits", Q_EXIT).unwrap();
+    client
+        .ingest(
+            None,
+            TickMode::Explicit,
+            &[reading(&reg, "EXIT_READING", 1, 7)],
+        )
+        .unwrap();
+    let mut push = PushClient::connect(handle.local_addr()).unwrap();
+    push.subscribe("exits").unwrap();
+
+    let text = client.metrics().unwrap();
+
+    // Server-added families are present.
+    for family in [
+        "sase_server_connections",
+        "sase_server_sessions_total",
+        "sase_server_ingest_batches_total",
+        "sase_server_ingest_events_total",
+        "sase_server_connections_total",
+    ] {
+        assert!(
+            text.lines().any(|l| l.starts_with(family)),
+            "family {family} missing from exposition:\n{text}"
+        );
+    }
+    // Backend families are merged into the same scrape.
+    assert!(
+        text.lines().any(|l| l.starts_with("sase_query_")),
+        "backend per-query series missing:\n{text}"
+    );
+
+    // Exposition-format validity: every line is a comment or
+    // `name[{labels}] value` with a float-parsable value.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has name and value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparsable sample value in `{line}`"
+        );
+        let name_part = series.split('{').next().unwrap();
+        assert!(
+            !name_part.is_empty()
+                && name_part
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name in `{line}`"
+        );
+        if let Some(rest) = series.split_once('{') {
+            assert!(rest.1.ends_with('}'), "unterminated label set in `{line}`");
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn capacity_cap_rejects_politely() {
+    let reg = retail_registry();
+    let engine = Engine::new(reg);
+    let config = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::serve("127.0.0.1:0", Box::new(engine), config).unwrap();
+
+    let mut first = Client::connect(handle.local_addr()).unwrap();
+    first.ping().unwrap();
+    let mut second = Client::connect(handle.local_addr()).unwrap();
+    match second.ping() {
+        Err(ServerError::AtCapacity) => {}
+        other => panic!("expected AtCapacity, got {other:?}"),
+    }
+    // The first connection keeps working.
+    first.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_returns_the_backend_with_state_intact() {
+    let (handle, reg) = serve_default();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.register("exits", Q_EXIT).unwrap();
+    client
+        .ingest(
+            None,
+            TickMode::Explicit,
+            &[reading(&reg, "EXIT_READING", 1, 7)],
+        )
+        .unwrap();
+    let addr = handle.local_addr();
+
+    let backend = handle.shutdown();
+    assert_eq!(backend.query_names(), vec!["exits".to_string()]);
+    assert_eq!(backend.stats("exits").unwrap().matches_emitted, 1);
+
+    // The listener is gone.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Some platforms accept briefly during teardown; a subsequent
+            // request must fail either way.
+            let mut c = Client::connect(addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}

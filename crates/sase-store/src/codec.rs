@@ -218,7 +218,10 @@ impl<'a> ByteReader<'a> {
 // Values and events
 // ---------------------------------------------------------------------------
 
-fn put_value(w: &mut ByteWriter, v: &Value) {
+/// Encode one [`Value`] (1-byte tag + payload). Shared by the store's
+/// snapshot codec and the `sase-server` wire protocol, which reuses this
+/// framing discipline for its own payloads.
+pub fn put_value(w: &mut ByteWriter, v: &Value) {
     match v {
         Value::Int(i) => {
             w.u8(0);
@@ -239,7 +242,8 @@ fn put_value(w: &mut ByteWriter, v: &Value) {
     }
 }
 
-fn get_value(r: &mut ByteReader<'_>) -> Result<Value> {
+/// Decode one [`Value`] written by [`put_value`].
+pub fn get_value(r: &mut ByteReader<'_>) -> Result<Value> {
     Ok(match r.u8()? {
         0 => Value::Int(r.i64()?),
         1 => Value::Float(f64::from_bits(r.u64()?)),

@@ -20,13 +20,23 @@
 //! watch [name]                            runtime counter tables, one per query
 //! metrics                                 Prometheus-style metrics dump
 //! queries                                 list registered queries
+//! connect <addr>                          attach to a served deployment
+//! disconnect                              back to the embedded deployment
 //! quit
 //! ```
+//!
+//! After `connect`, the same commands (`query`, `check`, `drop`, `event`,
+//! `explain`, `stats`, `metrics`, `queries`) run against the remote
+//! server over the line protocol; queries registered there are owned by
+//! this connection. `sql` and `watch` stay local-only.
 
 use std::io::{self, BufRead, Write};
 
+use sase::core::event::SchemaRegistry;
 use sase::core::value::Value;
 use sase::db::Database;
+use sase::server::client::Client;
+use sase::server::wire::TickMode;
 use sase::stream::register_reading_schemas;
 use sase::system::{register_db_builtins, retail_area_descriptions, seed_area_info};
 use sase::{QueryHandle, Sase};
@@ -47,8 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SASE console. `help` for commands, `quit` to exit.");
     let stdin = io::stdin();
     let mut out = io::stdout();
+    let mut remote: Option<(String, Client)> = None;
     loop {
-        print!("sase> ");
+        match &remote {
+            Some((addr, _)) => print!("sase[{addr}]> "),
+            None => print!("sase> "),
+        }
         out.flush()?;
         let mut line = String::new();
         if stdin.lock().read_line(&mut line)? == 0 {
@@ -59,14 +73,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        if matches!(cmd, "quit" | "exit") {
+            break;
+        }
+        if cmd == "connect" {
+            // Attach to a served deployment; subsequent commands speak the
+            // line protocol against it.
+            match Client::connect(rest).and_then(|mut c| c.ping().map(|()| c)) {
+                Ok(c) => {
+                    println!("connected to {rest}");
+                    remote = Some((rest.to_string(), c));
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if cmd == "disconnect" {
+            println!(
+                "{}",
+                if remote.take().is_some() {
+                    "disconnected"
+                } else {
+                    "not connected"
+                }
+            );
+            continue;
+        }
+        if let Some((_, client)) = remote.as_mut() {
+            remote_cmd(client, &registry, cmd, rest);
+            continue;
+        }
         let result = match cmd {
-            "quit" | "exit" => break,
             "help" => {
                 println!(
                     "query <name> <text> | check <text> | drop <name> | \
                      event <TYPE> <ts> <tag> <product> <area>\n\
                      sql <stmt> | explain <name> | stats <name> | watch [name] | \
-                     metrics | queries | quit"
+                     metrics | queries | connect <addr> | quit"
                 );
                 Ok(())
             }
@@ -197,16 +240,15 @@ fn print_diagnostics(diags: &[sase::Diagnostic]) {
     }
 }
 
-fn push_event(
-    sase: &mut Sase,
-    registry: &sase::core::event::SchemaRegistry,
+fn build_reading(
+    registry: &SchemaRegistry,
     rest: &str,
-) -> Result<(), String> {
+) -> Result<sase::core::event::Event, String> {
     let parts: Vec<&str> = rest.split_whitespace().collect();
     let [ty, ts, tag, product, area] = parts.as_slice() else {
         return Err("usage: event <TYPE> <ts> <tag> <product> <area>".to_string());
     };
-    let event = registry
+    registry
         .build_event(
             ty,
             ts.parse().map_err(|e| format!("bad ts: {e}"))?,
@@ -216,8 +258,77 @@ fn push_event(
                 Value::Int(area.parse().map_err(|e| format!("bad area: {e}"))?),
             ],
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| e.to_string())
+}
+
+fn push_event(sase: &mut Sase, registry: &SchemaRegistry, rest: &str) -> Result<(), String> {
+    let event = build_reading(registry, rest)?;
     let detections = sase.process(&[event]).map_err(|e| e.to_string())?;
     println!("ok ({} detections)", detections.len());
     Ok(())
+}
+
+/// Dispatch a console command over the line protocol. Transport and
+/// server errors print and leave the connection up; the user can
+/// `disconnect` if the far side is gone.
+fn remote_cmd(client: &mut Client, registry: &SchemaRegistry, cmd: &str, rest: &str) {
+    let result: Result<(), sase::ServerError> = (|| {
+        match cmd {
+            "help" => println!(
+                "remote: query <name> <text> | check <text> | drop <name> | \
+                 event <TYPE> <ts> <tag> <product> <area>\n\
+                 explain <name> | stats <name> | metrics | queries | \
+                 disconnect | quit"
+            ),
+            "query" => match rest.split_once(' ') {
+                Some((name, src)) => {
+                    for d in client.register(name, src)? {
+                        println!("  {d}");
+                    }
+                    println!("registered `{name}` (owned by this connection)");
+                }
+                None => println!("usage: query <name> <text>"),
+            },
+            "check" => {
+                let diags = client.check(rest)?;
+                if diags.is_empty() {
+                    println!("no diagnostics");
+                }
+                for d in diags {
+                    println!("  {d}");
+                }
+            }
+            "drop" => {
+                if client.unregister(rest)? {
+                    println!("dropped `{rest}`");
+                } else {
+                    println!("no query named `{rest}`");
+                }
+            }
+            "event" => match build_reading(registry, rest) {
+                Ok(event) => {
+                    let out = client.ingest(None, TickMode::Explicit, &[event])?;
+                    for d in &out {
+                        println!("  {d}");
+                    }
+                    println!("ok ({} detections)", out.len());
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "explain" => println!("{}", client.explain(rest)?),
+            "stats" => println!("{}", client.stats(rest)?),
+            "metrics" => print!("{}", client.metrics()?),
+            "queries" => {
+                for q in client.queries()? {
+                    println!("{q}");
+                }
+            }
+            "sql" | "watch" => println!("`{cmd}` is local-only; `disconnect` first"),
+            other => println!("unknown command `{other}`; try `help`"),
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        println!("error: {e}");
+    }
 }

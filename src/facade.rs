@@ -675,6 +675,30 @@ impl Sase {
             Backend::DurableSharded(e) => e.engine().shard_count(),
         }
     }
+
+    /// Whether this deployment write-ahead-logs its ingest — i.e. whether
+    /// [`commit`](Sase::commit) and [`checkpoint`](Sase::checkpoint) are
+    /// meaningful.
+    pub fn is_durable(&self) -> bool {
+        matches!(
+            self.backend,
+            Backend::Durable(_) | Backend::DurableSharded(_)
+        )
+    }
+
+    /// Put this deployment on the wire: serve the line protocol,
+    /// HTTP/1.1, and WebSocket push on `addr` (port `0` picks an
+    /// ephemeral port) until
+    /// [`ServerHandle::shutdown`](sase_server::ServerHandle::shutdown),
+    /// which drains in-flight ingest, flushes the WAL on durable
+    /// deployments, and hands the `Sase` back as the boxed backend.
+    pub fn serve(
+        self,
+        addr: impl std::net::ToSocketAddrs,
+        config: sase_server::ServerConfig,
+    ) -> sase_server::Result<sase_server::ServerHandle> {
+        sase_server::Server::serve(addr, Box::new(self), config)
+    }
 }
 
 impl std::fmt::Debug for Sase {
@@ -764,6 +788,20 @@ impl EventProcessor for Sase {
 
     fn restore(&mut self, snaps: &SnapshotSet) -> Result<()> {
         self.processor_mut().restore(snaps)
+    }
+}
+
+/// Any `Sase` deployment can be hosted by the network serving layer.
+/// Graceful server shutdown calls `flush`, which on durable deployments
+/// commits the WAL — every batch the server acknowledged survives crash
+/// recovery; volatile deployments no-op.
+impl sase_server::Backend for Sase {
+    fn flush(&mut self) -> Result<()> {
+        if self.is_durable() {
+            self.commit()
+        } else {
+            Ok(())
+        }
     }
 }
 

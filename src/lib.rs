@@ -17,6 +17,9 @@
 //! * [`system`] — full-system wiring: devices → cleaning → event processor
 //!   → database, plus the paper's built-in DB functions, durable
 //!   deployments with crash recovery, and the textual UI.
+//! * [`server`] — the network serving layer: line protocol, HTTP/1.1,
+//!   and WebSocket push over any deployment (see
+//!   [`Sase::serve`](facade::Sase::serve)).
 //!
 //! ## Public API
 //!
@@ -32,6 +35,7 @@ pub use sase_core as core;
 pub use sase_db as db;
 pub use sase_obs as obs;
 pub use sase_rfid as rfid;
+pub use sase_server as server;
 pub use sase_store as store;
 pub use sase_stream as stream;
 pub use sase_system as system;
@@ -45,4 +49,5 @@ pub use sase_obs::{
     render_prometheus, MemorySink, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceKind,
     TraceSink, Tracer,
 };
+pub use sase_server::{Server, ServerConfig, ServerError, ServerHandle, SlowPolicy};
 pub use sase_system::{DurableOptions, RecoveryReport, ShardingMode};

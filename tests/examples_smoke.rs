@@ -28,8 +28,13 @@ fn all_examples_build() {
 }
 
 fn run_example(name: &str) -> String {
+    run_example_with(name, &[])
+}
+
+fn run_example_with(name: &str, args: &[&str]) -> String {
     let out = cargo()
-        .args(["run", "--quiet", "--example", name])
+        .args(["run", "--quiet", "--example", name, "--"])
+        .args(args)
         .output()
         .expect("cargo runs");
     assert!(
@@ -62,6 +67,17 @@ fn retail_store_example_runs() {
     assert!(
         stdout.contains("shoplifting alerts"),
         "renders the alerts window"
+    );
+}
+
+#[test]
+fn serve_example_self_checks() {
+    // Drives all three wire protocols (line, WebSocket push, HTTP) against
+    // an ephemeral port and exits nonzero on any divergence.
+    let stdout = run_example_with("serve", &["--test"]);
+    assert!(
+        stdout.contains("serve self-check passed"),
+        "self-check must report success:\n{stdout}"
     );
 }
 
